@@ -1,0 +1,102 @@
+//! Criterion microbenchmarks of the core substrates: B+tree, lock table,
+//! log buffer, Zipf sampling, and the DES kernel.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use islands_sim::Sim;
+use islands_storage::btree::BTree;
+use islands_storage::buffer::BufferPool;
+use islands_storage::lock::{LockId, LockMode, LockTable};
+use islands_storage::store::MemStore;
+use islands_storage::wal::buffer::LogBuffer;
+use islands_storage::wal::record::LogPayload;
+use islands_storage::TxnId;
+use islands_workload::Zipf;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_btree(c: &mut Criterion) {
+    let pool = BufferPool::new(Arc::new(MemStore::new()), 8192);
+    pool.set_wal_barrier(Arc::new(|| {}));
+    let tree = BTree::create(pool).unwrap();
+    for k in 0..100_000u64 {
+        tree.insert(k, k).unwrap();
+    }
+    let mut k = 0u64;
+    c.bench_function("btree_get_100k", |b| {
+        b.iter(|| {
+            k = (k + 7919) % 100_000;
+            std::hint::black_box(tree.get(k).unwrap())
+        })
+    });
+}
+
+fn bench_lock_table(c: &mut Criterion) {
+    c.bench_function("lock_acquire_release", |b| {
+        let mut lt = LockTable::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let txn = TxnId(t);
+            lt.acquire(txn, LockId::Key(1, t % 64), LockMode::X);
+            lt.release_all(txn);
+        })
+    });
+}
+
+fn bench_log_buffer(c: &mut Criterion) {
+    c.bench_function("log_append_update", |b| {
+        let mut lb = LogBuffer::new(1 << 20);
+        let payload = LogPayload::Update {
+            table: 1,
+            key: 7,
+            before: vec![0u8; 64],
+            after: vec![1u8; 64],
+        };
+        b.iter(|| {
+            let lsn = lb.append(TxnId(1), &payload);
+            if lb.should_flush() {
+                let (base, bytes) = lb.take_batch().unwrap();
+                lb.mark_durable(base + bytes.len() as u64);
+            }
+            std::hint::black_box(lsn)
+        })
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let z = Zipf::new(240_000, 0.99);
+    let mut rng = SmallRng::seed_from_u64(3);
+    c.bench_function("zipf_sample", |b| {
+        b.iter(|| std::hint::black_box(z.sample(&mut rng)))
+    });
+}
+
+fn bench_des(c: &mut Criterion) {
+    c.bench_function("des_10k_events", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            for i in 0..10u64 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    for _ in 0..1000 {
+                        s.sleep(100 + i).await;
+                    }
+                });
+            }
+            sim.run();
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(20);
+    targets = bench_btree, bench_lock_table, bench_log_buffer, bench_zipf, bench_des
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 6: message-exchange throughput of IPC mechanisms, same vs
+//! different socket (calibrated model), plus live host measurements for the
+//! mechanisms std exposes (Unix domain sockets, TCP loopback).
+
+use islands_net::{live, IpcMechanism};
+
+fn main() {
+    println!("\n=== Figure 6: IPC throughput (thousands of msgs/sec) ===");
+    println!("{:>14} {:>12} {:>12}", "mechanism", "same socket", "diff socket");
+    for m in IpcMechanism::ALL {
+        println!(
+            "{:>14} {:>12.1} {:>12.1}",
+            m.label(),
+            m.cost(true).throughput_msgs_per_sec() / 1e3,
+            m.cost(false).throughput_msgs_per_sec() / 1e3
+        );
+    }
+    println!("(paper: UNIX sockets highest; every mechanism slower across sockets)");
+    println!("\nLive host ping-pong (single socket host; for reference):");
+    if let Ok(r) = live::measure_unix_sockets(2_000) {
+        println!("{:>22} {:>12.1} KMsgs/s", r.mechanism, r.msgs_per_sec / 1e3);
+    }
+    if let Ok(r) = live::measure_tcp(2_000) {
+        println!("{:>22} {:>12.1} KMsgs/s", r.mechanism, r.msgs_per_sec / 1e3);
+    }
+}

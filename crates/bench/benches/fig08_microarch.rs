@@ -1,0 +1,31 @@
+//! Figure 8: microarchitectural profile of deployments running the local
+//! read-only microbenchmark: IPC, stalled cycles, on-chip sharing.
+
+use islands_bench::{micro, sim_run};
+use islands_hwtopo::Machine;
+use islands_workload::OpKind;
+
+fn main() {
+    println!("\n=== Figure 8: microarchitectural data, read-only 10 rows local ===");
+    println!(
+        "{:>7} {:>7} {:>10} {:>12} {:>10}",
+        "config", "IPC", "stalled %", "sharing %", "KTps"
+    );
+    for n in [24usize, 12, 8, 4, 2, 1] {
+        let r = sim_run(
+            Machine::quad_socket(),
+            n,
+            &micro(OpKind::Read, 10, 0.0),
+            1,
+        );
+        println!(
+            "{:>7} {:>7.2} {:>10.1} {:>12.1} {:>10.1}",
+            r.label,
+            r.ipc,
+            r.stalled_frac * 100.0,
+            r.sibling_share_frac * 100.0,
+            r.ktps()
+        );
+    }
+    println!("(paper: IPC falls and stalls rise toward shared-everything;\n on-chip sharing peaks for multi-worker single-socket islands)");
+}

@@ -1,0 +1,27 @@
+//! Figure 9: throughput as the percentage of multisite transactions grows
+//! (read 10 rows / update 10 rows; 24ISL, 4ISL, 1ISL on the quad-socket).
+
+use islands_bench::{header, micro, row, sim_run};
+use islands_hwtopo::Machine;
+use islands_workload::OpKind;
+
+fn main() {
+    let pcts = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    for (kind, title) in [
+        (OpKind::Read, "Figure 9 (left): retrieving 10 rows (KTps)"),
+        (OpKind::Update, "Figure 9 (right): updating 10 rows (KTps)"),
+    ] {
+        header(
+            title,
+            &pcts.iter().map(|p| format!("{}%", (p * 100.0) as u32)).collect::<Vec<_>>(),
+        );
+        for n in [24usize, 4, 1] {
+            let vals: Vec<f64> = pcts
+                .iter()
+                .map(|&p| sim_run(Machine::quad_socket(), n, &micro(kind, 10, p), 1).ktps())
+                .collect();
+            row(&format!("{n}ISL"), &vals);
+        }
+    }
+    println!("(paper: 1ISL flat; shared-nothing falls with multisite %, steepest for 24ISL)");
+}

@@ -1,0 +1,61 @@
+//! Figure 12: throughput as hardware parallelism grows (20% multisite,
+//! read and update, quad- and octo-socket machines), FG vs CG vs SE.
+
+use islands_bench::{header, micro, row};
+use islands_core::simrt::{run, SimClusterConfig};
+use islands_hwtopo::Machine;
+use islands_workload::OpKind;
+
+fn sweep(machine: &Machine, cores: &[u32], kind: OpKind) {
+    let wl10 = |p| micro(kind, 10, p);
+    header(
+        &format!(
+            "Fig 12: {} 20% multisite, {} (KTps)",
+            kind.label(),
+            machine.name
+        ),
+        &cores.iter().map(|c| format!("{c} cores")).collect::<Vec<_>>(),
+    );
+    let cps = machine.cores_per_socket as usize;
+    for (label, inst_of) in [
+        ("FG", Box::new(|c: u32| c as usize) as Box<dyn Fn(u32) -> usize>),
+        ("CG", Box::new(move |c: u32| (c as usize / cps).max(1))),
+        ("SE", Box::new(|_| 1usize)),
+    ] {
+        let vals: Vec<f64> = cores
+            .iter()
+            .map(|&c| {
+                let mut cfg = SimClusterConfig::new(machine.clone(), inst_of(c));
+                cfg.active_cores = Some(c);
+                cfg.warmup_ms = 2;
+                cfg.measure_ms = 8;
+                let r = run(&cfg, &wl10(0.2));
+                r.ktps()
+            })
+            .collect();
+        row(label, &vals);
+    }
+}
+
+fn main() {
+    let quad = Machine::quad_socket();
+    let octo = Machine::octo_socket();
+    for kind in [OpKind::Read, OpKind::Update] {
+        sweep(&quad, &[6, 12, 18, 24], kind);
+        sweep(&octo, &[20, 40, 60, 80], kind);
+    }
+    // The Section 7.2 locality observation.
+    let mut cfg = SimClusterConfig::new(octo.clone(), 1);
+    cfg.warmup_ms = 2;
+    cfg.measure_ms = 8;
+    let se = run(&cfg, &micro(OpKind::Read, 10, 0.2));
+    let mut cfg = SimClusterConfig::new(octo.clone(), 8);
+    cfg.warmup_ms = 2;
+    cfg.measure_ms = 8;
+    let cg = run(&cfg, &micro(OpKind::Read, 10, 0.2));
+    println!(
+        "\nQPI/IMC traffic ratio on the octo-socket, read-only 20% multisite:\n  SE = {:.2}   CG = {:.2}   (paper: 1.73 vs 1.54 — SE is less NUMA-friendly)",
+        se.qpi_imc_ratio, cg.qpi_imc_ratio
+    );
+    println!("(paper: shared-nothing scales linearly; SE flattens, especially on 8 sockets)");
+}

@@ -1,0 +1,46 @@
+//! Figure 14: growing the database from cache-resident to I/O-resident
+//! (2 rows/txn, 0% and 20% multisite, 12 GB buffer pool, 2-HDD RAID-0).
+
+use islands_bench::{header, row};
+use islands_core::simrt::{run, SimClusterConfig, SimWorkload};
+use islands_hwtopo::Machine;
+use islands_sim::disk::DiskParams;
+use islands_workload::{MicroSpec, OpKind};
+
+fn main() {
+    let sizes: [(u64, &str); 5] = [
+        (240_000, "0.24M"),
+        (2_400_000, "2.4M"),
+        (24_000_000, "24M"),
+        (72_000_000, "72M"),
+        (120_000_000, "120M"),
+    ];
+    for kind in [OpKind::Read, OpKind::Update] {
+        for pct in [0.0, 0.2] {
+            header(
+                &format!(
+                    "Fig 14: {} 2 rows, {}% multisite (KTps)",
+                    kind.label(),
+                    (pct * 100.0) as u32
+                ),
+                &sizes.iter().map(|(_, l)| l.to_string()).collect::<Vec<_>>(),
+            );
+            for n in [24usize, 4, 1] {
+                let vals: Vec<f64> = sizes
+                    .iter()
+                    .map(|&(rows, _)| {
+                        let spec = MicroSpec::new(kind, 2, pct).with_rows(rows);
+                        let mut cfg = SimClusterConfig::new(Machine::quad_socket(), n);
+                        cfg.warmup_ms = 2;
+                        cfg.measure_ms = 8;
+                        cfg.buffer_bytes = Some(12 << 30); // 12 GB pool
+                        cfg.data_disk = Some(DiskParams::hdd_random());
+                        run(&cfg, &SimWorkload::Micro(spec)).ktps()
+                    })
+                    .collect();
+                row(&format!("{n}ISL"), &vals);
+            }
+        }
+    }
+    println!("(paper: throughput decays as data outgrows caches, then falls off a cliff\n when the working set exceeds the buffer pool and hits the disks)");
+}

@@ -1,0 +1,39 @@
+//! Table 1: throughput and variability when increasing the number of
+//! counters (each protected by a lock) on the octo-socket machine.
+
+use islands_core::counterbench::{run_counters, CounterSetup};
+use islands_hwtopo::{Machine, ThreadPlacement};
+use islands_sim::stats::RunningStats;
+
+fn main() {
+    let m = Machine::octo_socket();
+    println!("\n=== Table 1: counter setups on the octo-socket (80 threads) ===");
+    println!(
+        "{:>12} {:>9} {:>14} {:>10} {:>10}",
+        "setup", "counters", "thrpt (M/s)", "speedup", "std dev %"
+    );
+    let mut base = 0.0;
+    for (label, setup, counters, placement) in [
+        ("Single", CounterSetup::Single, 1, ThreadPlacement::Spread),
+        ("Per socket", CounterSetup::PerSocket, 8, ThreadPlacement::Grouped),
+        ("Per core", CounterSetup::PerCore, 80, ThreadPlacement::Grouped),
+    ] {
+        let mut s = RunningStats::new();
+        for seed in 0..5 {
+            let r = run_counters(&m, setup, 80, placement, 1, seed);
+            s.push(r.mops());
+        }
+        if base == 0.0 {
+            base = s.mean();
+        }
+        println!(
+            "{:>12} {:>9} {:>14.1} {:>9.1}x {:>10.2}",
+            label,
+            counters,
+            s.mean(),
+            s.mean() / base,
+            s.cv_percent()
+        );
+    }
+    println!("(paper: 18.4 / 341.7 (18.5x) / 9527.8 (516.8x) M/s; falling std dev)");
+}

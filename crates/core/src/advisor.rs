@@ -1,0 +1,158 @@
+//! The island advisor: pick an island size for a machine and workload.
+//!
+//! This implements the paper's stated future work (Section 8: "determining
+//! the ideal size of each island automatically for the given hardware and
+//! workload") the obvious way: simulate every hardware-aligned island
+//! configuration on a workload profile and score the candidates. The
+//! scoring follows the paper's robustness argument — a configuration is
+//! judged not just on its throughput for the expected workload but on its
+//! worst case across the profile's plausible range.
+
+use islands_hwtopo::{island_configs, Machine};
+use islands_workload::{MicroSpec, OpKind};
+
+use crate::simrt::{run, SimClusterConfig, SimWorkload};
+
+/// What the advisor knows about the workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    pub kind: OpKind,
+    pub rows_per_txn: usize,
+    /// Expected multisite fraction.
+    pub multisite_pct: f64,
+    /// Uncertainty band around `multisite_pct` to stress (robustness).
+    pub multisite_band: f64,
+    /// Expected skew.
+    pub skew: f64,
+    /// Uncertainty band above `skew` to stress (robustness).
+    pub skew_band: f64,
+    pub total_rows: u64,
+}
+
+/// One candidate's evaluation.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    pub n_instances: usize,
+    pub label: String,
+    /// KTps at the expected operating point.
+    pub expected_ktps: f64,
+    /// KTps at the pessimistic end of the band (more multisite, more skew).
+    pub worst_ktps: f64,
+    /// Geometric blend used for ranking.
+    pub score: f64,
+}
+
+/// The advisor's output.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    pub best: Candidate,
+    pub candidates: Vec<Candidate>,
+}
+
+/// Simulate all island configurations and recommend one.
+///
+/// `measure_ms` trades accuracy for advisor latency; 10–25 ms of virtual
+/// time per point is plenty for ranking.
+pub fn recommend(machine: &Machine, profile: &WorkloadProfile, measure_ms: u64) -> Recommendation {
+    let mut candidates = Vec::new();
+    for config in island_configs(machine) {
+        let n = config.n_instances;
+        let mk = |multisite: f64, skew: f64| {
+            let spec = MicroSpec {
+                kind: profile.kind,
+                rows_per_txn: profile.rows_per_txn,
+                multisite_pct: multisite.clamp(0.0, 1.0),
+                skew,
+                total_rows: profile.total_rows,
+                row_size: islands_workload::DEFAULT_ROW_SIZE,
+            };
+            let mut cfg = SimClusterConfig::new(machine.clone(), n);
+            cfg.warmup_ms = (measure_ms / 5).max(1);
+            cfg.measure_ms = measure_ms;
+            run(&cfg, &SimWorkload::Micro(spec)).ktps()
+        };
+        let expected = mk(profile.multisite_pct, profile.skew);
+        let worst = mk(
+            profile.multisite_pct + profile.multisite_band,
+            (profile.skew + profile.skew_band).min(1.0),
+        );
+        // Robustness-weighted score: the paper argues for configurations
+        // whose worst case doesn't collapse; geometric mean penalizes
+        // fragile extremes more than an arithmetic one would.
+        let score = (expected.max(1e-9) * worst.max(1e-9)).sqrt();
+        candidates.push(Candidate {
+            n_instances: n,
+            label: config.label(),
+            expected_ktps: expected,
+            worst_ktps: worst,
+            score,
+        });
+    }
+    let best = candidates
+        .iter()
+        .max_by(|a, b| a.score.total_cmp(&b.score))
+        .expect("at least one island config")
+        .clone();
+    Recommendation { best, candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advisor_avoids_extremes_for_mixed_workloads() {
+        let m = Machine::quad_socket();
+        let profile = WorkloadProfile {
+            kind: OpKind::Update,
+            rows_per_txn: 4,
+            multisite_pct: 0.2,
+            multisite_band: 0.3,
+            skew: 0.25,
+            skew_band: 0.5,
+            total_rows: 120_000,
+        };
+        let rec = recommend(&m, &profile, 6);
+        assert_eq!(rec.candidates.len(), 6, "1,2,4,8,12,24 ISL on quad");
+        // With multisite + skew pressure the fragile fine-grained extreme
+        // must not win (the paper's Figure 13: its worst case collapses).
+        // Note the coarse extreme *can* legitimately win wide bands — the
+        // paper's own Figure 9 (update) shows shared-everything on top once
+        // multisite work dominates.
+        assert!(
+            rec.best.n_instances < 24,
+            "fragile extreme must not win: best was {}",
+            rec.best.label
+        );
+        let fg = rec.candidates.iter().find(|c| c.n_instances == 24).unwrap();
+        assert!(
+            rec.best.score > fg.score,
+            "robust choice must out-score fine-grained"
+        );
+        // Every candidate carries both numbers.
+        for c in &rec.candidates {
+            assert!(c.expected_ktps > 0.0, "{}: no throughput", c.label);
+            assert!(c.worst_ktps > 0.0);
+        }
+    }
+
+    #[test]
+    fn advisor_prefers_fine_grained_for_perfectly_partitionable() {
+        let m = Machine::quad_socket();
+        let profile = WorkloadProfile {
+            kind: OpKind::Read,
+            rows_per_txn: 10,
+            multisite_pct: 0.0,
+            multisite_band: 0.0,
+            skew: 0.0,
+            skew_band: 0.0,
+            total_rows: 120_000,
+        };
+        let rec = recommend(&m, &profile, 6);
+        assert!(
+            rec.best.n_instances >= 12,
+            "perfectly partitionable should pick fine islands, got {}",
+            rec.best.label
+        );
+    }
+}

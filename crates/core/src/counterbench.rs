@@ -1,0 +1,209 @@
+//! The lock-protected counter microbenchmark (Figure 2 and Table 1).
+//!
+//! Threads increment counters protected by locks in a tight loop; each
+//! increment is one exclusive cache-line access whose cost is the
+//! calibrated ownership-transfer latency for the distance to the previous
+//! holder. Thread placement decides those distances — exactly the
+//! experiment the paper uses to motivate islands.
+
+use std::rc::Rc;
+
+use islands_hwtopo::{assign_threads, CoreId, Machine, ThreadPlacement};
+use islands_memsim::{CostModel, Line};
+use islands_sim::sync::SimMutex;
+use islands_sim::{Sim, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How counters are distributed (Table 1 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterSetup {
+    /// One counter for the whole machine.
+    Single,
+    /// One counter per socket, incremented by that socket's threads under
+    /// Grouped placement (or by arbitrary threads under other placements).
+    PerSocket,
+    /// One private counter per core.
+    PerCore,
+}
+
+/// Result of one counter run.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterResult {
+    pub total_increments: u64,
+    pub window_ps: u64,
+}
+
+impl CounterResult {
+    /// Million increments per second (the paper's axes).
+    pub fn mops(&self) -> f64 {
+        self.total_increments as f64 / (self.window_ps as f64 / 1e12) / 1e6
+    }
+}
+
+/// Run `n_threads` incrementing counters for `window_ms` of virtual time.
+///
+/// * `setup` picks the counter layout (Table 1).
+/// * `placement` picks thread placement (Figure 2; `Grouped` puts each
+///   group of threads on the socket of its counter).
+pub fn run_counters(
+    machine: &Machine,
+    setup: CounterSetup,
+    n_threads: usize,
+    placement: ThreadPlacement,
+    window_ms: u64,
+    seed: u64,
+) -> CounterResult {
+    let sim = Sim::new();
+    let cost = CostModel::new(machine.clone(), seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let cores = assign_threads(machine, n_threads, placement, &mut rng);
+
+    let n_counters = match setup {
+        CounterSetup::Single => 1,
+        CounterSetup::PerSocket => machine.sockets as usize,
+        CounterSetup::PerCore => n_threads,
+    };
+    let counters: Vec<Rc<(SimMutex<()>, Line)>> = (0..n_counters)
+        .map(|_| Rc::new((SimMutex::new(()), Line::new())))
+        .collect();
+
+    // Thread i increments counter i % n_counters. Under Grouped placement
+    // and per-socket counters this keeps each counter socket-local, exactly
+    // like the paper's "Grouped threads" bar.
+    let counter_of = |i: usize| -> usize {
+        match setup {
+            CounterSetup::Single => 0,
+            CounterSetup::PerCore => i,
+            CounterSetup::PerSocket => {
+                // Group assignment: consecutive thread blocks share a
+                // counter, so Grouped placement aligns blocks with sockets.
+                i / (n_threads / n_counters).max(1) % n_counters
+            }
+        }
+    };
+
+    let total = Rc::new(std::cell::Cell::new(0u64));
+    let end = SimTime(window_ms * 1_000_000_000);
+    // Model OS scheduling as random placement plus periodic migrations.
+    let migration_interval = machine.calib.os_migration_interval_ps;
+    let migration_penalty = machine.calib.os_migration_penalty_ps;
+    let unpinned = !placement.pinned();
+    let all_cores: Vec<CoreId> = machine.all_cores().collect();
+
+    for (i, &core0) in cores.iter().enumerate() {
+        let counter = Rc::clone(&counters[counter_of(i)]);
+        let cost = Rc::clone(&cost);
+        let total = Rc::clone(&total);
+        let s = sim.clone();
+        let all = all_cores.clone();
+        let mut trng = SmallRng::seed_from_u64(seed ^ (i as u64) << 17);
+        sim.spawn(async move {
+            let mut core = core0;
+            let mut next_migration = migration_interval;
+            while s.now() < end {
+                if unpinned && s.now().as_ps() >= next_migration {
+                    core = all[trng.gen_range(0..all.len())];
+                    next_migration += migration_interval;
+                    s.sleep(migration_penalty).await;
+                    continue;
+                }
+                let guard = counter.0.lock().await;
+                let c = cost.charge_line(core, &counter.1);
+                s.sleep(c).await;
+                drop(guard);
+                total.set(total.get() + 1);
+            }
+        });
+    }
+    sim.run_until(end);
+    let result = CounterResult {
+        total_increments: total.get(),
+        window_ps: end.0,
+    };
+    sim.shutdown();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn octo() -> Machine {
+        Machine::octo_socket()
+    }
+
+    #[test]
+    fn table1_per_core_is_orders_faster_than_single() {
+        let m = octo();
+        let single = run_counters(&m, CounterSetup::Single, 80, ThreadPlacement::Grouped, 1, 1);
+        let per_core =
+            run_counters(&m, CounterSetup::PerCore, 80, ThreadPlacement::Grouped, 1, 1);
+        // Paper: 18.4 vs 9527.8 M/s — a ~500x gap.
+        assert!(
+            per_core.mops() > single.mops() * 100.0,
+            "per-core {:.0} vs single {:.0}",
+            per_core.mops(),
+            single.mops()
+        );
+    }
+
+    #[test]
+    fn table1_absolute_rates_are_close() {
+        let m = octo();
+        let single = run_counters(&m, CounterSetup::Single, 80, ThreadPlacement::Spread, 2, 1);
+        assert!(
+            (single.mops() - 18.4).abs() / 18.4 < 0.35,
+            "single counter: {:.1} M/s (paper 18.4)",
+            single.mops()
+        );
+        let per_core =
+            run_counters(&m, CounterSetup::PerCore, 80, ThreadPlacement::Grouped, 1, 1);
+        assert!(
+            (per_core.mops() - 9527.8).abs() / 9527.8 < 0.2,
+            "per-core: {:.0} M/s (paper 9527.8)",
+            per_core.mops()
+        );
+    }
+
+    #[test]
+    fn figure2_grouped_beats_spread_and_os() {
+        let m = octo();
+        let grouped = run_counters(
+            &m,
+            CounterSetup::PerSocket,
+            80,
+            ThreadPlacement::Grouped,
+            1,
+            1,
+        );
+        let spread =
+            run_counters(&m, CounterSetup::PerSocket, 80, ThreadPlacement::Spread, 1, 1);
+        let os = run_counters(
+            &m,
+            CounterSetup::PerSocket,
+            80,
+            ThreadPlacement::OsDefault,
+            1,
+            1,
+        );
+        assert!(
+            grouped.mops() > spread.mops() * 1.5,
+            "grouped {:.0} vs spread {:.0}",
+            grouped.mops(),
+            spread.mops()
+        );
+        assert!(
+            grouped.mops() > os.mops(),
+            "grouped {:.0} vs OS {:.0}",
+            grouped.mops(),
+            os.mops()
+        );
+        assert!(
+            os.mops() > spread.mops() * 0.8,
+            "OS should sit between: {:.0} vs spread {:.0}",
+            os.mops(),
+            spread.mops()
+        );
+    }
+}

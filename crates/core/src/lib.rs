@@ -1,0 +1,37 @@
+//! OLTP deployments on hardware islands — the paper's primary contribution.
+//!
+//! This crate assembles the substrates (`islands-storage`, `islands-sim`,
+//! `islands-memsim`, `islands-net`, `islands-dtxn`) into deployable OLTP
+//! clusters:
+//!
+//! * [`plan`] — transaction plans: the operations a transaction performs,
+//!   produced from the microbenchmark and TPC-C request generators.
+//! * [`partition`] — logical sites, range partitioning, and the
+//!   site → instance mapping for any `NISL` configuration.
+//! * [`native`] — a real multi-threaded cluster: `N` storage instances,
+//!   worker threads, channel transport, and two-phase commit. This is the
+//!   embeddable library a downstream user runs.
+//! * [`simrt`] — the same execution logic on the deterministic simulator
+//!   with the calibrated NUMA cost model: every figure of the paper is
+//!   regenerated through this runtime.
+//! * [`counterbench`] — the lock-protected counter microbenchmark of
+//!   Figure 2 / Table 1.
+//! * [`metrics`] — throughput, per-transaction cost, and the five-way time
+//!   breakdown of Figure 11 (execution, locking, logging, communication,
+//!   transaction management).
+//! * [`advisor`] — the island advisor (the paper's future work, Section 8):
+//!   pick an island size for a machine and workload by simulating candidate
+//!   configurations.
+
+pub mod advisor;
+pub mod counterbench;
+pub mod metrics;
+pub mod native;
+pub mod partition;
+pub mod plan;
+pub mod simrt;
+
+pub use advisor::{recommend, Recommendation};
+pub use metrics::{Breakdown, BreakdownCategory, RunResult};
+pub use partition::{instance_of_site, SiteMap};
+pub use plan::{OpType, PlanOp, TxnPlan};

@@ -1,0 +1,176 @@
+//! Experiment metrics: throughput, per-transaction cost, time breakdown.
+
+use std::cell::Cell;
+
+/// The five cost categories of the paper's Figure 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakdownCategory {
+    /// Row access work: index probes, reads, writes.
+    XctExecution,
+    /// Lock manager work and lock waits.
+    Locking,
+    /// Log inserts and commit-durability waits.
+    Logging,
+    /// Message send/receive and in-flight time.
+    Communication,
+    /// Begin/finish bookkeeping, 2PC state machines, dispatch.
+    XctManagement,
+}
+
+impl BreakdownCategory {
+    pub const ALL: [BreakdownCategory; 5] = [
+        BreakdownCategory::XctExecution,
+        BreakdownCategory::Locking,
+        BreakdownCategory::Logging,
+        BreakdownCategory::Communication,
+        BreakdownCategory::XctManagement,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakdownCategory::XctExecution => "xct execution",
+            BreakdownCategory::Locking => "locking",
+            BreakdownCategory::Logging => "logging",
+            BreakdownCategory::Communication => "communication",
+            BreakdownCategory::XctManagement => "xct management",
+        }
+    }
+}
+
+/// Accumulated picoseconds per category.
+#[derive(Debug, Default, Clone)]
+pub struct Breakdown {
+    pub execution_ps: Cell<u64>,
+    pub locking_ps: Cell<u64>,
+    pub logging_ps: Cell<u64>,
+    pub communication_ps: Cell<u64>,
+    pub management_ps: Cell<u64>,
+}
+
+impl Breakdown {
+    pub fn add(&self, cat: BreakdownCategory, ps: u64) {
+        let cell = match cat {
+            BreakdownCategory::XctExecution => &self.execution_ps,
+            BreakdownCategory::Locking => &self.locking_ps,
+            BreakdownCategory::Logging => &self.logging_ps,
+            BreakdownCategory::Communication => &self.communication_ps,
+            BreakdownCategory::XctManagement => &self.management_ps,
+        };
+        cell.set(cell.get() + ps);
+    }
+
+    pub fn get(&self, cat: BreakdownCategory) -> u64 {
+        match cat {
+            BreakdownCategory::XctExecution => self.execution_ps.get(),
+            BreakdownCategory::Locking => self.locking_ps.get(),
+            BreakdownCategory::Logging => self.logging_ps.get(),
+            BreakdownCategory::Communication => self.communication_ps.get(),
+            BreakdownCategory::XctManagement => self.management_ps.get(),
+        }
+    }
+
+    pub fn total_ps(&self) -> u64 {
+        BreakdownCategory::ALL.iter().map(|&c| self.get(c)).sum()
+    }
+
+    /// Per-transaction microseconds for each category.
+    pub fn per_txn_us(&self, txns: u64) -> Vec<(BreakdownCategory, f64)> {
+        let n = txns.max(1) as f64;
+        BreakdownCategory::ALL
+            .iter()
+            .map(|&c| (c, self.get(c) as f64 / n / 1e6))
+            .collect()
+    }
+}
+
+/// Result of one measured run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub label: String,
+    /// Committed transactions inside the measurement window.
+    pub commits: u64,
+    /// Aborted transaction attempts (wait-die kills, etc.).
+    pub aborts: u64,
+    /// Measurement window, picoseconds of virtual (or wall) time.
+    pub window_ps: u64,
+    pub breakdown: Breakdown,
+    /// Committed distributed transactions.
+    pub distributed: u64,
+    /// IPC and perf-counter extras, where the runtime provides them.
+    pub qpi_imc_ratio: f64,
+    pub ipc: f64,
+    pub stalled_frac: f64,
+    pub sibling_share_frac: f64,
+}
+
+impl RunResult {
+    /// Transactions per second.
+    pub fn tps(&self) -> f64 {
+        if self.window_ps == 0 {
+            return 0.0;
+        }
+        self.commits as f64 / (self.window_ps as f64 / 1e12)
+    }
+
+    /// Thousands of transactions per second (the paper's KTps axes).
+    pub fn ktps(&self) -> f64 {
+        self.tps() / 1e3
+    }
+
+    /// Mean busy cost per committed transaction, microseconds.
+    pub fn cost_per_txn_us(&self) -> f64 {
+        if self.commits == 0 {
+            return 0.0;
+        }
+        self.breakdown.total_ps() as f64 / self.commits as f64 / 1e6
+    }
+
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates_and_reports() {
+        let b = Breakdown::default();
+        b.add(BreakdownCategory::Locking, 1_000_000);
+        b.add(BreakdownCategory::Locking, 500_000);
+        b.add(BreakdownCategory::Communication, 2_000_000);
+        assert_eq!(b.get(BreakdownCategory::Locking), 1_500_000);
+        assert_eq!(b.total_ps(), 3_500_000);
+        let per = b.per_txn_us(2);
+        let comm = per
+            .iter()
+            .find(|(c, _)| *c == BreakdownCategory::Communication)
+            .unwrap();
+        assert!((comm.1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tps_math() {
+        let r = RunResult {
+            label: "x".into(),
+            commits: 500,
+            aborts: 100,
+            window_ps: 1_000_000_000_000, // 1 s
+            breakdown: Breakdown::default(),
+            distributed: 0,
+            qpi_imc_ratio: 0.0,
+            ipc: 0.0,
+            stalled_frac: 0.0,
+            sibling_share_frac: 0.0,
+        };
+        assert!((r.tps() - 500.0).abs() < 1e-9);
+        assert!((r.ktps() - 0.5).abs() < 1e-9);
+        assert!((r.abort_rate() - 100.0 / 600.0).abs() < 1e-9);
+    }
+}

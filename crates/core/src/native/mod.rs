@@ -1,0 +1,435 @@
+//! Native deployment: real storage instances, real threads, real 2PC.
+//!
+//! This is the embeddable form of the paper's prototype: `N` independent
+//! [`StorageInstance`]s range-partition the data; local transactions run
+//! directly against their instance; multisite transactions run
+//! presumed-abort two-phase commit driven by the pure
+//! [`islands_dtxn::Coordinator`] state machine, with prepare/decision
+//! records forced to each instance's WAL.
+//!
+//! In-process deployments use direct calls as the transport (the paper's
+//! processes use Unix domain sockets; within one process the function call
+//! *is* the message). The protocol, logging, and locking are identical.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use islands_dtxn::{Action, Coordinator, Vote};
+use islands_storage::instance::PrepareVote;
+use islands_storage::store::MemStore;
+use islands_storage::wal::record::LogPayload;
+use islands_storage::wal::MemLogDevice;
+use islands_storage::{InstanceOptions, StorageError, StorageInstance, TxnId};
+
+use crate::partition::{instance_of_site, RangeSites, SiteMap};
+use crate::plan::{OpType, TxnPlan, MICRO_TABLE};
+
+/// Configuration for a native micro-benchmark cluster.
+#[derive(Debug, Clone)]
+pub struct NativeClusterConfig {
+    pub n_instances: usize,
+    pub total_rows: u64,
+    pub row_size: usize,
+    /// Workers that will run per instance; 1 enables the single-threaded
+    /// (no locking) optimization, as in the paper.
+    pub workers_per_instance: usize,
+    pub lock_timeout: Duration,
+    pub buffer_frames: usize,
+}
+
+impl Default for NativeClusterConfig {
+    fn default() -> Self {
+        NativeClusterConfig {
+            n_instances: 4,
+            total_rows: 40_000,
+            row_size: 64,
+            workers_per_instance: 2,
+            lock_timeout: Duration::from_millis(200),
+            buffer_frames: 4096,
+        }
+    }
+}
+
+/// The table name used by native micro clusters.
+pub const MICRO_TABLE_NAME: &str = "rows";
+
+/// A running shared-nothing deployment inside this process.
+pub struct NativeCluster {
+    instances: Vec<Arc<StorageInstance>>,
+    sites: RangeSites,
+    next_gtid: AtomicU64,
+}
+
+/// Outcome counters from [`NativeCluster::run_closed_loop`].
+#[derive(Debug, Clone, Copy)]
+pub struct NativeRunResult {
+    pub commits: u64,
+    pub aborts: u64,
+    pub distributed: u64,
+    pub elapsed: Duration,
+}
+
+impl NativeRunResult {
+    pub fn tps(&self) -> f64 {
+        self.commits as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+impl NativeCluster {
+    /// Build instances and load the microbenchmark table, range-partitioned.
+    pub fn build_micro(cfg: &NativeClusterConfig) -> Result<Self, StorageError> {
+        assert!(cfg.n_instances >= 1);
+        let mut instances = Vec::with_capacity(cfg.n_instances);
+        let rows_per = cfg.total_rows / cfg.n_instances as u64;
+        for i in 0..cfg.n_instances {
+            let inst = StorageInstance::create(
+                Arc::new(MemStore::new()),
+                MemLogDevice::new(),
+                InstanceOptions {
+                    buffer_frames: cfg.buffer_frames,
+                    single_threaded: cfg.workers_per_instance == 1,
+                    lock_timeout: cfg.lock_timeout,
+                    ..Default::default()
+                },
+            );
+            let table = inst.create_table(MICRO_TABLE_NAME, cfg.row_size)?;
+            let lo = i as u64 * rows_per;
+            let hi = if i + 1 == cfg.n_instances {
+                cfg.total_rows
+            } else {
+                lo + rows_per
+            };
+            let payload = vec![0u8; cfg.row_size];
+            for key in lo..hi {
+                inst.load_row(&table, key, &payload)?;
+            }
+            inst.checkpoint()?;
+            instances.push(inst);
+        }
+        Ok(NativeCluster {
+            instances,
+            sites: RangeSites {
+                total_rows: cfg.total_rows,
+                n_sites: cfg.n_instances,
+            },
+            next_gtid: AtomicU64::new(1),
+        })
+    }
+
+    pub fn n_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    pub fn instance(&self, i: usize) -> &Arc<StorageInstance> {
+        &self.instances[i]
+    }
+
+    fn instance_of(&self, table: u32, key: u64) -> usize {
+        debug_assert_eq!(table, MICRO_TABLE);
+        instance_of_site(
+            self.sites.site_of(table, key),
+            self.sites.n_sites,
+            self.instances.len(),
+        )
+    }
+
+    /// Execute one transaction plan to completion (commit) or error
+    /// (deadlock/timeout — caller retries). Returns whether it ran 2PC.
+    pub fn execute(&self, plan: &TxnPlan) -> Result<bool, StorageError> {
+        // Group ops by participant, preserving op order.
+        let mut order: Vec<usize> = Vec::new();
+        let mut by_inst: HashMap<usize, Vec<&crate::plan::PlanOp>> = HashMap::new();
+        for op in &plan.ops {
+            let inst = self.instance_of(op.table, op.key);
+            if !by_inst.contains_key(&inst) {
+                order.push(inst);
+            }
+            by_inst.entry(inst).or_default().push(op);
+        }
+
+        // Open a transaction at each participant and run its ops.
+        let mut handles: HashMap<usize, islands_storage::TxnHandle> = HashMap::new();
+        for &i in &order {
+            handles.insert(i, self.instances[i].begin());
+        }
+        let mut failed = None;
+        'outer: for &i in &order {
+            let txn = handles.get_mut(&i).expect("opened above");
+            for op in &by_inst[&i] {
+                let r = match op.op {
+                    OpType::Read => txn.read(MICRO_TABLE_NAME, op.key).map(|_| ()),
+                    OpType::Update => {
+                        let row = txn.read(MICRO_TABLE_NAME, op.key)?;
+                        let mut row = row.ok_or(StorageError::KeyNotFound(op.key))?;
+                        // Increment the first 8 bytes: an auditable update.
+                        let mut v = u64::from_le_bytes(row[..8].try_into().unwrap());
+                        v += 1;
+                        row[..8].copy_from_slice(&v.to_le_bytes());
+                        txn.update(MICRO_TABLE_NAME, op.key, &row)
+                    }
+                    OpType::Insert => {
+                        txn.insert(MICRO_TABLE_NAME, op.key, &vec![0u8; 0]).map(|_| ())
+                    }
+                };
+                if let Err(e) = r {
+                    failed = Some(e);
+                    break 'outer;
+                }
+            }
+        }
+        if let Some(e) = failed {
+            for (_, txn) in handles.drain() {
+                let _ = txn.abort();
+            }
+            return Err(e);
+        }
+
+        if order.len() == 1 {
+            let txn = handles.remove(&order[0]).unwrap();
+            txn.commit()?;
+            return Ok(false);
+        }
+
+        // Two-phase commit, coordinator at the home (first) instance.
+        let gtid = self.next_gtid.fetch_add(1, Ordering::Relaxed);
+        let home = order[0];
+        let (mut coord, prepares) = Coordinator::new(gtid, order.clone());
+        let mut actions = prepares;
+        let mut queue: Vec<Action> = Vec::new();
+        let mut prepared: HashMap<usize, islands_storage::TxnHandle> = HashMap::new();
+        loop {
+            for action in actions.drain(..) {
+                match action {
+                    Action::SendPrepare { to } => {
+                        let mut txn = handles.remove(&to).expect("participant handle");
+                        let vote = match txn.prepare(gtid) {
+                            Ok(PrepareVote::Yes) => {
+                                prepared.insert(to, txn);
+                                Vote::Yes
+                            }
+                            Ok(PrepareVote::ReadOnly) => Vote::ReadOnly,
+                            Err(_) => Vote::No,
+                        };
+                        queue.extend(coord.on_vote(to, vote));
+                    }
+                    Action::ForceCommitDecision { gtid } => {
+                        let wal = self.instances[home].wal();
+                        let lsn = wal.append(
+                            TxnId(gtid),
+                            &LogPayload::Decision { gtid, commit: true },
+                        );
+                        wal.commit_durable(lsn);
+                    }
+                    Action::SendDecision { to, commit } => {
+                        let txn = prepared.remove(&to).expect("prepared handle");
+                        txn.decide(commit)?;
+                        queue.extend(coord.on_ack(to));
+                    }
+                    Action::Finish { commit } => {
+                        // Any never-prepared leftovers (shouldn't exist).
+                        for (_, txn) in prepared.drain() {
+                            let _ = txn.decide(commit);
+                        }
+                        return if commit {
+                            Ok(true)
+                        } else {
+                            Err(StorageError::MustAbort(TxnId(gtid)))
+                        };
+                    }
+                }
+            }
+            if queue.is_empty() {
+                unreachable!("2PC stalled without Finish");
+            }
+            actions = std::mem::take(&mut queue);
+        }
+    }
+
+    /// Sum of the first-8-byte counters across all rows (audit invariant:
+    /// equals the number of committed row updates).
+    pub fn audit_sum(&self) -> Result<u64, StorageError> {
+        let mut sum = 0u64;
+        for inst in &self.instances {
+            let table = inst.table(MICRO_TABLE_NAME)?;
+            for (_, payload) in table.range(0, u64::MAX)? {
+                sum += u64::from_le_bytes(payload[..8].try_into().unwrap());
+            }
+        }
+        Ok(sum)
+    }
+
+    /// Closed-loop run: `threads` workers execute plans from `gen` until
+    /// `duration` elapses. Deadlock/timeout victims retry.
+    pub fn run_closed_loop<F>(
+        self: &Arc<Self>,
+        threads: usize,
+        duration: Duration,
+        gen: F,
+    ) -> NativeRunResult
+    where
+        F: Fn(usize, u64) -> TxnPlan + Send + Sync + 'static,
+    {
+        let gen = Arc::new(gen);
+        let stop = Arc::new(AtomicBool::new(false));
+        let commits = Arc::new(AtomicU64::new(0));
+        let aborts = Arc::new(AtomicU64::new(0));
+        let distributed = Arc::new(AtomicU64::new(0));
+        let start = Instant::now();
+        let mut workers = Vec::new();
+        for t in 0..threads {
+            let cluster = Arc::clone(self);
+            let gen = Arc::clone(&gen);
+            let stop = Arc::clone(&stop);
+            let commits = Arc::clone(&commits);
+            let aborts = Arc::clone(&aborts);
+            let distributed = Arc::clone(&distributed);
+            workers.push(std::thread::spawn(move || {
+                let mut seq = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let plan = gen(t, seq);
+                    seq += 1;
+                    loop {
+                        match cluster.execute(&plan) {
+                            Ok(was_distributed) => {
+                                commits.fetch_add(1, Ordering::Relaxed);
+                                if was_distributed {
+                                    distributed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                break;
+                            }
+                            Err(StorageError::Deadlock(_))
+                            | Err(StorageError::LockTimeout(_))
+                            | Err(StorageError::MustAbort(_)) => {
+                                aborts.fetch_add(1, Ordering::Relaxed);
+                                if stop.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                            Err(e) => panic!("unexpected engine error: {e}"),
+                        }
+                    }
+                }
+            }));
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            w.join().unwrap();
+        }
+        NativeRunResult {
+            commits: commits.load(Ordering::Relaxed),
+            aborts: aborts.load(Ordering::Relaxed),
+            distributed: distributed.load(Ordering::Relaxed),
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanOp;
+
+    fn plan(keys: &[u64], op: OpType) -> TxnPlan {
+        TxnPlan {
+            ops: keys
+                .iter()
+                .map(|&key| PlanOp {
+                    table: MICRO_TABLE,
+                    key,
+                    op,
+                })
+                .collect(),
+        }
+    }
+
+    fn small() -> NativeClusterConfig {
+        NativeClusterConfig {
+            n_instances: 4,
+            total_rows: 400,
+            row_size: 16,
+            workers_per_instance: 2,
+            buffer_frames: 512,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn local_reads_and_updates() {
+        let c = NativeCluster::build_micro(&small()).unwrap();
+        // Keys 0..100 live in instance 0.
+        assert!(!c.execute(&plan(&[1, 2, 3], OpType::Read)).unwrap());
+        assert!(!c.execute(&plan(&[5, 6], OpType::Update)).unwrap());
+        assert_eq!(c.audit_sum().unwrap(), 2);
+    }
+
+    #[test]
+    fn distributed_update_commits_atomically() {
+        let c = NativeCluster::build_micro(&small()).unwrap();
+        // Keys in instances 0, 1, 3.
+        let was_2pc = c.execute(&plan(&[10, 150, 390], OpType::Update)).unwrap();
+        assert!(was_2pc);
+        assert_eq!(c.audit_sum().unwrap(), 3);
+    }
+
+    #[test]
+    fn distributed_read_uses_read_only_optimization() {
+        let c = NativeCluster::build_micro(&small()).unwrap();
+        let was_2pc = c.execute(&plan(&[10, 150], OpType::Read)).unwrap();
+        assert!(was_2pc);
+        assert_eq!(c.audit_sum().unwrap(), 0);
+    }
+
+    #[test]
+    fn closed_loop_conserves_updates() {
+        let cfg = small();
+        let total_rows = cfg.total_rows;
+        let c = Arc::new(NativeCluster::build_micro(&cfg).unwrap());
+        let r = c.run_closed_loop(4, Duration::from_millis(300), move |t, seq| {
+            // Mix of local and cross-instance updates.
+            let a = (t as u64 * 131 + seq * 7) % total_rows;
+            let b = (a + if seq % 3 == 0 { 137 } else { 1 }) % total_rows;
+            TxnPlan {
+                ops: vec![
+                    PlanOp {
+                        table: MICRO_TABLE,
+                        key: a,
+                        op: OpType::Update,
+                    },
+                    PlanOp {
+                        table: MICRO_TABLE,
+                        key: b,
+                        op: OpType::Update,
+                    },
+                ],
+            }
+        });
+        assert!(r.commits > 0);
+        assert!(r.distributed > 0, "some transactions must cross instances");
+        assert_eq!(
+            c.audit_sum().unwrap(),
+            r.commits * 2,
+            "every committed txn applied exactly 2 updates (commits={}, aborts={})",
+            r.commits,
+            r.aborts
+        );
+    }
+
+    #[test]
+    fn shared_everything_single_instance_works() {
+        let c = NativeCluster::build_micro(&NativeClusterConfig {
+            n_instances: 1,
+            total_rows: 100,
+            row_size: 16,
+            workers_per_instance: 4,
+            buffer_frames: 256,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(!c.execute(&plan(&[5, 95], OpType::Update)).unwrap());
+        assert_eq!(c.audit_sum().unwrap(), 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Transaction plans: what a transaction does, independent of where it runs.
+
+use islands_workload::tpcc::{self, Payment};
+use islands_workload::{OpKind, TxnRequest};
+
+/// One row operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpType {
+    Read,
+    Update,
+    Insert,
+}
+
+/// One operation against `(table, key)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOp {
+    pub table: u32,
+    pub key: u64,
+    pub op: OpType,
+}
+
+/// A transaction: an ordered list of row operations. The home site is the
+/// site owning `ops[0]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnPlan {
+    pub ops: Vec<PlanOp>,
+}
+
+impl TxnPlan {
+    pub fn is_read_only(&self) -> bool {
+        self.ops.iter().all(|o| o.op == OpType::Read)
+    }
+
+    pub fn writes(&self) -> usize {
+        self.ops.iter().filter(|o| o.op != OpType::Read).count()
+    }
+}
+
+/// Table ids used by plans built from the microbenchmark.
+pub const MICRO_TABLE: u32 = 0;
+
+/// Table ids for TPC-C-lite plans.
+pub const TPCC_WAREHOUSE: u32 = 1;
+pub const TPCC_DISTRICT: u32 = 2;
+pub const TPCC_CUSTOMER: u32 = 3;
+pub const TPCC_HISTORY: u32 = 4;
+
+/// Convert a microbenchmark request into a plan over [`MICRO_TABLE`].
+pub fn plan_micro(req: &TxnRequest) -> TxnPlan {
+    let op = match req.kind {
+        OpKind::Read => OpType::Read,
+        OpKind::Update => OpType::Update,
+    };
+    TxnPlan {
+        ops: req
+            .keys
+            .iter()
+            .map(|&key| PlanOp {
+                table: MICRO_TABLE,
+                key,
+                op,
+            })
+            .collect(),
+    }
+}
+
+/// Convert a Payment into a plan. `history_key` must be unique per
+/// transaction (the caller keeps a per-site counter).
+pub fn plan_payment(p: &Payment, history_key: u64) -> TxnPlan {
+    TxnPlan {
+        ops: vec![
+            PlanOp {
+                table: TPCC_WAREHOUSE,
+                key: p.w_id,
+                op: OpType::Update,
+            },
+            PlanOp {
+                table: TPCC_DISTRICT,
+                key: tpcc::district_key(p.w_id, p.d_id),
+                op: OpType::Update,
+            },
+            PlanOp {
+                table: TPCC_CUSTOMER,
+                key: tpcc::customer_key(p.c_w_id, p.c_d_id, p.c_id),
+                op: OpType::Update,
+            },
+            PlanOp {
+                table: TPCC_HISTORY,
+                key: history_key,
+                op: OpType::Insert,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_plan_maps_kinds() {
+        let req = TxnRequest {
+            kind: OpKind::Update,
+            keys: vec![4, 9],
+            multisite: false,
+        };
+        let plan = plan_micro(&req);
+        assert_eq!(plan.ops.len(), 2);
+        assert!(plan.ops.iter().all(|o| o.op == OpType::Update));
+        assert!(!plan.is_read_only());
+        assert_eq!(plan.writes(), 2);
+    }
+
+    #[test]
+    fn payment_plan_touches_four_tables() {
+        let p = Payment {
+            w_id: 2,
+            d_id: 3,
+            c_w_id: 5,
+            c_d_id: 1,
+            c_id: 77,
+            amount: 10,
+        };
+        let plan = plan_payment(&p, 999);
+        assert_eq!(plan.ops.len(), 4);
+        assert_eq!(plan.ops[0].table, TPCC_WAREHOUSE);
+        assert_eq!(plan.ops[2].key, tpcc::customer_key(5, 1, 77));
+        assert_eq!(plan.ops[3].op, OpType::Insert);
+        assert_eq!(plan.writes(), 4);
+    }
+}

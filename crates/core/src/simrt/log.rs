@@ -1,0 +1,147 @@
+//! Per-instance simulated log with group commit.
+//!
+//! Same batching policy as the native `islands-storage` log manager (flush
+//! when the group window elapses with pending bytes), but byte-counted
+//! rather than byte-copied: the simulator needs durability *timing*, not
+//! the record payloads themselves.
+
+use std::cell::Cell;
+
+use islands_sim::disk::Disk;
+use islands_sim::sync::Notify;
+use islands_sim::Sim;
+
+/// Simulated WAL tail for one instance.
+pub struct SimLog {
+    end_lsn: Cell<u64>,
+    durable_lsn: Cell<u64>,
+    batch_base: Cell<u64>,
+    pub flush_wakeup: Notify,
+    pub durable_wakeup: Notify,
+    flushes: Cell<u64>,
+}
+
+impl SimLog {
+    pub fn new() -> Self {
+        SimLog {
+            end_lsn: Cell::new(0),
+            durable_lsn: Cell::new(0),
+            batch_base: Cell::new(0),
+            flush_wakeup: Notify::new(),
+            durable_wakeup: Notify::new(),
+            flushes: Cell::new(0),
+        }
+    }
+
+    /// Append `bytes` of log; returns the LSN that must become durable.
+    pub fn append(&self, bytes: u64) -> u64 {
+        let lsn = self.end_lsn.get() + bytes;
+        self.end_lsn.set(lsn);
+        self.flush_wakeup.notify_all();
+        lsn
+    }
+
+    pub fn is_durable(&self, lsn: u64) -> bool {
+        self.durable_lsn.get() >= lsn
+    }
+
+    pub fn pending_bytes(&self) -> u64 {
+        self.end_lsn.get() - self.batch_base.get()
+    }
+
+    pub fn flushes(&self) -> u64 {
+        self.flushes.get()
+    }
+
+    /// Wait until `lsn` is durable.
+    pub async fn commit_durable(&self, lsn: u64) {
+        while !self.is_durable(lsn) {
+            self.durable_wakeup.notified().await;
+        }
+    }
+
+    /// The flusher loop: batch within `group_window_ps`, write to `disk`,
+    /// advance durability. Runs until the simulation is dropped.
+    pub async fn flusher(&self, sim: Sim, disk: Disk, group_window_ps: u64) {
+        loop {
+            while self.pending_bytes() == 0 {
+                self.flush_wakeup.notified().await;
+            }
+            // Group-commit window: absorb committers arriving right behind.
+            sim.sleep(group_window_ps).await;
+            let upto = self.end_lsn.get();
+            let bytes = upto - self.batch_base.get();
+            self.batch_base.set(upto);
+            disk.access(bytes).await;
+            self.durable_lsn.set(upto);
+            self.flushes.set(self.flushes.get() + 1);
+            self.durable_wakeup.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islands_sim::disk::DiskParams;
+    use std::rc::Rc;
+
+    #[test]
+    fn group_commit_batches_and_wakes() {
+        let sim = Sim::new();
+        let log = Rc::new(SimLog::new());
+        let disk = Disk::new(
+            &sim,
+            DiskParams {
+                access_ps: 1_000_000,
+                per_byte_ps: 0,
+            },
+        );
+        {
+            let log = Rc::clone(&log);
+            let s = sim.clone();
+            let d = disk.clone();
+            sim.spawn(async move { log.flusher(s, d, 100_000).await });
+        }
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let log = Rc::clone(&log);
+            let s = sim.clone();
+            handles.push(sim.spawn(async move {
+                s.sleep(i * 10_000).await; // commits arrive within 80 ns..
+                let lsn = log.append(100);
+                log.commit_durable(lsn).await;
+                s.now().as_ps()
+            }));
+        }
+        sim.run_until(islands_sim::SimTime(50_000_000));
+        for h in &handles {
+            assert!(h.is_finished(), "committer stuck");
+        }
+        // All 8 commits were absorbed by very few flushes.
+        assert!(log.flushes() <= 2, "flushes: {}", log.flushes());
+    }
+
+    #[test]
+    fn durability_is_monotone() {
+        let sim = Sim::new();
+        let log = Rc::new(SimLog::new());
+        let disk = Disk::new(&sim, DiskParams { access_ps: 10, per_byte_ps: 1 });
+        {
+            let log = Rc::clone(&log);
+            let s = sim.clone();
+            sim.spawn(async move { log.flusher(s, disk, 10).await });
+        }
+        let l1 = log.append(50);
+        let l2 = log.append(50);
+        assert!(l2 > l1);
+        let log2 = Rc::clone(&log);
+        let h = sim.spawn(async move {
+            log2.commit_durable(l2).await;
+            true
+        });
+        sim.run_until(islands_sim::SimTime(1_000_000));
+        assert_eq!(h.try_take(), Some(true));
+        assert!(log.is_durable(l1));
+    }
+}

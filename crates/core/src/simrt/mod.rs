@@ -1,0 +1,8 @@
+//! Simulated runtime: the paper's deployments under the virtual clock.
+
+pub mod cluster;
+pub mod costs;
+pub mod log;
+
+pub use cluster::{run, run_with_audit, with_mechanism, Audit, SimClusterConfig, SimWorkload};
+pub use costs::CostParams;

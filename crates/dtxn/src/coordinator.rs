@@ -1,0 +1,255 @@
+//! Coordinator state machine (presumed abort).
+
+use crate::{Gtid, Vote};
+
+/// Instructions the driver must carry out, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Send a prepare request to participant `to`.
+    SendPrepare { to: usize },
+    /// Force a commit decision record to the coordinator's log **before**
+    /// any decision message leaves (presumed abort forces commits only).
+    ForceCommitDecision { gtid: Gtid },
+    /// Send the decision to participant `to`.
+    SendDecision { to: usize, commit: bool },
+    /// The global transaction is finished with this outcome.
+    Finish { commit: bool },
+}
+
+/// Coordinator phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordinatorState {
+    /// Prepares sent, collecting votes.
+    WaitVotes,
+    /// Decision sent to Yes-voters, collecting acks.
+    WaitAcks { commit: bool },
+    /// Done.
+    Finished { commit: bool },
+}
+
+/// One global transaction's coordinator.
+#[derive(Debug)]
+pub struct Coordinator {
+    gtid: Gtid,
+    participants: Vec<usize>,
+    state: CoordinatorState,
+    votes: Vec<Option<Vote>>,
+    acks_pending: Vec<usize>,
+}
+
+impl Coordinator {
+    /// Start 2PC across `participants` (driver indices). Returns the
+    /// coordinator and the prepare fan-out.
+    pub fn new(gtid: Gtid, participants: Vec<usize>) -> (Self, Vec<Action>) {
+        assert!(!participants.is_empty(), "2PC needs participants");
+        let actions = participants
+            .iter()
+            .map(|&to| Action::SendPrepare { to })
+            .collect();
+        let n = participants.len();
+        (
+            Coordinator {
+                gtid,
+                participants,
+                state: CoordinatorState::WaitVotes,
+                votes: vec![None; n],
+                acks_pending: Vec::new(),
+            },
+            actions,
+        )
+    }
+
+    pub fn gtid(&self) -> Gtid {
+        self.gtid
+    }
+
+    pub fn state(&self) -> CoordinatorState {
+        self.state
+    }
+
+    fn index_of(&self, from: usize) -> usize {
+        self.participants
+            .iter()
+            .position(|&p| p == from)
+            .unwrap_or_else(|| panic!("vote from non-participant {from}"))
+    }
+
+    /// Feed a vote; returns follow-up actions.
+    pub fn on_vote(&mut self, from: usize, vote: Vote) -> Vec<Action> {
+        assert_eq!(
+            self.state,
+            CoordinatorState::WaitVotes,
+            "vote after decision"
+        );
+        let idx = self.index_of(from);
+        assert!(self.votes[idx].is_none(), "duplicate vote from {from}");
+        self.votes[idx] = Some(vote);
+
+        // Early abort on a No vote: every Yes-voter so far (and later ones,
+        // but later votes can't arrive once we've decided — driver stops
+        // routing) gets an abort; presumed abort needs no force.
+        if vote == Vote::No {
+            let decided: Vec<usize> = self
+                .participants
+                .iter()
+                .zip(&self.votes)
+                .filter(|(_, v)| **v == Some(Vote::Yes))
+                .map(|(&p, _)| p)
+                .collect();
+            self.acks_pending = decided.clone();
+            let mut actions: Vec<Action> = decided
+                .into_iter()
+                .map(|to| Action::SendDecision { to, commit: false })
+                .collect();
+            if self.acks_pending.is_empty() {
+                self.state = CoordinatorState::Finished { commit: false };
+                actions.push(Action::Finish { commit: false });
+            } else {
+                self.state = CoordinatorState::WaitAcks { commit: false };
+            }
+            return actions;
+        }
+
+        if self.votes.iter().any(|v| v.is_none()) {
+            return Vec::new(); // still collecting
+        }
+
+        // All voted, none No: commit. Yes-voters get phase 2; pure
+        // read-only transactions skip the decision force entirely.
+        let yes_voters: Vec<usize> = self
+            .participants
+            .iter()
+            .zip(&self.votes)
+            .filter(|(_, v)| **v == Some(Vote::Yes))
+            .map(|(&p, _)| p)
+            .collect();
+        if yes_voters.is_empty() {
+            self.state = CoordinatorState::Finished { commit: true };
+            return vec![Action::Finish { commit: true }];
+        }
+        self.acks_pending = yes_voters.clone();
+        self.state = CoordinatorState::WaitAcks { commit: true };
+        let mut actions = vec![Action::ForceCommitDecision { gtid: self.gtid }];
+        actions.extend(
+            yes_voters
+                .into_iter()
+                .map(|to| Action::SendDecision { to, commit: true }),
+        );
+        actions
+    }
+
+    /// Feed a phase-2 ack.
+    pub fn on_ack(&mut self, from: usize) -> Vec<Action> {
+        let commit = match self.state {
+            CoordinatorState::WaitAcks { commit } => commit,
+            s => panic!("ack in state {s:?}"),
+        };
+        let pos = self
+            .acks_pending
+            .iter()
+            .position(|&p| p == from)
+            .unwrap_or_else(|| panic!("unexpected ack from {from}"));
+        self.acks_pending.swap_remove(pos);
+        if self.acks_pending.is_empty() {
+            self.state = CoordinatorState::Finished { commit };
+            vec![Action::Finish { commit }]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_yes_commits_with_forced_decision() {
+        let (mut c, prep) = Coordinator::new(9, vec![1, 2, 3]);
+        assert_eq!(prep.len(), 3);
+        assert!(c.on_vote(1, Vote::Yes).is_empty());
+        assert!(c.on_vote(2, Vote::Yes).is_empty());
+        let actions = c.on_vote(3, Vote::Yes);
+        assert_eq!(actions[0], Action::ForceCommitDecision { gtid: 9 });
+        let sends: Vec<_> = actions[1..].to_vec();
+        assert_eq!(sends.len(), 3);
+        assert!(sends
+            .iter()
+            .all(|a| matches!(a, Action::SendDecision { commit: true, .. })));
+        // Acks finish it.
+        assert!(c.on_ack(1).is_empty());
+        assert!(c.on_ack(2).is_empty());
+        assert_eq!(c.on_ack(3), vec![Action::Finish { commit: true }]);
+        assert_eq!(c.state(), CoordinatorState::Finished { commit: true });
+    }
+
+    #[test]
+    fn single_no_aborts_without_force() {
+        let (mut c, _) = Coordinator::new(5, vec![1, 2]);
+        assert!(c.on_vote(1, Vote::Yes).is_empty());
+        let actions = c.on_vote(2, Vote::No);
+        // No ForceCommitDecision anywhere (presumed abort).
+        assert!(actions
+            .iter()
+            .all(|a| !matches!(a, Action::ForceCommitDecision { .. })));
+        assert_eq!(
+            actions[0],
+            Action::SendDecision {
+                to: 1,
+                commit: false
+            }
+        );
+        assert_eq!(c.on_ack(1), vec![Action::Finish { commit: false }]);
+    }
+
+    #[test]
+    fn no_vote_with_no_yes_voters_finishes_immediately() {
+        let (mut c, _) = Coordinator::new(5, vec![1]);
+        let actions = c.on_vote(1, Vote::No);
+        assert_eq!(actions, vec![Action::Finish { commit: false }]);
+    }
+
+    #[test]
+    fn all_read_only_skips_phase_two_entirely() {
+        let (mut c, _) = Coordinator::new(5, vec![1, 2]);
+        assert!(c.on_vote(1, Vote::ReadOnly).is_empty());
+        let actions = c.on_vote(2, Vote::ReadOnly);
+        assert_eq!(actions, vec![Action::Finish { commit: true }]);
+        assert_eq!(c.state(), CoordinatorState::Finished { commit: true });
+    }
+
+    #[test]
+    fn mixed_read_only_and_yes_sends_decision_to_yes_only() {
+        let (mut c, _) = Coordinator::new(5, vec![1, 2, 3]);
+        assert!(c.on_vote(1, Vote::ReadOnly).is_empty());
+        assert!(c.on_vote(3, Vote::Yes).is_empty());
+        let actions = c.on_vote(2, Vote::ReadOnly);
+        let sends: Vec<&Action> = actions
+            .iter()
+            .filter(|a| matches!(a, Action::SendDecision { .. }))
+            .collect();
+        assert_eq!(
+            sends,
+            vec![&Action::SendDecision {
+                to: 3,
+                commit: true
+            }]
+        );
+        assert_eq!(c.on_ack(3), vec![Action::Finish { commit: true }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vote")]
+    fn duplicate_vote_is_a_protocol_violation() {
+        let (mut c, _) = Coordinator::new(5, vec![1, 2]);
+        c.on_vote(1, Vote::Yes);
+        c.on_vote(1, Vote::Yes);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-participant")]
+    fn vote_from_stranger_panics() {
+        let (mut c, _) = Coordinator::new(5, vec![1, 2]);
+        c.on_vote(9, Vote::Yes);
+    }
+}

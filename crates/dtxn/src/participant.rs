@@ -1,0 +1,169 @@
+//! Participant state machine (presumed abort, read-only optimization).
+//!
+//! The storage-level work (forcing the prepare record, applying the
+//! decision) belongs to the driver; this machine enforces protocol order
+//! and tells the driver what is required next.
+
+use crate::{Gtid, Vote};
+
+/// Participant phases for one global transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParticipantState {
+    /// Executing the coordinator's operations; no prepare seen yet.
+    Working,
+    /// Voted Yes and forced prepare; bound by the coordinator's decision.
+    Prepared,
+    /// Finished (committed, aborted, or released read-only).
+    Finished,
+}
+
+/// What the driver must do after feeding an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParticipantEvent {
+    /// Force a prepare record, then send the vote.
+    ForcePrepareAndVote { gtid: Gtid, vote: Vote },
+    /// Send the vote without forcing (No and ReadOnly votes).
+    SendVote { gtid: Gtid, vote: Vote },
+    /// Apply the decision locally (commit/abort + force), then ack.
+    ApplyDecisionAndAck { gtid: Gtid, commit: bool },
+    /// Released without phase 2 (read-only path).
+    Released,
+}
+
+/// One global transaction's participant.
+#[derive(Debug)]
+pub struct Participant {
+    gtid: Gtid,
+    state: ParticipantState,
+}
+
+impl Participant {
+    pub fn new(gtid: Gtid) -> Self {
+        Participant {
+            gtid,
+            state: ParticipantState::Working,
+        }
+    }
+
+    pub fn state(&self) -> ParticipantState {
+        self.state
+    }
+
+    /// Coordinator asked us to prepare. `wrote` is whether the local
+    /// transaction performed writes; `can_commit` is whether local
+    /// validation passed.
+    pub fn on_prepare(&mut self, wrote: bool, can_commit: bool) -> ParticipantEvent {
+        assert_eq!(self.state, ParticipantState::Working, "double prepare");
+        if !can_commit {
+            self.state = ParticipantState::Finished;
+            return ParticipantEvent::SendVote {
+                gtid: self.gtid,
+                vote: Vote::No,
+            };
+        }
+        if !wrote {
+            // Read-only optimization: vote and release; no phase 2.
+            self.state = ParticipantState::Finished;
+            return ParticipantEvent::SendVote {
+                gtid: self.gtid,
+                vote: Vote::ReadOnly,
+            };
+        }
+        self.state = ParticipantState::Prepared;
+        ParticipantEvent::ForcePrepareAndVote {
+            gtid: self.gtid,
+            vote: Vote::Yes,
+        }
+    }
+
+    /// Coordinator's phase-2 decision arrived.
+    pub fn on_decision(&mut self, commit: bool) -> ParticipantEvent {
+        assert_eq!(
+            self.state,
+            ParticipantState::Prepared,
+            "decision without prepare"
+        );
+        self.state = ParticipantState::Finished;
+        ParticipantEvent::ApplyDecisionAndAck {
+            gtid: self.gtid,
+            commit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_prepares_then_obeys_commit() {
+        let mut p = Participant::new(7);
+        let ev = p.on_prepare(true, true);
+        assert_eq!(
+            ev,
+            ParticipantEvent::ForcePrepareAndVote {
+                gtid: 7,
+                vote: Vote::Yes
+            }
+        );
+        assert_eq!(p.state(), ParticipantState::Prepared);
+        let ev = p.on_decision(true);
+        assert_eq!(
+            ev,
+            ParticipantEvent::ApplyDecisionAndAck {
+                gtid: 7,
+                commit: true
+            }
+        );
+        assert_eq!(p.state(), ParticipantState::Finished);
+    }
+
+    #[test]
+    fn writer_obeys_abort() {
+        let mut p = Participant::new(7);
+        p.on_prepare(true, true);
+        let ev = p.on_decision(false);
+        assert_eq!(
+            ev,
+            ParticipantEvent::ApplyDecisionAndAck {
+                gtid: 7,
+                commit: false
+            }
+        );
+    }
+
+    #[test]
+    fn reader_votes_read_only_and_is_done() {
+        let mut p = Participant::new(7);
+        let ev = p.on_prepare(false, true);
+        assert_eq!(
+            ev,
+            ParticipantEvent::SendVote {
+                gtid: 7,
+                vote: Vote::ReadOnly
+            }
+        );
+        assert_eq!(p.state(), ParticipantState::Finished);
+    }
+
+    #[test]
+    fn failed_validation_votes_no_without_force() {
+        let mut p = Participant::new(7);
+        let ev = p.on_prepare(true, false);
+        assert_eq!(
+            ev,
+            ParticipantEvent::SendVote {
+                gtid: 7,
+                vote: Vote::No
+            }
+        );
+        assert_eq!(p.state(), ParticipantState::Finished);
+    }
+
+    #[test]
+    #[should_panic(expected = "decision without prepare")]
+    fn decision_before_prepare_panics() {
+        let mut p = Participant::new(7);
+        p.on_decision(true);
+    }
+}

@@ -1,0 +1,132 @@
+//! Enumeration of shared-nothing configurations ("NISL") for a machine.
+//!
+//! The paper labels configurations `NISL` where `N` is the number of
+//! database instances; e.g. on the 24-core quad-socket machine, `24ISL` is
+//! the fine-grained extreme (one single-threaded instance per core), `4ISL`
+//! puts one instance per socket, and `1ISL` is shared-everything.
+
+use crate::placement::{place_instances, InstancePlacement};
+use crate::{CoreId, Machine};
+
+pub use crate::placement::IslandOrSpread as PlacementStyle;
+
+/// One shared-nothing configuration of a machine.
+#[derive(Debug, Clone)]
+pub struct NislConfig {
+    pub n_instances: usize,
+    pub workers_per_instance: usize,
+    pub style: PlacementStyle,
+    pub placements: Vec<InstancePlacement>,
+}
+
+impl NislConfig {
+    /// Build the `NISL` configuration over `active` cores (normally all of
+    /// the machine's cores).
+    pub fn new(
+        machine: &Machine,
+        active: &[CoreId],
+        n_instances: usize,
+        style: PlacementStyle,
+    ) -> Self {
+        let placements = place_instances(machine, active, n_instances, style);
+        NislConfig {
+            n_instances,
+            workers_per_instance: active.len() / n_instances,
+            style,
+            placements,
+        }
+    }
+
+    /// Paper-style label: "24ISL", "4ISL", ... with "-SPR" appended for
+    /// topology-unaware spreads.
+    pub fn label(&self) -> String {
+        match self.style {
+            PlacementStyle::Islands => format!("{}ISL", self.n_instances),
+            PlacementStyle::Spread => format!("{}SPR", self.n_instances),
+        }
+    }
+
+    /// True if every instance runs a single worker; the paper then disables
+    /// locking and latching for that instance (Sections 6.2, 7.1.1).
+    pub fn is_fine_grained(&self) -> bool {
+        self.workers_per_instance == 1
+    }
+
+    /// True if this is the shared-everything deployment.
+    pub fn is_shared_everything(&self) -> bool {
+        self.n_instances == 1
+    }
+}
+
+/// All island configurations whose instance sizes align with hardware
+/// boundaries: divisors of the core count that either divide a socket evenly
+/// or are a multiple of whole sockets. On the quad-socket machine this yields
+/// 1, 2, 4, 8, 12, 24 instances — exactly the configurations in Figure 10.
+pub fn island_configs(machine: &Machine) -> Vec<NislConfig> {
+    let total = machine.total_cores() as usize;
+    let cps = machine.cores_per_socket as usize;
+    let active: Vec<CoreId> = machine.all_cores().collect();
+    let mut out = Vec::new();
+    for n in 1..=total {
+        if total % n != 0 {
+            continue;
+        }
+        let per = total / n;
+        let aligned = (per <= cps && cps % per == 0) || (per > cps && per % cps == 0);
+        if aligned {
+            out.push(NislConfig::new(
+                machine,
+                &active,
+                n,
+                PlacementStyle::Islands,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_socket_configs_match_figure10() {
+        let m = Machine::quad_socket();
+        let labels: Vec<String> = island_configs(&m).iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["1ISL", "2ISL", "4ISL", "8ISL", "12ISL", "24ISL"]);
+    }
+
+    #[test]
+    fn octo_socket_configs_align_with_sockets() {
+        let m = Machine::octo_socket();
+        let configs = island_configs(&m);
+        for c in &configs {
+            for p in &c.placements {
+                let sockets = p.sockets(&m).len();
+                // An aligned island either fits inside one socket or uses
+                // whole sockets.
+                assert!(
+                    sockets == 1 || p.cores.len() % m.cores_per_socket as usize == 0,
+                    "{} spans {} sockets with {} cores",
+                    c.label(),
+                    sockets,
+                    p.cores.len()
+                );
+            }
+        }
+        let labels: Vec<String> = configs.iter().map(|c| c.label()).collect();
+        assert!(labels.contains(&"80ISL".to_owned()));
+        assert!(labels.contains(&"8ISL".to_owned()));
+        assert!(labels.contains(&"1ISL".to_owned()));
+    }
+
+    #[test]
+    fn fine_grained_and_shared_everything_flags() {
+        let m = Machine::quad_socket();
+        let configs = island_configs(&m);
+        let fg = configs.iter().find(|c| c.label() == "24ISL").unwrap();
+        assert!(fg.is_fine_grained() && !fg.is_shared_everything());
+        let se = configs.iter().find(|c| c.label() == "1ISL").unwrap();
+        assert!(se.is_shared_everything() && !se.is_fine_grained());
+    }
+}

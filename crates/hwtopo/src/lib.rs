@@ -1,0 +1,51 @@
+//! Hardware topology model for the *OLTP on Hardware Islands* reproduction.
+//!
+//! The paper (Porobic et al., VLDB 2012) runs its experiments on two real
+//! multisocket multicore machines (Table 2 of the paper). This crate models
+//! those machines: their socket/core structure, their cache hierarchy, the
+//! calibrated communication costs between cores at different topological
+//! distances, and the thread/instance placement policies the paper evaluates
+//! (Spread / Grouped / Mix / OS, and island vs. naive shared-nothing
+//! placement, Figure 4).
+//!
+//! Everything downstream — the memory-hierarchy cost model in `islands-memsim`
+//! and the deployment logic in `islands-core` — is parameterized by a
+//! [`Machine`].
+//!
+//! Times in this crate are expressed in **picoseconds** (`u64`), the base unit
+//! of the discrete-event simulator in `islands-sim`.
+
+pub mod calib;
+pub mod ids;
+pub mod islands;
+pub mod machine;
+pub mod placement;
+
+pub use calib::Calib;
+pub use ids::{CoreId, SocketId};
+pub use islands::{island_configs, NislConfig, PlacementStyle};
+pub use machine::{ActiveSet, Distance, Machine};
+pub use placement::{
+    assign_threads, place_instances, InstancePlacement, IslandOrSpread, ThreadPlacement,
+};
+
+/// Picoseconds, the base time unit shared with the simulator.
+pub type Picos = u64;
+
+/// Helper: picoseconds from whole nanoseconds.
+#[inline]
+pub const fn ns(n: u64) -> Picos {
+    n * 1_000
+}
+
+/// Helper: picoseconds from whole microseconds.
+#[inline]
+pub const fn us(n: u64) -> Picos {
+    n * 1_000_000
+}
+
+/// Helper: picoseconds from whole milliseconds.
+#[inline]
+pub const fn ms(n: u64) -> Picos {
+    n * 1_000_000_000
+}

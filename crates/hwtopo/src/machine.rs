@@ -1,0 +1,187 @@
+//! Machine descriptions (Table 2 of the paper) and topology queries.
+
+use crate::{Calib, CoreId, SocketId};
+
+/// Topological distance between two cores; determines communication cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distance {
+    /// The same physical core (e.g. a thread re-acquiring its own line).
+    SameCore,
+    /// Different cores sharing an on-chip LLC.
+    SameSocket,
+    /// Cores on different sockets, communicating over the interconnect (QPI).
+    CrossSocket,
+}
+
+/// A multisocket multicore machine.
+///
+/// Cores are numbered densely socket-major: socket `s` owns cores
+/// `s*cores_per_socket .. (s+1)*cores_per_socket`.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    pub name: String,
+    pub sockets: u32,
+    pub cores_per_socket: u32,
+    /// Private L1D per core, bytes.
+    pub l1d_bytes: u64,
+    /// Private L2 per core, bytes.
+    pub l2_bytes: u64,
+    /// Shared LLC per socket, bytes.
+    pub llc_bytes: u64,
+    /// DRAM per socket (one memory node per socket), bytes.
+    pub dram_bytes_per_socket: u64,
+    pub calib: Calib,
+}
+
+impl Machine {
+    /// The paper's "Quad-socket": 4 × Intel Xeon E7530 @ 1.86 GHz, 6 cores per
+    /// CPU, fully connected with QPI, 64 GB RAM, 64 KB L1 + 256 KB L2 per
+    /// core, 12 MB shared L3 per CPU.
+    pub fn quad_socket() -> Self {
+        Machine {
+            name: "quad-socket".to_owned(),
+            sockets: 4,
+            cores_per_socket: 6,
+            l1d_bytes: 64 << 10,
+            l2_bytes: 256 << 10,
+            llc_bytes: 12 << 20,
+            dram_bytes_per_socket: 16 << 30,
+            calib: Calib::quad_socket(),
+        }
+    }
+
+    /// The paper's "Octo-socket": 8 × Intel Xeon E7-L8867 @ 2.13 GHz, 10
+    /// cores per CPU, 3 QPI links per CPU, 192 GB RAM, 64 KB L1 + 256 KB L2
+    /// per core, 30 MB shared L3 per CPU.
+    pub fn octo_socket() -> Self {
+        Machine {
+            name: "octo-socket".to_owned(),
+            sockets: 8,
+            cores_per_socket: 10,
+            l1d_bytes: 64 << 10,
+            l2_bytes: 256 << 10,
+            llc_bytes: 30 << 20,
+            dram_bytes_per_socket: 24 << 30,
+            calib: Calib::octo_socket(),
+        }
+    }
+
+    /// A machine preset by name, for experiment configs.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "quad-socket" => Some(Self::quad_socket()),
+            "octo-socket" => Some(Self::octo_socket()),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    pub fn total_cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket
+    }
+
+    #[inline]
+    pub fn socket_of(&self, core: CoreId) -> SocketId {
+        debug_assert!((core.0 as u32) < self.total_cores());
+        SocketId((core.0 as u32 / self.cores_per_socket) as u8)
+    }
+
+    /// All cores of `socket`, in id order.
+    pub fn cores_of(&self, socket: SocketId) -> impl Iterator<Item = CoreId> {
+        let base = socket.0 as u32 * self.cores_per_socket;
+        (base..base + self.cores_per_socket).map(|c| CoreId(c as u16))
+    }
+
+    /// All cores of the machine, in id order.
+    pub fn all_cores(&self) -> impl Iterator<Item = CoreId> {
+        (0..self.total_cores()).map(|c| CoreId(c as u16))
+    }
+
+    #[inline]
+    pub fn distance(&self, a: CoreId, b: CoreId) -> Distance {
+        if a == b {
+            Distance::SameCore
+        } else if self.socket_of(a) == self.socket_of(b) {
+            Distance::SameSocket
+        } else {
+            Distance::CrossSocket
+        }
+    }
+
+    /// Cost of transferring ownership of a contended cache line from the core
+    /// currently holding it to `to`.
+    #[inline]
+    pub fn line_transfer_ps(&self, from: CoreId, to: CoreId) -> u64 {
+        match self.distance(from, to) {
+            Distance::SameCore => self.calib.line_same_core_ps,
+            Distance::SameSocket => self.calib.line_same_socket_ps,
+            Distance::CrossSocket => self.calib.line_cross_socket_ps,
+        }
+    }
+
+    /// A truncated sub-machine exposing only the first `n` cores of each
+    /// socket structure (used by the Figure 12 scale-up sweep, which enables
+    /// cores gradually). Cores are enabled socket-by-socket, matching how the
+    /// paper fills machines.
+    pub fn with_active_cores(&self, n: u32) -> ActiveSet {
+        assert!(n >= 1 && n <= self.total_cores());
+        ActiveSet {
+            cores: (0..n).map(|c| CoreId(c as u16)).collect(),
+        }
+    }
+}
+
+/// A subset of a machine's cores considered "active" for an experiment.
+#[derive(Debug, Clone)]
+pub struct ActiveSet {
+    pub cores: Vec<CoreId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shapes() {
+        let q = Machine::quad_socket();
+        assert_eq!(q.total_cores(), 24);
+        let o = Machine::octo_socket();
+        assert_eq!(o.total_cores(), 80);
+        assert_eq!(o.llc_bytes, 30 << 20);
+    }
+
+    #[test]
+    fn socket_mapping_is_socket_major() {
+        let q = Machine::quad_socket();
+        assert_eq!(q.socket_of(CoreId(0)), SocketId(0));
+        assert_eq!(q.socket_of(CoreId(5)), SocketId(0));
+        assert_eq!(q.socket_of(CoreId(6)), SocketId(1));
+        assert_eq!(q.socket_of(CoreId(23)), SocketId(3));
+    }
+
+    #[test]
+    fn distance_classes() {
+        let q = Machine::quad_socket();
+        assert_eq!(q.distance(CoreId(3), CoreId(3)), Distance::SameCore);
+        assert_eq!(q.distance(CoreId(0), CoreId(5)), Distance::SameSocket);
+        assert_eq!(q.distance(CoreId(0), CoreId(6)), Distance::CrossSocket);
+    }
+
+    #[test]
+    fn cores_of_socket_are_contiguous() {
+        let o = Machine::octo_socket();
+        let cores: Vec<_> = o.cores_of(SocketId(2)).collect();
+        assert_eq!(cores.first(), Some(&CoreId(20)));
+        assert_eq!(cores.len(), 10);
+        assert_eq!(cores.last(), Some(&CoreId(29)));
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for m in [Machine::quad_socket(), Machine::octo_socket()] {
+            let again = Machine::by_name(&m.name).unwrap();
+            assert_eq!(again.total_cores(), m.total_cores());
+        }
+        assert!(Machine::by_name("laptop").is_none());
+    }
+}

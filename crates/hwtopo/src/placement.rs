@@ -1,0 +1,305 @@
+//! Thread and instance placement policies.
+//!
+//! Section 3.1 of the paper varies *thread* placement ("Spread", "Grouped"/
+//! "Group", "Mix", "OS"); Section 4 varies *instance* placement (topology-
+//! aware islands vs. naive spread shared-nothing, Figure 4).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{CoreId, Machine, SocketId};
+
+/// Thread-to-core placement policies from Figures 2 and 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadPlacement {
+    /// Each successive thread on a different socket (round-robin).
+    Spread,
+    /// All threads packed onto one socket (spilling to the next when full).
+    Grouped,
+    /// Two threads per socket, filling sockets in order.
+    Mix,
+    /// Unpinned: the OS scheduler picks cores; modeled as a random placement
+    /// plus periodic migrations (see `Calib::os_migration_*`).
+    OsDefault,
+}
+
+impl ThreadPlacement {
+    pub const ALL: [ThreadPlacement; 4] = [
+        ThreadPlacement::Spread,
+        ThreadPlacement::Grouped,
+        ThreadPlacement::Mix,
+        ThreadPlacement::OsDefault,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ThreadPlacement::Spread => "Spread",
+            ThreadPlacement::Grouped => "Group",
+            ThreadPlacement::Mix => "Mix",
+            ThreadPlacement::OsDefault => "OS",
+        }
+    }
+
+    /// Whether threads placed this way are pinned (no migrations).
+    pub fn pinned(self) -> bool {
+        !matches!(self, ThreadPlacement::OsDefault)
+    }
+}
+
+/// Assign `n` worker threads to cores of `machine` under `policy`.
+///
+/// Panics if `n` exceeds the number of cores (the paper never oversubscribes;
+/// it disables HyperThreading and uses at most one worker per core).
+pub fn assign_threads<R: Rng>(
+    machine: &Machine,
+    n: usize,
+    policy: ThreadPlacement,
+    rng: &mut R,
+) -> Vec<CoreId> {
+    assert!(
+        n as u32 <= machine.total_cores(),
+        "placement oversubscribed: {n} threads on {} cores",
+        machine.total_cores()
+    );
+    let sockets = machine.sockets as usize;
+    let cps = machine.cores_per_socket as usize;
+    match policy {
+        ThreadPlacement::Spread => {
+            // Thread i -> socket i % S, next unused core there.
+            let mut next_in_socket = vec![0usize; sockets];
+            (0..n)
+                .map(|i| {
+                    let s = i % sockets;
+                    let slot = next_in_socket[s];
+                    next_in_socket[s] += 1;
+                    assert!(slot < cps);
+                    CoreId((s * cps + slot) as u16)
+                })
+                .collect()
+        }
+        ThreadPlacement::Grouped => (0..n).map(|i| CoreId(i as u16)).collect(),
+        ThreadPlacement::Mix => {
+            // Two threads per socket, then move on; wraps to a second pass if
+            // n > 2 * sockets.
+            let mut out = Vec::with_capacity(n);
+            let mut next_in_socket = vec![0usize; sockets];
+            let mut s = 0usize;
+            let mut placed_on_socket = 0usize;
+            for _ in 0..n {
+                while next_in_socket[s] >= cps {
+                    s = (s + 1) % sockets;
+                    placed_on_socket = 0;
+                }
+                let slot = next_in_socket[s];
+                next_in_socket[s] += 1;
+                out.push(CoreId((s * cps + slot) as u16));
+                placed_on_socket += 1;
+                if placed_on_socket == 2 {
+                    s = (s + 1) % sockets;
+                    placed_on_socket = 0;
+                }
+            }
+            out
+        }
+        ThreadPlacement::OsDefault => {
+            // The OS spreads load but with no topology awareness: a random
+            // set of distinct cores. Migration effects are modeled at
+            // simulation time.
+            let mut cores: Vec<CoreId> = machine.all_cores().collect();
+            cores.shuffle(rng);
+            cores.truncate(n);
+            cores
+        }
+    }
+}
+
+/// Where one shared-nothing instance runs: its cores (one worker per core).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstancePlacement {
+    pub cores: Vec<CoreId>,
+}
+
+impl InstancePlacement {
+    /// The sockets this instance touches.
+    pub fn sockets(&self, machine: &Machine) -> Vec<SocketId> {
+        let mut s: Vec<SocketId> = self.cores.iter().map(|&c| machine.socket_of(c)).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// The memory node where the instance's data lives: the socket hosting
+    /// the majority of its cores (ties toward the lowest socket id). The
+    /// paper allocates each instance's memory "in the nearest memory bank".
+    pub fn home_socket(&self, machine: &Machine) -> SocketId {
+        let mut counts = vec![0u32; machine.sockets as usize];
+        for &c in &self.cores {
+            counts[machine.socket_of(c).index()] += 1;
+        }
+        let best = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, c)| (*c, usize::MAX - i))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        SocketId(best as u8)
+    }
+}
+
+/// Instance placement style for shared-nothing configurations (Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IslandOrSpread {
+    /// Topology-aware: each instance's cores are as close as possible
+    /// ("2 Islands" / "4 Islands" in Figure 4).
+    Islands,
+    /// Topology-unaware: instance cores striped round-robin across sockets
+    /// ("4 Spread" in Figure 4).
+    Spread,
+}
+
+/// Partition `active` cores of `machine` into `n_instances` placements.
+///
+/// `active` is normally all cores; the Figure 12 scale-up sweep passes a
+/// prefix. Panics unless `active.len()` is divisible by `n_instances`.
+pub fn place_instances(
+    _machine: &Machine,
+    active: &[CoreId],
+    n_instances: usize,
+    style: IslandOrSpread,
+) -> Vec<InstancePlacement> {
+    assert!(n_instances >= 1);
+    assert_eq!(
+        active.len() % n_instances,
+        0,
+        "{} cores do not divide evenly into {} instances",
+        active.len(),
+        n_instances
+    );
+    let per = active.len() / n_instances;
+    match style {
+        IslandOrSpread::Islands => {
+            // Sort cores socket-major so contiguous chunks share sockets.
+            let mut sorted = active.to_vec();
+            sorted.sort_unstable();
+            sorted
+                .chunks(per)
+                .map(|c| InstancePlacement { cores: c.to_vec() })
+                .collect()
+        }
+        IslandOrSpread::Spread => {
+            // Instance i takes cores i, i+n, i+2n, ... : maximally spread.
+            let mut sorted = active.to_vec();
+            sorted.sort_unstable();
+            (0..n_instances)
+                .map(|i| InstancePlacement {
+                    cores: sorted
+                        .iter()
+                        .copied()
+                        .skip(i)
+                        .step_by(n_instances)
+                        .collect(),
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn quad() -> Machine {
+        Machine::quad_socket()
+    }
+
+    #[test]
+    fn spread_places_one_thread_per_socket_first() {
+        let m = quad();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cores = assign_threads(&m, 4, ThreadPlacement::Spread, &mut rng);
+        let sockets: Vec<_> = cores.iter().map(|&c| m.socket_of(c)).collect();
+        assert_eq!(
+            sockets,
+            vec![SocketId(0), SocketId(1), SocketId(2), SocketId(3)]
+        );
+    }
+
+    #[test]
+    fn grouped_packs_one_socket() {
+        let m = quad();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cores = assign_threads(&m, 6, ThreadPlacement::Grouped, &mut rng);
+        assert!(cores.iter().all(|&c| m.socket_of(c) == SocketId(0)));
+    }
+
+    #[test]
+    fn mix_places_two_per_socket() {
+        let m = quad();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cores = assign_threads(&m, 4, ThreadPlacement::Mix, &mut rng);
+        let sockets: Vec<_> = cores.iter().map(|&c| m.socket_of(c)).collect();
+        assert_eq!(
+            sockets,
+            vec![SocketId(0), SocketId(0), SocketId(1), SocketId(1)]
+        );
+    }
+
+    #[test]
+    fn os_placement_is_distinct_cores() {
+        let m = quad();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut cores = assign_threads(&m, 24, ThreadPlacement::OsDefault, &mut rng);
+        cores.sort_unstable();
+        cores.dedup();
+        assert_eq!(cores.len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribed")]
+    fn oversubscription_panics() {
+        let m = quad();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = assign_threads(&m, 25, ThreadPlacement::Grouped, &mut rng);
+    }
+
+    #[test]
+    fn islands_keep_instances_on_few_sockets() {
+        let m = quad();
+        let all: Vec<_> = m.all_cores().collect();
+        let placements = place_instances(&m, &all, 4, IslandOrSpread::Islands);
+        for p in &placements {
+            assert_eq!(p.cores.len(), 6);
+            assert_eq!(p.sockets(&m).len(), 1, "island must not span sockets");
+        }
+    }
+
+    #[test]
+    fn spread_instances_span_all_sockets() {
+        let m = quad();
+        let all: Vec<_> = m.all_cores().collect();
+        let placements = place_instances(&m, &all, 4, IslandOrSpread::Spread);
+        for p in &placements {
+            assert_eq!(p.sockets(&m).len(), 4, "spread instance must span sockets");
+        }
+    }
+
+    #[test]
+    fn two_islands_split_socket_pairs() {
+        let m = quad();
+        let all: Vec<_> = m.all_cores().collect();
+        let placements = place_instances(&m, &all, 2, IslandOrSpread::Islands);
+        assert_eq!(placements[0].sockets(&m), vec![SocketId(0), SocketId(1)]);
+        assert_eq!(placements[1].sockets(&m), vec![SocketId(2), SocketId(3)]);
+    }
+
+    #[test]
+    fn home_socket_majority() {
+        let m = quad();
+        let p = InstancePlacement {
+            cores: vec![CoreId(0), CoreId(1), CoreId(6)],
+        };
+        assert_eq!(p.home_socket(&m), SocketId(0));
+    }
+}

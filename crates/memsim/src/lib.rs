@@ -1,0 +1,144 @@
+//! Memory-hierarchy and cache-coherence cost model.
+//!
+//! This crate turns abstract storage-engine operations ("probe four B+tree
+//! nodes", "take this lock", "append to the log buffer") into virtual-time
+//! costs on a concrete [`islands_hwtopo::Machine`], and keeps the virtual
+//! performance counters that reproduce the paper's microarchitectural
+//! analysis (Figure 8: IPC, stalled cycles, on-chip sharing; Section 7.2:
+//! QPI/IMC traffic ratio).
+//!
+//! Two complementary models:
+//!
+//! * [`line::Line`] — an *explicit* model for individually contended cache
+//!   lines (counter words, lock words, log-buffer heads). Ownership is
+//!   tracked per line; the cost of each access is the calibrated transfer
+//!   cost for the topological distance to the previous owner. This is the
+//!   model behind Figure 2 and Table 1.
+//! * [`region::Region`] — a *statistical* model for bulk data (B+tree nodes,
+//!   heap pages, lock-table buckets). Hit probabilities per cache level
+//!   derive from the region's footprint; write-shared regions suffer
+//!   coherence fetches from the last writer's cache.
+
+pub mod counters;
+pub mod line;
+pub mod region;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use islands_hwtopo::{CoreId, Machine, Picos};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub use counters::{CoreCounters, CounterSnapshot, Counters};
+pub use line::Line;
+pub use region::{Region, RegionSpec};
+
+/// The per-run cost model: machine + counters + model RNG.
+///
+/// All `charge_*` methods return the cost in picoseconds **and** record it in
+/// the accessing core's counters; the caller is responsible for advancing
+/// virtual time by the returned amount (`sim.sleep(cost)`).
+pub struct CostModel {
+    machine: Machine,
+    counters: Counters,
+    rng: RefCell<SmallRng>,
+}
+
+impl CostModel {
+    pub fn new(machine: Machine, seed: u64) -> Rc<Self> {
+        let counters = Counters::new(machine.total_cores() as usize, machine.calib.freq_khz);
+        Rc::new(CostModel {
+            machine,
+            counters,
+            rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+        })
+    }
+
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Charge `n` abstract non-memory instructions on `core`.
+    pub fn charge_instr(&self, core: CoreId, n: u64) -> Picos {
+        let cost = n * self.machine.calib.instr_ps;
+        self.counters.core(core).record_instr(n, cost);
+        cost
+    }
+
+    /// Charge `lines` cache-line accesses to `region` from `core`.
+    pub fn charge_region(&self, core: CoreId, region: &Region, lines: u32, write: bool) -> Picos {
+        let mut total = 0;
+        let mut rng = self.rng.borrow_mut();
+        for _ in 0..lines {
+            total += region.access(&self.machine, &self.counters, &mut *rng, core, write);
+        }
+        // Each line access also retires an address-generation instruction;
+        // bulk engine work is charged separately via `charge_instr`.
+        self.counters.core(core).record_instr(lines as u64, 0);
+        total
+    }
+
+    /// Charge an access to an explicitly tracked contended line.
+    pub fn charge_line(&self, core: CoreId, line: &Line) -> Picos {
+        line.access(&self.machine, &self.counters, core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islands_hwtopo::SocketId;
+
+    #[test]
+    fn instruction_charge_uses_calibrated_cpi() {
+        let m = Machine::quad_socket();
+        let instr_ps = m.calib.instr_ps;
+        let cm = CostModel::new(m, 1);
+        let c = cm.charge_instr(CoreId(0), 100);
+        assert_eq!(c, 100 * instr_ps);
+        let snap = cm.counters().snapshot(CoreId(0));
+        assert_eq!(snap.instructions, 100);
+    }
+
+    #[test]
+    fn tiny_region_hits_l1() {
+        let m = Machine::quad_socket();
+        let l1 = m.calib.l1_ps;
+        let cm = CostModel::new(m, 1);
+        let region = Region::new(RegionSpec {
+            name: "tiny",
+            footprint_bytes: 1 << 10, // 1 KB: always in L1
+            home_socket: Some(SocketId(0)),
+            writer_cores: vec![CoreId(0)],
+            write_ratio: 0.0,
+        });
+        let cost = cm.charge_region(CoreId(0), &region, 1, false);
+        assert_eq!(cost, l1);
+    }
+
+    #[test]
+    fn huge_region_costs_dram() {
+        let m = Machine::quad_socket();
+        let dram_local = m.calib.dram_local_ps;
+        let dram_remote = m.calib.dram_remote_ps;
+        let cm = CostModel::new(m, 1);
+        let region = Region::new(RegionSpec {
+            name: "huge",
+            footprint_bytes: 1 << 40, // 1 TB: never cached
+            home_socket: Some(SocketId(0)),
+            writer_cores: vec![],
+            write_ratio: 0.0,
+        });
+        // Local core.
+        let cost = cm.charge_region(CoreId(0), &region, 1, false);
+        assert_eq!(cost, dram_local);
+        // Remote core (socket 1).
+        let cost = cm.charge_region(CoreId(6), &region, 1, false);
+        assert_eq!(cost, dram_remote);
+    }
+}

@@ -1,0 +1,108 @@
+//! Explicit ownership model for individually contended cache lines.
+//!
+//! A [`Line`] stands for one 64-byte cache line that threads update with
+//! atomic read-modify-writes: a counter word, a lock word, the head of a log
+//! buffer. The MESI protocol makes each such update an *ownership transfer*
+//! from the previous writer's cache, so the cost is the calibrated transfer
+//! latency for the topological distance between the two cores — the effect
+//! the paper isolates in Figure 2 and Table 1.
+
+use std::cell::Cell;
+
+use islands_hwtopo::{CoreId, Distance, Machine, Picos};
+
+use crate::counters::Counters;
+
+/// One contended cache line with tracked ownership.
+#[derive(Debug, Default)]
+pub struct Line {
+    owner: Cell<Option<CoreId>>,
+}
+
+impl Line {
+    pub fn new() -> Self {
+        Line {
+            owner: Cell::new(None),
+        }
+    }
+
+    /// Perform an exclusive (RMW) access from `core`: returns the transfer
+    /// cost, records it in the counters, and moves ownership to `core`.
+    pub fn access(&self, machine: &Machine, counters: &Counters, core: CoreId) -> Picos {
+        let calib = &machine.calib;
+        let (cost, dist) = match self.owner.get() {
+            None => (calib.line_same_core_ps, Distance::SameCore), // first touch
+            Some(prev) => {
+                let d = machine.distance(prev, core);
+                (machine.line_transfer_ps(prev, core), d)
+            }
+        };
+        self.owner.set(Some(core));
+        let cc = counters.core(core);
+        match dist {
+            Distance::SameCore => {
+                cc.line_same_core.set(cc.line_same_core.get() + 1);
+                cc.l1_hits.set(cc.l1_hits.get() + 1);
+            }
+            Distance::SameSocket => {
+                cc.line_same_socket.set(cc.line_same_socket.get() + 1);
+                cc.sibling_hits.set(cc.sibling_hits.get() + 1);
+            }
+            Distance::CrossSocket => {
+                cc.line_cross_socket.set(cc.line_cross_socket.get() + 1);
+                cc.remote_cache_hits.set(cc.remote_cache_hits.get() + 1);
+                counters.add_qpi(1);
+            }
+        }
+        cc.record_mem(cost, calib.l1_ps);
+        cost
+    }
+
+    pub fn owner(&self) -> Option<CoreId> {
+        self.owner.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_transfers_and_costs_by_distance() {
+        let m = Machine::quad_socket();
+        let counters = Counters::new(m.total_cores() as usize, m.calib.freq_khz);
+        let line = Line::new();
+
+        // First touch: treated as local.
+        let c0 = line.access(&m, &counters, CoreId(0));
+        assert_eq!(c0, m.calib.line_same_core_ps);
+        assert_eq!(line.owner(), Some(CoreId(0)));
+
+        // Same core again: cheap.
+        let c1 = line.access(&m, &counters, CoreId(0));
+        assert_eq!(c1, m.calib.line_same_core_ps);
+
+        // Same socket: medium.
+        let c2 = line.access(&m, &counters, CoreId(1));
+        assert_eq!(c2, m.calib.line_same_socket_ps);
+        assert_eq!(line.owner(), Some(CoreId(1)));
+
+        // Cross socket: expensive, and generates QPI traffic.
+        let c3 = line.access(&m, &counters, CoreId(6));
+        assert_eq!(c3, m.calib.line_cross_socket_ps);
+        assert_eq!(counters.qpi_bytes.get(), 64);
+    }
+
+    #[test]
+    fn counters_classify_transfers() {
+        let m = Machine::quad_socket();
+        let counters = Counters::new(m.total_cores() as usize, m.calib.freq_khz);
+        let line = Line::new();
+        line.access(&m, &counters, CoreId(0)); // first touch -> same-core
+        line.access(&m, &counters, CoreId(1)); // same socket
+        line.access(&m, &counters, CoreId(12)); // cross socket
+        assert_eq!(counters.core(CoreId(0)).line_same_core.get(), 1);
+        assert_eq!(counters.core(CoreId(1)).line_same_socket.get(), 1);
+        assert_eq!(counters.core(CoreId(12)).line_cross_socket.get(), 1);
+    }
+}

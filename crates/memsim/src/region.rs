@@ -1,0 +1,264 @@
+//! Statistical cache model for bulk data structures.
+//!
+//! A [`Region`] describes one engine data structure (B+tree level, heap
+//! pages, lock-table buckets, log buffer) by its footprint, its home memory
+//! node, and which cores write it. Per-access cost is drawn from a steady-
+//! state inclusive-cache model:
+//!
+//! 1. If the region is write-shared, the line may be dirty in another
+//!    writer's cache; the access is then served by a cache-to-cache transfer
+//!    whose cost depends on whether that writer shares the socket.
+//! 2. Otherwise the access hits the first level whose capacity "covers" the
+//!    footprint, with hit probability `capacity / footprint` (an LRU
+//!    working-set approximation), falling through L1 → L2 → LLC → DRAM.
+//! 3. DRAM cost depends on whether the region's home node is the accessor's
+//!    socket; interleaved regions (the shared-everything buffer pool) are
+//!    remote with probability `(sockets-1)/sockets`.
+//!
+//! The model is deliberately coarse — the paper's effects come from *ratios*
+//! of these latencies, not from cycle-accurate cache simulation.
+
+use islands_hwtopo::{CoreId, Machine, Picos, SocketId};
+use rand::Rng;
+
+use crate::counters::Counters;
+
+/// Description of a region; see module docs.
+#[derive(Debug, Clone)]
+pub struct RegionSpec {
+    pub name: &'static str,
+    /// Bytes the region occupies (its cache working set).
+    pub footprint_bytes: u64,
+    /// Memory node the region was allocated on; `None` = interleaved across
+    /// all sockets (how a topology-unaware allocation behaves).
+    pub home_socket: Option<SocketId>,
+    /// Cores that write this region (used for dirty-line transfers).
+    pub writer_cores: Vec<CoreId>,
+    /// Fraction of accesses to the region that are writes.
+    pub write_ratio: f64,
+}
+
+/// A region with precomputed model state.
+#[derive(Debug, Clone)]
+pub struct Region {
+    spec: RegionSpec,
+}
+
+impl Region {
+    pub fn new(spec: RegionSpec) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&spec.write_ratio),
+            "write_ratio must be a fraction"
+        );
+        Region { spec }
+    }
+
+    pub fn spec(&self) -> &RegionSpec {
+        &self.spec
+    }
+
+    /// Footprint-based hit probability for a capacity level.
+    #[inline]
+    fn hit_prob(capacity: u64, footprint: u64) -> f64 {
+        if footprint == 0 {
+            1.0
+        } else {
+            (capacity as f64 / footprint as f64).min(1.0)
+        }
+    }
+
+    /// Cost of one cache-line access to this region from `core`.
+    pub fn access<R: Rng>(
+        &self,
+        machine: &Machine,
+        counters: &Counters,
+        rng: &mut R,
+        core: CoreId,
+        _write: bool,
+    ) -> Picos {
+        let calib = &machine.calib;
+        let cc = counters.core(core);
+        let spec = &self.spec;
+        let my_socket = machine.socket_of(core);
+
+        // 1. Dirty-in-another-cache check for write-shared regions.
+        let other_writers: Vec<&CoreId> = spec
+            .writer_cores
+            .iter()
+            .filter(|&&w| w != core)
+            .collect();
+        if !other_writers.is_empty() && spec.write_ratio > 0.0 {
+            // P(line last written by someone else) ~ write_ratio * share of
+            // other writers among all accessors.
+            let k = spec.writer_cores.len().max(1) as f64;
+            let p_dirty_elsewhere =
+                spec.write_ratio * (other_writers.len() as f64 / k);
+            if rng.gen_bool(p_dirty_elsewhere.clamp(0.0, 1.0)) {
+                let idx = rng.gen_range(0..other_writers.len());
+                let writer = *other_writers[idx];
+                let cost = if machine.socket_of(writer) == my_socket {
+                    cc.sibling_hits.set(cc.sibling_hits.get() + 1);
+                    calib.llc_ps // on-chip cache-to-cache
+                } else {
+                    cc.remote_cache_hits.set(cc.remote_cache_hits.get() + 1);
+                    counters.add_qpi(1);
+                    calib.remote_cache_ps
+                };
+                cc.record_mem(cost, calib.l1_ps);
+                return cost;
+            }
+        }
+
+        // 2. Level fall-through.
+        let u: f64 = rng.gen();
+        if u < Self::hit_prob(machine.l1d_bytes, spec.footprint_bytes) {
+            cc.l1_hits.set(cc.l1_hits.get() + 1);
+            cc.record_mem(calib.l1_ps, calib.l1_ps);
+            return calib.l1_ps;
+        }
+        let u: f64 = rng.gen();
+        if u < Self::hit_prob(machine.l2_bytes, spec.footprint_bytes) {
+            cc.l2_hits.set(cc.l2_hits.get() + 1);
+            cc.record_mem(calib.l2_ps, calib.l1_ps);
+            return calib.l2_ps;
+        }
+        let u: f64 = rng.gen();
+        if u < Self::hit_prob(machine.llc_bytes, spec.footprint_bytes) {
+            cc.llc_hits.set(cc.llc_hits.get() + 1);
+            cc.record_mem(calib.llc_ps, calib.l1_ps);
+            return calib.llc_ps;
+        }
+
+        // 3. DRAM.
+        counters.add_imc(1);
+        let remote = match spec.home_socket {
+            Some(home) => home != my_socket,
+            None => {
+                let s = machine.sockets as f64;
+                rng.gen_bool(((s - 1.0) / s).clamp(0.0, 1.0))
+            }
+        };
+        let cost = if remote {
+            cc.dram_remote.set(cc.dram_remote.get() + 1);
+            counters.add_qpi(1);
+            calib.dram_remote_ps
+        } else {
+            cc.dram_local.set(cc.dram_local.get() + 1);
+            calib.dram_local_ps
+        };
+        cc.record_mem(cost, calib.l1_ps);
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Machine, Counters, SmallRng) {
+        let m = Machine::quad_socket();
+        let c = Counters::new(m.total_cores() as usize, m.calib.freq_khz);
+        (m, c, SmallRng::seed_from_u64(42))
+    }
+
+    fn avg_cost(region: &Region, core: CoreId, n: usize) -> f64 {
+        let (m, c, mut rng) = setup();
+        let mut total = 0u64;
+        for _ in 0..n {
+            total += region.access(&m, &c, &mut rng, core, false);
+        }
+        total as f64 / n as f64
+    }
+
+    #[test]
+    fn bigger_footprint_costs_more() {
+        let mk = |bytes| {
+            Region::new(RegionSpec {
+                name: "r",
+                footprint_bytes: bytes,
+                home_socket: Some(SocketId(0)),
+                writer_cores: vec![],
+                write_ratio: 0.0,
+            })
+        };
+        let small = avg_cost(&mk(16 << 10), CoreId(0), 4000);
+        let medium = avg_cost(&mk(4 << 20), CoreId(0), 4000);
+        let large = avg_cost(&mk(1 << 30), CoreId(0), 4000);
+        assert!(small < medium, "{small} !< {medium}");
+        assert!(medium < large, "{medium} !< {large}");
+    }
+
+    #[test]
+    fn remote_home_is_slower_when_uncached() {
+        let mk = |home| {
+            Region::new(RegionSpec {
+                name: "r",
+                footprint_bytes: 1 << 32, // uncacheable
+                home_socket: home,
+                writer_cores: vec![],
+                write_ratio: 0.0,
+            })
+        };
+        let local = avg_cost(&mk(Some(SocketId(0))), CoreId(0), 2000);
+        let remote = avg_cost(&mk(Some(SocketId(1))), CoreId(0), 2000);
+        assert!(remote > local * 1.3, "remote {remote} vs local {local}");
+    }
+
+    #[test]
+    fn write_sharing_across_sockets_generates_qpi_traffic() {
+        let m = Machine::quad_socket();
+        let c = Counters::new(m.total_cores() as usize, m.calib.freq_khz);
+        let mut rng = SmallRng::seed_from_u64(7);
+        // Writers on all four sockets, high write ratio, small footprint.
+        let region = Region::new(RegionSpec {
+            name: "locktable",
+            footprint_bytes: 8 << 10,
+            home_socket: Some(SocketId(0)),
+            writer_cores: vec![CoreId(0), CoreId(6), CoreId(12), CoreId(18)],
+            write_ratio: 0.9,
+        });
+        for _ in 0..2000 {
+            region.access(&m, &c, &mut rng, CoreId(0), true);
+        }
+        assert!(
+            c.qpi_bytes.get() > 0,
+            "cross-socket write sharing must move lines over QPI"
+        );
+        let snap = c.snapshot(CoreId(0));
+        assert!(snap.remote_cache_hits > 100);
+    }
+
+    #[test]
+    fn single_writer_small_region_stays_in_l1() {
+        let m = Machine::quad_socket();
+        let c = Counters::new(m.total_cores() as usize, m.calib.freq_khz);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let region = Region::new(RegionSpec {
+            name: "private",
+            footprint_bytes: 4 << 10,
+            home_socket: Some(SocketId(0)),
+            writer_cores: vec![CoreId(0)],
+            write_ratio: 0.5,
+        });
+        let mut total = 0;
+        for _ in 0..1000 {
+            total += region.access(&m, &c, &mut rng, CoreId(0), true);
+        }
+        assert_eq!(total, 1000 * m.calib.l1_ps);
+        assert_eq!(c.qpi_bytes.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "write_ratio")]
+    fn invalid_write_ratio_panics() {
+        Region::new(RegionSpec {
+            name: "bad",
+            footprint_bytes: 1,
+            home_socket: None,
+            writer_cores: vec![],
+            write_ratio: 1.5,
+        });
+    }
+}

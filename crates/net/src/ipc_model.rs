@@ -1,0 +1,147 @@
+//! Calibrated per-message IPC costs (paper Figure 6).
+//!
+//! Figure 6 reports message-exchange throughput between two processes in
+//! thousands of messages per second, same-socket vs. different-socket, on
+//! the quad-socket machine. Unix domain sockets win (the paper uses them
+//! for the rest of the evaluation); TCP is slowest; crossing a socket
+//! boundary costs 10–15 %.
+//!
+//! Calibration targets (KMsgs/s, read off the figure):
+//!
+//! | mechanism        | same socket | different socket |
+//! |------------------|-------------|------------------|
+//! | FIFO             | 33          | 30               |
+//! | POSIX MQ         | 42          | 38               |
+//! | Pipes            | 48          | 43               |
+//! | TCP sockets      | 26          | 24               |
+//! | Unix sockets     | 62          | 55               |
+//!
+//! The inverse throughput is the per-message cost, split 30 % sender CPU,
+//! 40 % kernel/wire, 30 % receiver CPU (syscall-dominated mechanisms spend
+//! roughly symmetric time in sender and receiver paths).
+
+use islands_hwtopo::Picos;
+
+/// IPC mechanism between database instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpcMechanism {
+    Fifo,
+    PosixMq,
+    Pipe,
+    Tcp,
+    UnixSocket,
+}
+
+impl IpcMechanism {
+    pub const ALL: [IpcMechanism; 5] = [
+        IpcMechanism::Fifo,
+        IpcMechanism::PosixMq,
+        IpcMechanism::Pipe,
+        IpcMechanism::Tcp,
+        IpcMechanism::UnixSocket,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            IpcMechanism::Fifo => "FIFO",
+            IpcMechanism::PosixMq => "POSIX MQ",
+            IpcMechanism::Pipe => "Pipes",
+            IpcMechanism::Tcp => "TCP sockets",
+            IpcMechanism::UnixSocket => "UNIX sockets",
+        }
+    }
+
+    /// Calibrated throughput in messages/second.
+    fn msgs_per_sec(self, same_socket: bool) -> f64 {
+        let (same, diff) = match self {
+            IpcMechanism::Fifo => (33_000.0, 30_000.0),
+            IpcMechanism::PosixMq => (42_000.0, 38_000.0),
+            IpcMechanism::Pipe => (48_000.0, 43_000.0),
+            IpcMechanism::Tcp => (26_000.0, 24_000.0),
+            IpcMechanism::UnixSocket => (62_000.0, 55_000.0),
+        };
+        if same_socket {
+            same
+        } else {
+            diff
+        }
+    }
+
+    /// Cost of one message between endpoints that do/don't share a socket.
+    pub fn cost(self, same_socket: bool) -> IpcCost {
+        let total_ps = 1e12 / self.msgs_per_sec(same_socket);
+        IpcCost {
+            sender_ps: (total_ps * 0.3) as Picos,
+            wire_ps: (total_ps * 0.4) as Picos,
+            receiver_ps: (total_ps * 0.3) as Picos,
+        }
+    }
+}
+
+/// One message's cost decomposition, picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpcCost {
+    /// CPU charged to the sending worker.
+    pub sender_ps: Picos,
+    /// In-flight latency (charged to neither CPU).
+    pub wire_ps: Picos,
+    /// CPU charged to the receiving worker.
+    pub receiver_ps: Picos,
+}
+
+impl IpcCost {
+    pub fn total_ps(&self) -> Picos {
+        self.sender_ps + self.wire_ps + self.receiver_ps
+    }
+
+    /// Messages per second this cost implies (for printing Figure 6).
+    pub fn throughput_msgs_per_sec(&self) -> f64 {
+        1e12 / self.total_ps() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unix_sockets_are_fastest_tcp_slowest() {
+        for same in [true, false] {
+            let mut costs: Vec<(IpcMechanism, Picos)> = IpcMechanism::ALL
+                .iter()
+                .map(|&m| (m, m.cost(same).total_ps()))
+                .collect();
+            costs.sort_by_key(|&(_, c)| c);
+            assert_eq!(costs.first().unwrap().0, IpcMechanism::UnixSocket);
+            assert_eq!(costs.last().unwrap().0, IpcMechanism::Tcp);
+        }
+    }
+
+    #[test]
+    fn cross_socket_is_slower_for_every_mechanism() {
+        for m in IpcMechanism::ALL {
+            assert!(
+                m.cost(false).total_ps() > m.cost(true).total_ps(),
+                "{m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_matches_figure6_unix_sockets() {
+        let thr = IpcMechanism::UnixSocket.cost(true).throughput_msgs_per_sec();
+        assert!((thr - 62_000.0).abs() / 62_000.0 < 0.01, "{thr}");
+        let thr = IpcMechanism::UnixSocket
+            .cost(false)
+            .throughput_msgs_per_sec();
+        assert!((thr - 55_000.0).abs() / 55_000.0 < 0.01, "{thr}");
+    }
+
+    #[test]
+    fn cost_components_sum_to_total() {
+        let c = IpcMechanism::Pipe.cost(true);
+        assert_eq!(c.total_ps(), c.sender_ps + c.wire_ps + c.receiver_ps);
+        // Roughly 1/48kHz ≈ 20.8 us per message.
+        assert!((c.total_ps() as f64 - 2.08e7).abs() < 2e5);
+    }
+}

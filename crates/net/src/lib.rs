@@ -1,0 +1,18 @@
+//! Inter-process messaging layer.
+//!
+//! "The performance of any shared-nothing system heavily depends on the
+//! efficiency of its communication layer" (paper, Section 5). This crate
+//! models the five IPC mechanisms the paper benchmarks in Figure 6 — FIFOs,
+//! POSIX message queues, pipes, TCP sockets, and Unix domain sockets — with
+//! per-message costs calibrated to that figure, split into sender CPU, wire,
+//! and receiver CPU components so the simulator can charge each to the right
+//! party and account cross-socket penalties.
+//!
+//! [`live`] additionally provides a real ping-pong harness over actual Unix
+//! domain sockets and TCP loopback, so the Figure 6 experiment can print
+//! measured-on-this-host numbers next to the calibrated model.
+
+pub mod ipc_model;
+pub mod live;
+
+pub use ipc_model::{IpcCost, IpcMechanism};

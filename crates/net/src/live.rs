@@ -1,0 +1,102 @@
+//! Live IPC ping-pong measurement on the host.
+//!
+//! Replicates the paper's Figure 6 microbenchmark for the mechanisms the
+//! Rust standard library exposes portably (Unix domain sockets and TCP
+//! loopback): two threads exchange fixed-size messages for a bounded number
+//! of round trips and we report messages/second. On a single-socket host
+//! there is no "different socket" variant — the calibrated model in
+//! [`crate::ipc_model`] covers that axis.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::time::Instant;
+
+const MSG_SIZE: usize = 64;
+
+/// Result of one live measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveResult {
+    pub mechanism: &'static str,
+    pub msgs_per_sec: f64,
+    pub round_trips: u32,
+}
+
+fn pingpong<S: Read + Write + Send + 'static>(
+    mechanism: &'static str,
+    mut a: S,
+    mut b: S,
+    round_trips: u32,
+) -> LiveResult {
+    let peer = std::thread::spawn(move || {
+        let mut buf = [0u8; MSG_SIZE];
+        for _ in 0..round_trips {
+            b.read_exact(&mut buf).unwrap();
+            b.write_all(&buf).unwrap();
+        }
+    });
+    let msg = [7u8; MSG_SIZE];
+    let mut buf = [0u8; MSG_SIZE];
+    let start = Instant::now();
+    for _ in 0..round_trips {
+        a.write_all(&msg).unwrap();
+        a.read_exact(&mut buf).unwrap();
+    }
+    let elapsed = start.elapsed();
+    peer.join().unwrap();
+    // Two messages per round trip.
+    let msgs = 2.0 * round_trips as f64;
+    LiveResult {
+        mechanism,
+        msgs_per_sec: msgs / elapsed.as_secs_f64(),
+        round_trips,
+    }
+}
+
+/// Measure Unix-domain-socket ping-pong throughput.
+pub fn measure_unix_sockets(round_trips: u32) -> std::io::Result<LiveResult> {
+    let (a, b) = UnixStream::pair()?;
+    Ok(pingpong("UNIX sockets (live)", a, b, round_trips))
+}
+
+/// Measure TCP-loopback ping-pong throughput.
+pub fn measure_tcp(round_trips: u32) -> std::io::Result<LiveResult> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let a = TcpStream::connect(addr)?;
+    let (b, _) = listener.accept()?;
+    a.set_nodelay(true)?;
+    b.set_nodelay(true)?;
+    Ok(pingpong("TCP sockets (live)", a, b, round_trips))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unix_socket_pingpong_runs() {
+        let r = measure_unix_sockets(200).unwrap();
+        assert!(r.msgs_per_sec > 1_000.0, "{:?}", r);
+        assert_eq!(r.round_trips, 200);
+    }
+
+    #[test]
+    fn tcp_pingpong_runs() {
+        let r = measure_tcp(200).unwrap();
+        assert!(r.msgs_per_sec > 500.0, "{:?}", r);
+    }
+
+    #[test]
+    fn unix_sockets_beat_tcp_locally() {
+        // The paper's observation; also holds on loopback virtually always.
+        let u = measure_unix_sockets(500).unwrap();
+        let t = measure_tcp(500).unwrap();
+        assert!(
+            u.msgs_per_sec > t.msgs_per_sec * 0.8,
+            "unix {:.0} vs tcp {:.0} (allowing noise)",
+            u.msgs_per_sec,
+            t.msgs_per_sec
+        );
+    }
+}

@@ -1,0 +1,421 @@
+//! The single-threaded deterministic executor.
+//!
+//! Tasks are `!Send` futures polled by one thread. Readiness is FIFO; timers
+//! fire in `(time, registration order)` — two runs with the same inputs
+//! produce identical event interleavings, which is what makes the simulated
+//! experiments reproducible and their "error bars" purely model-driven.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::SimTime;
+
+pub(crate) type TaskId = u64;
+
+/// A handle to the simulation: clock, spawner, and run loop.
+///
+/// Cheap to clone; all clones share the same virtual world.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<Inner>,
+}
+
+pub(crate) struct Inner {
+    now: Cell<u64>,
+    next_task: Cell<TaskId>,
+    tasks: RefCell<HashMap<TaskId, Pin<Box<dyn Future<Output = ()>>>>>,
+    ready: Arc<ReadyQueue>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    timer_seq: Cell<u64>,
+}
+
+struct ReadyQueue {
+    q: Mutex<VecDeque<TaskId>>,
+}
+
+struct TimerEntry {
+    at: u64,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.q.lock().unwrap().push_back(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.q.lock().unwrap().push_back(self.id);
+    }
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    pub fn new() -> Self {
+        Sim {
+            inner: Rc::new(Inner {
+                now: Cell::new(0),
+                next_task: Cell::new(0),
+                tasks: RefCell::new(HashMap::new()),
+                ready: Arc::new(ReadyQueue {
+                    q: Mutex::new(VecDeque::new()),
+                }),
+                timers: RefCell::new(BinaryHeap::new()),
+                timer_seq: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        SimTime(self.inner.now.get())
+    }
+
+    /// Number of spawned tasks that have not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.tasks.borrow().len()
+    }
+
+    /// Spawn a task; it becomes runnable immediately (at the current time).
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let state = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waiter: None,
+        }));
+        let st = Rc::clone(&state);
+        let wrapped = async move {
+            let out = fut.await;
+            let mut s = st.borrow_mut();
+            s.result = Some(out);
+            if let Some(w) = s.waiter.take() {
+                w.wake();
+            }
+        };
+        let id = self.inner.next_task.get();
+        self.inner.next_task.set(id + 1);
+        self.inner.tasks.borrow_mut().insert(id, Box::pin(wrapped));
+        self.inner.ready.q.lock().unwrap().push_back(id);
+        JoinHandle { state }
+    }
+
+    /// Register `waker` to be woken at absolute time `at`.
+    ///
+    /// Building block for custom futures (channels, disks). Spurious wakes
+    /// are allowed: a future may be woken by a stale timer and must simply
+    /// re-check its condition.
+    pub fn register_timer(&self, at: SimTime, waker: Waker) {
+        let seq = self.inner.timer_seq.get();
+        self.inner.timer_seq.set(seq + 1);
+        self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
+            at: at.0,
+            seq,
+            waker,
+        }));
+    }
+
+    /// A future that completes `d` picoseconds from now.
+    pub fn sleep(&self, d: u64) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            at: self.inner.now.get() + d,
+            registered: false,
+        }
+    }
+
+    /// A future that completes at absolute time `at` (immediately if past).
+    pub fn sleep_until(&self, at: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            at: at.0,
+            registered: false,
+        }
+    }
+
+    /// Run until no runnable tasks and no timers remain. Returns the final
+    /// virtual time. Tasks blocked on primitives nobody will signal are
+    /// abandoned (they keep their resources until [`Sim::shutdown`]).
+    pub fn run(&self) -> SimTime {
+        self.run_until(SimTime(u64::MAX));
+        self.now()
+    }
+
+    /// Run until quiescent or until virtual time would exceed `deadline`.
+    /// Returns `true` if the simulation became quiescent.
+    pub fn run_until(&self, deadline: SimTime) -> bool {
+        loop {
+            // Drain the ready queue at the current instant.
+            loop {
+                let next = self.inner.ready.q.lock().unwrap().pop_front();
+                match next {
+                    Some(id) => self.poll_task(id),
+                    None => break,
+                }
+            }
+            // Advance the clock to the next timer.
+            let at = match self.inner.timers.borrow().peek() {
+                Some(Reverse(e)) => e.at,
+                None => return true,
+            };
+            if at > deadline.0 {
+                self.inner.now.set(deadline.0);
+                return false;
+            }
+            let Reverse(entry) = self.inner.timers.borrow_mut().pop().expect("peeked");
+            debug_assert!(entry.at >= self.inner.now.get(), "timer in the past");
+            self.inner.now.set(entry.at);
+            entry.waker.wake();
+        }
+    }
+
+    /// Drop all tasks and timers, breaking `Rc` cycles between tasks and the
+    /// simulation. Call when an experiment run is finished.
+    pub fn shutdown(&self) {
+        self.inner.tasks.borrow_mut().clear();
+        self.inner.timers.borrow_mut().clear();
+        self.inner.ready.q.lock().unwrap().clear();
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        // Take the future out of the table while polling so that code inside
+        // the task (e.g. `spawn`) can borrow the table.
+        let fut = self.inner.tasks.borrow_mut().remove(&id);
+        let Some(mut fut) = fut else {
+            return; // completed, or stale wake
+        };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: Arc::clone(&self.inner.ready),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {}
+            Poll::Pending => {
+                self.inner.tasks.borrow_mut().insert(id, fut);
+            }
+        }
+    }
+}
+
+/// Future returned by [`Sim::sleep`].
+pub struct Sleep {
+    sim: Sim,
+    at: u64,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.inner.now.get() >= self.at {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.registered = true;
+            let at = SimTime(self.at);
+            self.sim.register_timer(at, cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waiter: Option<Waker>,
+}
+
+/// Awaitable completion handle for a spawned task.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Returns the task's output if it has completed (consuming it).
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut s = self.state.borrow_mut();
+        match s.result.take() {
+            Some(v) => Poll::Ready(v),
+            None => {
+                s.waiter = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn sleep_advances_virtual_time_only() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(1_000_000).await; // 1 us
+            s.now()
+        });
+        let end = sim.run();
+        assert_eq!(h.try_take().unwrap(), SimTime(1_000_000));
+        assert_eq!(end, SimTime(1_000_000));
+    }
+
+    #[test]
+    fn tasks_interleave_in_time_order() {
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (name, delay) in [("c", 300u64), ("a", 100), ("b", 200)] {
+            let s = sim.clone();
+            let l = Rc::clone(&log);
+            sim.spawn(async move {
+                s.sleep(delay).await;
+                l.borrow_mut().push(name);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_timestamps_fire_in_registration_order() {
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for name in ["first", "second", "third"] {
+            let s = sim.clone();
+            let l = Rc::clone(&log);
+            sim.spawn(async move {
+                s.sleep(500).await;
+                l.borrow_mut().push(name);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            let inner = s.spawn(async { 41 });
+            inner.await + 1
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(42));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(10_000).await;
+        });
+        let quiescent = sim.run_until(SimTime(5_000));
+        assert!(!quiescent);
+        assert_eq!(sim.now(), SimTime(5_000));
+        assert_eq!(sim.live_tasks(), 1);
+        let quiescent = sim.run_until(SimTime(20_000));
+        assert!(quiescent);
+        assert_eq!(sim.now(), SimTime(10_000));
+    }
+
+    #[test]
+    fn nested_spawns_run() {
+        let sim = Sim::new();
+        let count = Rc::new(Cell::new(0));
+        let s = sim.clone();
+        let c = Rc::clone(&count);
+        sim.spawn(async move {
+            for _ in 0..10 {
+                let c2 = Rc::clone(&c);
+                let s2 = s.clone();
+                s.spawn(async move {
+                    s2.sleep(1).await;
+                    c2.set(c2.get() + 1);
+                });
+            }
+        });
+        sim.run();
+        assert_eq!(count.get(), 10);
+    }
+
+    #[test]
+    fn shutdown_clears_blocked_tasks() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            // Sleeps forever-ish; will be abandoned.
+            s.sleep(u64::MAX / 2).await;
+        });
+        sim.run_until(SimTime(100));
+        assert_eq!(sim.live_tasks(), 1);
+        sim.shutdown();
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn determinism_two_identical_runs() {
+        fn trace() -> Vec<(u64, u32)> {
+            let sim = Sim::new();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..20u32 {
+                let s = sim.clone();
+                let l = Rc::clone(&log);
+                sim.spawn(async move {
+                    for k in 0..5u64 {
+                        s.sleep(100 * ((i as u64 * 7 + k) % 13 + 1)).await;
+                        l.borrow_mut().push((s.now().as_ps(), i));
+                    }
+                });
+            }
+            sim.run();
+            Rc::try_unwrap(log).unwrap().into_inner()
+        }
+        assert_eq!(trace(), trace());
+    }
+}

@@ -1,0 +1,101 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in picoseconds since simulation start.
+///
+/// Durations are plain `u64` picoseconds; the arithmetic below keeps the
+/// distinction lightweight without a second wrapper type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    #[inline]
+    pub fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating difference, as a duration in picoseconds.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: u64) -> SimTime {
+        SimTime(self.0 + d)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: u64) {
+        self.0 += d;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(1_000);
+        let u = t + 500;
+        assert_eq!(u.as_ps(), 1_500);
+        assert_eq!(u - t, 500);
+        assert_eq!(u.since(t), 500);
+        assert_eq!(t.since(u), 0, "since saturates");
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", SimTime(1_500)), "1.500ns");
+        assert_eq!(format!("{}", SimTime(2_500_000)), "2.500us");
+        assert_eq!(format!("{}", SimTime(3_000_000_000)), "3.000ms");
+        assert_eq!(format!("{}", SimTime(4_200_000_000_000)), "4.200s");
+    }
+}

@@ -1,0 +1,907 @@
+//! A database instance: catalog + buffer pool + lock manager + WAL, with
+//! full transaction support and participant-side 2PC.
+//!
+//! One [`StorageInstance`] corresponds to one "database instance" in the
+//! paper's deployments: shared-everything runs a single instance spanning
+//! the machine, `NISL` configurations run `N` of them side by side, each
+//! owning a partition.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::lock::{LockId, LockMode, NativeLockManager};
+use crate::page::{Page, PageId, PAGE_TYPE_CATALOG};
+use crate::store::PageStore;
+use crate::table::{Table, TableMeta};
+use crate::wal::record::LogPayload;
+use crate::wal::recovery::{analyze, RedoOp, UndoOp};
+use crate::wal::{LogDevice, LogManager};
+use crate::{Lsn, TxnId};
+
+/// Instance construction knobs.
+#[derive(Debug, Clone)]
+pub struct InstanceOptions {
+    /// Buffer pool frames (8 KB each).
+    pub buffer_frames: usize,
+    /// One worker thread ⇒ skip locking entirely (paper's fine-grained
+    /// shared-nothing optimization; Sections 6.2, 7.1.1).
+    pub single_threaded: bool,
+    pub lock_timeout: Duration,
+    /// Log-buffer bytes that trigger an early flush.
+    pub flush_threshold: usize,
+    /// Group-commit window.
+    pub group_window: Duration,
+}
+
+impl Default for InstanceOptions {
+    fn default() -> Self {
+        InstanceOptions {
+            buffer_frames: 4096, // 32 MB
+            single_threaded: false,
+            lock_timeout: Duration::from_secs(2),
+            flush_threshold: 64 << 10,
+            group_window: Duration::from_micros(500),
+        }
+    }
+}
+
+/// An in-doubt transaction surfaced by recovery: prepared locally, awaiting
+/// the coordinator's decision.
+#[derive(Debug)]
+pub struct InDoubt {
+    pub txn: TxnId,
+    pub gtid: u64,
+    /// Applied (idempotently) if the decision is commit.
+    pub ops: Vec<RedoOp>,
+    /// Applied (idempotently, already reversed) if the decision is abort.
+    pub undo: Vec<UndoOp>,
+}
+
+/// The database instance.
+pub struct StorageInstance {
+    pub opts: InstanceOptions,
+    pool: Arc<BufferPool>,
+    locks: Arc<NativeLockManager>,
+    wal: Arc<LogManager>,
+    catalog: RwLock<Catalog>,
+    next_txn: AtomicU64,
+    next_table: AtomicU64,
+    active_txns: AtomicU64,
+}
+
+#[derive(Default)]
+struct Catalog {
+    by_name: HashMap<String, Arc<Table>>,
+    by_id: HashMap<u32, Arc<Table>>,
+    snapshot_lsn: Lsn,
+}
+
+impl StorageInstance {
+    /// Create a fresh instance over `store` and `log_device`.
+    pub fn create(
+        store: Arc<dyn PageStore>,
+        log_device: Arc<dyn LogDevice>,
+        opts: InstanceOptions,
+    ) -> Arc<Self> {
+        let pool = BufferPool::new(store, opts.buffer_frames);
+        let wal = LogManager::new(log_device, opts.flush_threshold, opts.group_window);
+        Self::wire_wal_barrier(&pool, &wal);
+        Arc::new(StorageInstance {
+            locks: Arc::new(NativeLockManager::new(opts.lock_timeout)),
+            pool,
+            wal,
+            catalog: RwLock::new(Catalog::default()),
+            next_txn: AtomicU64::new(1),
+            next_table: AtomicU64::new(1),
+            active_txns: AtomicU64::new(0),
+            opts,
+        })
+    }
+
+    /// Dirty-page steal honors the write-ahead rule by forcing the whole log
+    /// first (coarse but correct; stealing is rare when the pool fits the
+    /// working set, as in the paper's setup).
+    fn wire_wal_barrier(pool: &Arc<BufferPool>, wal: &Arc<LogManager>) {
+        let wal = Arc::clone(wal);
+        pool.set_wal_barrier(Arc::new(move || {
+            let lsn = wal.end_lsn();
+            wal.commit_durable(lsn);
+        }));
+    }
+
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    pub fn wal(&self) -> &Arc<LogManager> {
+        &self.wal
+    }
+
+    pub fn locks(&self) -> &Arc<NativeLockManager> {
+        &self.locks
+    }
+
+    // -- catalog -------------------------------------------------------------
+
+    pub fn create_table(&self, name: &str, row_size: usize) -> Result<Arc<Table>> {
+        let id = self.next_table.fetch_add(1, Ordering::SeqCst) as u32;
+        let table = Arc::new(Table::create(Arc::clone(&self.pool), id, name, row_size)?);
+        let mut cat = self.catalog.write();
+        cat.by_name.insert(name.to_owned(), Arc::clone(&table));
+        cat.by_id.insert(id, Arc::clone(&table));
+        Ok(table)
+    }
+
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.catalog
+            .read()
+            .by_name
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_owned()))
+    }
+
+    pub fn table_by_id(&self, id: u32) -> Option<Arc<Table>> {
+        self.catalog.read().by_id.get(&id).cloned()
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog.read().by_name.keys().cloned().collect()
+    }
+
+    /// Bulk-load a row without logging or locking (initial data load, as in
+    /// the paper's experiment setup; follow with [`Self::checkpoint`]).
+    pub fn load_row(&self, table: &Arc<Table>, key: u64, payload: &[u8]) -> Result<()> {
+        table.insert_row(key, payload)?;
+        Ok(())
+    }
+
+    // -- transactions ---------------------------------------------------------
+
+    /// Start a transaction.
+    pub fn begin(self: &Arc<Self>) -> TxnHandle {
+        let id = TxnId(self.next_txn.fetch_add(1, Ordering::SeqCst));
+        self.active_txns.fetch_add(1, Ordering::SeqCst);
+        TxnHandle {
+            instance: Arc::clone(self),
+            id,
+            state: TxnState::Active,
+            wrote: false,
+            last_lsn: 0,
+            undo: Vec::new(),
+        }
+    }
+
+    pub fn active_txns(&self) -> u64 {
+        self.active_txns.load(Ordering::SeqCst)
+    }
+
+    // -- checkpoint / recovery -----------------------------------------------
+
+    /// Quiesced checkpoint: flush the pool, persist the catalog, log a
+    /// checkpoint record. Fails if transactions are active.
+    pub fn checkpoint(&self) -> Result<()> {
+        if self.active_txns() != 0 {
+            return Err(StorageError::CorruptCatalog(
+                "checkpoint requires quiesce (active transactions)".into(),
+            ));
+        }
+        let snapshot_lsn = self.wal.end_lsn();
+        self.pool.flush_all()?;
+        self.write_catalog_page(snapshot_lsn)?;
+        let lsn = self
+            .wal
+            .append(TxnId(0), &LogPayload::Checkpoint { snapshot_lsn });
+        self.wal.commit_durable(lsn);
+        self.catalog.write().snapshot_lsn = snapshot_lsn;
+        Ok(())
+    }
+
+    fn write_catalog_page(&self, snapshot_lsn: Lsn) -> Result<()> {
+        let cat = self.catalog.read();
+        let mut page = Page::new();
+        page.set_page_type(PAGE_TYPE_CATALOG);
+        let mut off = 16usize;
+        page.write_u32(off, 0x15_1A_0D_05); // magic
+        off += 4;
+        page.write_u64(off, snapshot_lsn);
+        off += 8;
+        page.write_u64(off, self.next_txn.load(Ordering::SeqCst));
+        off += 8;
+        page.write_u64(off, self.next_table.load(Ordering::SeqCst));
+        off += 8;
+        page.write_u32(off, cat.by_id.len() as u32);
+        off += 4;
+        let mut metas: Vec<TableMeta> = cat.by_id.values().map(|t| t.meta()).collect();
+        metas.sort_by_key(|m| m.id);
+        for m in metas {
+            page.write_u32(off, m.id);
+            off += 4;
+            page.write_u32(off, m.row_size as u32);
+            off += 4;
+            page.write_u64(off, m.heap_head.0);
+            off += 8;
+            page.write_u64(off, m.index_root.0);
+            off += 8;
+            page.write_u32(off, m.index_height);
+            off += 4;
+            page.write_u64(off, m.row_count);
+            off += 8;
+            let name = m.name.as_bytes();
+            page.write_u16(off, name.len() as u16);
+            off += 2;
+            page.data[off..off + name.len()].copy_from_slice(name);
+            off += name.len();
+        }
+        self.pool.store().write_page(PageId(0), &page)?;
+        self.pool.store().sync()?;
+        Ok(())
+    }
+
+    fn read_catalog_page(store: &Arc<dyn PageStore>) -> Result<(Lsn, u64, u64, Vec<TableMeta>)> {
+        let mut page = Page::new();
+        store.read_page(PageId(0), &mut page)?;
+        if page.page_type() != PAGE_TYPE_CATALOG {
+            return Err(StorageError::CorruptCatalog("bad page type".into()));
+        }
+        let mut off = 16usize;
+        let magic = page.read_u32(off);
+        off += 4;
+        if magic != 0x15_1A_0D_05 {
+            return Err(StorageError::CorruptCatalog("bad magic".into()));
+        }
+        let snapshot_lsn = page.read_u64(off);
+        off += 8;
+        let next_txn = page.read_u64(off);
+        off += 8;
+        let next_table = page.read_u64(off);
+        off += 8;
+        let n = page.read_u32(off);
+        off += 4;
+        let mut metas = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let id = page.read_u32(off);
+            off += 4;
+            let row_size = page.read_u32(off) as usize;
+            off += 4;
+            let heap_head = PageId(page.read_u64(off));
+            off += 8;
+            let index_root = PageId(page.read_u64(off));
+            off += 8;
+            let index_height = page.read_u32(off);
+            off += 4;
+            let row_count = page.read_u64(off);
+            off += 8;
+            let name_len = page.read_u16(off) as usize;
+            off += 2;
+            let name = String::from_utf8(page.data[off..off + name_len].to_vec())
+                .map_err(|_| StorageError::CorruptCatalog("bad table name".into()))?;
+            off += name_len;
+            metas.push(TableMeta {
+                id,
+                name,
+                row_size,
+                heap_head,
+                index_root,
+                index_height,
+                row_count,
+            });
+        }
+        Ok((snapshot_lsn, next_txn, next_table, metas))
+    }
+
+    /// Recover an instance from a store (last checkpoint snapshot) and its
+    /// log. Returns the instance and any in-doubt prepared transactions for
+    /// the deployment layer to resolve against coordinator decisions.
+    pub fn recover(
+        store: Arc<dyn PageStore>,
+        log_device: Arc<dyn LogDevice>,
+        opts: InstanceOptions,
+    ) -> Result<(Arc<Self>, Vec<InDoubt>)> {
+        let (snapshot_lsn, next_txn, next_table, metas) = Self::read_catalog_page(&store)?;
+        let log_bytes = log_device.read_all()?;
+        let pool = BufferPool::new(store, opts.buffer_frames);
+        let mut cat = Catalog {
+            snapshot_lsn,
+            ..Default::default()
+        };
+        for m in &metas {
+            let t = Arc::new(Table::open(Arc::clone(&pool), m)?);
+            cat.by_name.insert(m.name.clone(), Arc::clone(&t));
+            cat.by_id.insert(m.id, t);
+        }
+        let analysis = analyze(&log_bytes, snapshot_lsn)?;
+        // Logical redo of committed work (LSN order).
+        for (_, _, op) in &analysis.redo {
+            Self::apply_redo(&cat, op)?;
+        }
+        // Logical undo of losers (reverse LSN order; stolen pages may hold
+        // their effects).
+        for (_, _, op) in analysis.undo.iter().rev() {
+            Self::apply_undo(&cat, op)?;
+        }
+        let max_seen = analysis
+            .committed
+            .iter()
+            .chain(analysis.aborted.iter())
+            .chain(analysis.in_doubt.keys())
+            .map(|t| t.0)
+            .max()
+            .unwrap_or(0);
+        let wal = LogManager::new(log_device, opts.flush_threshold, opts.group_window);
+        let inst = Arc::new(StorageInstance {
+            locks: Arc::new(NativeLockManager::new(opts.lock_timeout)),
+            pool,
+            wal,
+            catalog: RwLock::new(cat),
+            next_txn: AtomicU64::new(next_txn.max(max_seen + 1)),
+            next_table: AtomicU64::new(next_table),
+            active_txns: AtomicU64::new(0),
+            opts,
+        });
+        let in_doubt = analysis
+            .in_doubt
+            .into_iter()
+            .map(|(txn, gtid)| InDoubt {
+                txn,
+                gtid,
+                ops: analysis.in_doubt_ops.get(&txn).cloned().unwrap_or_default(),
+                undo: analysis
+                    .in_doubt_undo
+                    .get(&txn)
+                    .cloned()
+                    .unwrap_or_default(),
+            })
+            .collect();
+        Ok((inst, in_doubt))
+    }
+
+    fn apply_redo(cat: &Catalog, op: &RedoOp) -> Result<()> {
+        match op {
+            RedoOp::Insert { table, key, data } => {
+                if let Some(t) = cat.by_id.get(table) {
+                    match t.insert_row(*key, data) {
+                        Ok(_) | Err(StorageError::DuplicateKey(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            RedoOp::Update { table, key, after } => {
+                if let Some(t) = cat.by_id.get(table) {
+                    match t.update(*key, after) {
+                        Ok(_) => {}
+                        // Row may post-date the snapshot and precede this
+                        // update only if its insert was redone; missing row
+                        // with no insert means corrupted log.
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_undo(cat: &Catalog, op: &UndoOp) -> Result<()> {
+        match op {
+            UndoOp::Revert { table, key, before } => {
+                if let Some(t) = cat.by_id.get(table) {
+                    match t.update(*key, before) {
+                        Ok(_) | Err(StorageError::KeyNotFound(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            UndoOp::Remove { table, key } => {
+                if let Some(t) = cat.by_id.get(table) {
+                    t.delete_row(*key)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply the decision for an in-doubt transaction from recovery.
+    pub fn resolve_in_doubt(&self, in_doubt: &InDoubt, commit: bool) -> Result<()> {
+        let cat = self.catalog.read();
+        if commit {
+            for op in &in_doubt.ops {
+                Self::apply_redo(&cat, op)?;
+            }
+            self.wal.append(in_doubt.txn, &LogPayload::Commit);
+        } else {
+            for op in &in_doubt.undo {
+                Self::apply_undo(&cat, op)?;
+            }
+            self.wal.append(in_doubt.txn, &LogPayload::Abort);
+        }
+        drop(cat);
+        let lsn = self.wal.append(in_doubt.txn, &LogPayload::End);
+        self.wal.commit_durable(lsn);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TxnHandle
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnState {
+    Active,
+    Prepared,
+    Finished,
+}
+
+enum UndoEntry {
+    Update {
+        table: Arc<Table>,
+        key: u64,
+        before: Vec<u8>,
+    },
+    Insert {
+        table: Arc<Table>,
+        key: u64,
+    },
+}
+
+/// A live transaction. Dropping an unfinished handle aborts it (RAII).
+pub struct TxnHandle {
+    instance: Arc<StorageInstance>,
+    id: TxnId,
+    state: TxnState,
+    wrote: bool,
+    last_lsn: Lsn,
+    undo: Vec<UndoEntry>,
+}
+
+impl TxnHandle {
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    fn check_active(&self) -> Result<()> {
+        match self.state {
+            TxnState::Active => Ok(()),
+            _ => Err(StorageError::TxnFinished(self.id)),
+        }
+    }
+
+    fn lock(&self, id: LockId, mode: LockMode) -> Result<()> {
+        if self.instance.opts.single_threaded {
+            return Ok(());
+        }
+        self.instance.locks.lock(self.id, id, mode)
+    }
+
+    /// Read one row (S lock on the key, IS on the table).
+    pub fn read(&mut self, table: &str, key: u64) -> Result<Option<Vec<u8>>> {
+        self.check_active()?;
+        let t = self.instance.table(table)?;
+        self.lock(LockId::Table(t.id), LockMode::IS)?;
+        self.lock(LockId::Key(t.id, key), LockMode::S)?;
+        t.get(key)
+    }
+
+    /// Overwrite one row (X lock on the key, IX on the table), logging
+    /// before/after images.
+    pub fn update(&mut self, table: &str, key: u64, payload: &[u8]) -> Result<()> {
+        self.check_active()?;
+        let t = self.instance.table(table)?;
+        self.lock(LockId::Table(t.id), LockMode::IX)?;
+        self.lock(LockId::Key(t.id, key), LockMode::X)?;
+        let before = t.update(key, payload)?;
+        self.last_lsn = self.instance.wal.append(
+            self.id,
+            &LogPayload::Update {
+                table: t.id,
+                key,
+                before: before.clone(),
+                after: payload.to_vec(),
+            },
+        );
+        self.wrote = true;
+        self.undo.push(UndoEntry::Update {
+            table: t,
+            key,
+            before,
+        });
+        Ok(())
+    }
+
+    /// Insert a new row.
+    pub fn insert(&mut self, table: &str, key: u64, payload: &[u8]) -> Result<()> {
+        self.check_active()?;
+        let t = self.instance.table(table)?;
+        self.lock(LockId::Table(t.id), LockMode::IX)?;
+        self.lock(LockId::Key(t.id, key), LockMode::X)?;
+        t.insert_row(key, payload)?;
+        self.last_lsn = self.instance.wal.append(
+            self.id,
+            &LogPayload::Insert {
+                table: t.id,
+                key,
+                data: payload.to_vec(),
+            },
+        );
+        self.wrote = true;
+        self.undo.push(UndoEntry::Insert { table: t, key });
+        Ok(())
+    }
+
+    /// Commit: force the commit record if the transaction wrote (group
+    /// commit absorbs the force), then release locks.
+    pub fn commit(mut self) -> Result<()> {
+        self.check_active()?;
+        self.finish_commit()
+    }
+
+    fn finish_commit(&mut self) -> Result<()> {
+        if self.wrote || self.state == TxnState::Prepared {
+            let lsn = self.instance.wal.append(self.id, &LogPayload::Commit);
+            self.instance.wal.commit_durable(lsn);
+        }
+        self.release(TxnState::Finished);
+        Ok(())
+    }
+
+    /// Roll back: undo applied changes in reverse order, log the abort.
+    pub fn abort(mut self) -> Result<()> {
+        self.do_abort()
+    }
+
+    fn do_abort(&mut self) -> Result<()> {
+        if self.state == TxnState::Finished {
+            return Ok(());
+        }
+        for entry in self.undo.drain(..).rev() {
+            match entry {
+                UndoEntry::Update { table, key, before } => {
+                    table.update(key, &before)?;
+                }
+                UndoEntry::Insert { table, key } => {
+                    table.delete_row(key)?;
+                }
+            }
+        }
+        if self.wrote || self.state == TxnState::Prepared {
+            self.instance.wal.append(self.id, &LogPayload::Abort);
+        }
+        self.release(TxnState::Finished);
+        Ok(())
+    }
+
+    /// Participant side of 2PC phase 1: force a prepare record. After this,
+    /// only the coordinator's decision may finish the transaction.
+    /// Read-only participants skip the force and report it.
+    pub fn prepare(&mut self, gtid: u64) -> Result<PrepareVote> {
+        self.check_active()?;
+        if !self.wrote {
+            // Read-only optimization: vote, release immediately, no phase 2.
+            self.release(TxnState::Finished);
+            return Ok(PrepareVote::ReadOnly);
+        }
+        let lsn = self
+            .instance
+            .wal
+            .append(self.id, &LogPayload::Prepare { gtid });
+        self.instance.wal.commit_durable(lsn);
+        self.state = TxnState::Prepared;
+        Ok(PrepareVote::Yes)
+    }
+
+    /// Phase 2 for a prepared participant.
+    pub fn decide(mut self, commit: bool) -> Result<()> {
+        if self.state != TxnState::Prepared {
+            return Err(StorageError::TxnFinished(self.id));
+        }
+        if commit {
+            self.finish_commit()
+        } else {
+            self.state = TxnState::Active; // allow undo path
+            self.do_abort()
+        }
+    }
+
+    /// Whether this transaction performed any writes.
+    pub fn wrote(&self) -> bool {
+        self.wrote
+    }
+
+    fn release(&mut self, end_state: TxnState) {
+        if !self.instance.opts.single_threaded {
+            self.instance.locks.unlock_all(self.id);
+        }
+        if self.state != TxnState::Finished {
+            self.instance.active_txns.fetch_sub(1, Ordering::SeqCst);
+        }
+        self.state = end_state;
+        self.undo.clear();
+    }
+}
+
+/// Participant's vote in 2PC phase 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrepareVote {
+    Yes,
+    ReadOnly,
+}
+
+impl Drop for TxnHandle {
+    fn drop(&mut self) {
+        if self.state != TxnState::Finished {
+            let _ = self.do_abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use crate::wal::MemLogDevice;
+
+    fn fresh(opts: InstanceOptions) -> Arc<StorageInstance> {
+        StorageInstance::create(Arc::new(MemStore::new()), MemLogDevice::new(), opts)
+    }
+
+    fn small_opts() -> InstanceOptions {
+        InstanceOptions {
+            buffer_frames: 256,
+            group_window: Duration::from_micros(100),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn commit_makes_changes_visible() {
+        let inst = fresh(small_opts());
+        let t = inst.create_table("a", 8).unwrap();
+        inst.load_row(&t, 1, &[0u8; 8]).unwrap();
+        let mut txn = inst.begin();
+        txn.update("a", 1, &[9u8; 8]).unwrap();
+        txn.commit().unwrap();
+        let mut txn = inst.begin();
+        assert_eq!(txn.read("a", 1).unwrap(), Some(vec![9u8; 8]));
+        txn.commit().unwrap();
+        assert_eq!(inst.active_txns(), 0);
+    }
+
+    #[test]
+    fn abort_rolls_back_updates_and_inserts() {
+        let inst = fresh(small_opts());
+        let t = inst.create_table("a", 8).unwrap();
+        inst.load_row(&t, 1, &[1u8; 8]).unwrap();
+        let mut txn = inst.begin();
+        txn.update("a", 1, &[2u8; 8]).unwrap();
+        txn.insert("a", 5, &[5u8; 8]).unwrap();
+        txn.abort().unwrap();
+        let mut txn = inst.begin();
+        assert_eq!(txn.read("a", 1).unwrap(), Some(vec![1u8; 8]));
+        assert_eq!(txn.read("a", 5).unwrap(), None);
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn drop_without_commit_aborts() {
+        let inst = fresh(small_opts());
+        let t = inst.create_table("a", 8).unwrap();
+        inst.load_row(&t, 1, &[1u8; 8]).unwrap();
+        {
+            let mut txn = inst.begin();
+            txn.update("a", 1, &[9u8; 8]).unwrap();
+            // dropped here
+        }
+        let mut txn = inst.begin();
+        assert_eq!(txn.read("a", 1).unwrap(), Some(vec![1u8; 8]));
+        txn.commit().unwrap();
+        assert_eq!(inst.active_txns(), 0);
+    }
+
+    #[test]
+    fn conflicting_writers_serialize_or_die() {
+        let inst = fresh(small_opts());
+        let t = inst.create_table("a", 8).unwrap();
+        inst.load_row(&t, 1, &[0u8; 8]).unwrap();
+        let mut t1 = inst.begin();
+        let t2 = inst.begin(); // younger
+        let mut t2 = t2;
+        t1.update("a", 1, &[1u8; 8]).unwrap();
+        // Younger conflicting writer dies immediately (wait-die).
+        let err = t2.update("a", 1, &[2u8; 8]).unwrap_err();
+        assert!(matches!(err, StorageError::Deadlock(_)));
+        t2.abort().unwrap();
+        t1.commit().unwrap();
+    }
+
+    #[test]
+    fn single_threaded_skips_locking() {
+        let inst = fresh(InstanceOptions {
+            single_threaded: true,
+            ..small_opts()
+        });
+        let t = inst.create_table("a", 8).unwrap();
+        inst.load_row(&t, 1, &[0u8; 8]).unwrap();
+        let mut t1 = inst.begin();
+        let mut t2 = inst.begin();
+        t1.update("a", 1, &[1u8; 8]).unwrap();
+        // No lock manager: no conflict surfaces (single worker by contract).
+        t2.update("a", 1, &[2u8; 8]).unwrap();
+        t2.commit().unwrap();
+        t1.commit().unwrap();
+        let (acquires, _, _) = inst.locks().stats();
+        assert_eq!(acquires, 0);
+    }
+
+    #[test]
+    fn recovery_replays_committed_and_drops_losers() {
+        let store: Arc<dyn PageStore> = Arc::new(MemStore::new());
+        let dev = MemLogDevice::new();
+        {
+            let inst =
+                StorageInstance::create(Arc::clone(&store), dev.clone(), small_opts());
+            let t = inst.create_table("a", 8).unwrap();
+            for k in 0..10u64 {
+                inst.load_row(&t, k, &[0u8; 8]).unwrap();
+            }
+            inst.checkpoint().unwrap();
+            // Committed update.
+            let mut txn = inst.begin();
+            txn.update("a", 3, &[3u8; 8]).unwrap();
+            txn.commit().unwrap();
+            // Committed insert.
+            let mut txn = inst.begin();
+            txn.insert("a", 100, &[7u8; 8]).unwrap();
+            txn.commit().unwrap();
+            // Loser: updated but never committed ("crash" before commit).
+            let mut txn = inst.begin();
+            txn.update("a", 4, &[9u8; 8]).unwrap();
+            std::mem::forget(txn); // simulate crash: no abort, no commit
+        }
+        // "Reboot" from store + log.
+        let (inst, in_doubt) =
+            StorageInstance::recover(store, dev, small_opts()).unwrap();
+        assert!(in_doubt.is_empty());
+        let mut txn = inst.begin();
+        assert_eq!(txn.read("a", 3).unwrap(), Some(vec![3u8; 8]));
+        assert_eq!(txn.read("a", 100).unwrap(), Some(vec![7u8; 8]));
+        assert_eq!(txn.read("a", 4).unwrap(), Some(vec![0u8; 8]), "loser undone");
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn recovery_surfaces_in_doubt_and_resolves() {
+        let store: Arc<dyn PageStore> = Arc::new(MemStore::new());
+        let dev = MemLogDevice::new();
+        {
+            let inst =
+                StorageInstance::create(Arc::clone(&store), dev.clone(), small_opts());
+            let t = inst.create_table("a", 8).unwrap();
+            inst.load_row(&t, 1, &[0u8; 8]).unwrap();
+            inst.checkpoint().unwrap();
+            let mut txn = inst.begin();
+            txn.update("a", 1, &[5u8; 8]).unwrap();
+            assert_eq!(txn.prepare(777).unwrap(), PrepareVote::Yes);
+            std::mem::forget(txn); // crash while in doubt
+        }
+        let (inst, in_doubt) =
+            StorageInstance::recover(store, dev, small_opts()).unwrap();
+        assert_eq!(in_doubt.len(), 1);
+        assert_eq!(in_doubt[0].gtid, 777);
+        // Effects withheld until the decision arrives.
+        {
+            let mut txn = inst.begin();
+            assert_eq!(txn.read("a", 1).unwrap(), Some(vec![0u8; 8]));
+            txn.commit().unwrap();
+        }
+        inst.resolve_in_doubt(&in_doubt[0], true).unwrap();
+        let mut txn = inst.begin();
+        assert_eq!(txn.read("a", 1).unwrap(), Some(vec![5u8; 8]));
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn read_only_prepare_votes_read_only() {
+        let inst = fresh(small_opts());
+        let t = inst.create_table("a", 8).unwrap();
+        inst.load_row(&t, 1, &[0u8; 8]).unwrap();
+        let mut txn = inst.begin();
+        assert_eq!(txn.read("a", 1).unwrap(), Some(vec![0u8; 8]));
+        assert_eq!(txn.prepare(1).unwrap(), PrepareVote::ReadOnly);
+        // Handle is finished; commit would be an error, drop is clean.
+        drop(txn);
+        assert_eq!(inst.active_txns(), 0);
+    }
+
+    #[test]
+    fn prepared_participant_decides_commit_and_abort() {
+        let inst = fresh(small_opts());
+        let t = inst.create_table("a", 8).unwrap();
+        inst.load_row(&t, 1, &[0u8; 8]).unwrap();
+        inst.load_row(&t, 2, &[0u8; 8]).unwrap();
+        // Commit path.
+        let mut txn = inst.begin();
+        txn.update("a", 1, &[1u8; 8]).unwrap();
+        txn.prepare(11).unwrap();
+        txn.decide(true).unwrap();
+        // Abort path.
+        let mut txn = inst.begin();
+        txn.update("a", 2, &[2u8; 8]).unwrap();
+        txn.prepare(12).unwrap();
+        txn.decide(false).unwrap();
+        let mut txn = inst.begin();
+        assert_eq!(txn.read("a", 1).unwrap(), Some(vec![1u8; 8]));
+        assert_eq!(txn.read("a", 2).unwrap(), Some(vec![0u8; 8]));
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve_total() {
+        let inst = fresh(InstanceOptions {
+            buffer_frames: 512,
+            ..small_opts()
+        });
+        let t = inst.create_table("acct", 8).unwrap();
+        let n_accounts = 16u64;
+        for k in 0..n_accounts {
+            inst.load_row(&t, k, &100u64.to_le_bytes()).unwrap();
+        }
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let inst = Arc::clone(&inst);
+            handles.push(std::thread::spawn(move || {
+                let mut done = 0;
+                let mut i = 0u64;
+                while done < 100 {
+                    i += 1;
+                    let from = (w * 31 + i * 7) % n_accounts;
+                    let to = (w * 17 + i * 13) % n_accounts;
+                    if from == to {
+                        continue;
+                    }
+                    let mut txn = inst.begin();
+                    let r = (|| -> Result<()> {
+                        let a = txn.read("acct", from)?.unwrap();
+                        let b = txn.read("acct", to)?.unwrap();
+                        let av = u64::from_le_bytes(a.try_into().unwrap());
+                        let bv = u64::from_le_bytes(b.try_into().unwrap());
+                        if av == 0 {
+                            return Ok(());
+                        }
+                        txn.update("acct", from, &(av - 1).to_le_bytes())?;
+                        txn.update("acct", to, &(bv + 1).to_le_bytes())?;
+                        Ok(())
+                    })();
+                    match r {
+                        Ok(()) => {
+                            if txn.commit().is_ok() {
+                                done += 1;
+                            }
+                        }
+                        Err(StorageError::Deadlock(_)) | Err(StorageError::LockTimeout(_)) => {
+                            let _ = txn.abort();
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut txn = inst.begin();
+        let total: u64 = (0..n_accounts)
+            .map(|k| {
+                let v = txn.read("acct", k).unwrap().unwrap();
+                u64::from_le_bytes(v.try_into().unwrap())
+            })
+            .sum();
+        txn.commit().unwrap();
+        assert_eq!(total, 100 * n_accounts, "money conserved");
+    }
+}

@@ -1,0 +1,288 @@
+//! Log record types and their wire encoding.
+//!
+//! Framing: `[total_len: u32][txn: u64][tag: u8][payload...]`, little endian.
+//! A record's LSN is the byte offset of its first frame byte in the log
+//! stream; `lsn + total_len` is the LSN that must be durable for the record
+//! to be durable.
+
+use bytes::{Buf, BufMut};
+
+use crate::error::{Result, StorageError};
+use crate::{Lsn, TxnId};
+
+/// What happened, from the log's point of view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogPayload {
+    /// Transaction start (informational; recovery treats unfinished
+    /// transactions as aborted — presumed abort).
+    Begin,
+    /// Row inserted into `table` with primary `key`.
+    Insert {
+        table: u32,
+        key: u64,
+        data: Vec<u8>,
+    },
+    /// Row `key` in `table` changed from `before` to `after` (physiological
+    /// undo/redo images).
+    Update {
+        table: u32,
+        key: u64,
+        before: Vec<u8>,
+        after: Vec<u8>,
+    },
+    Commit,
+    Abort,
+    /// Participant side of 2PC: this transaction is prepared for global
+    /// transaction `gtid` and may no longer unilaterally abort. Forced.
+    Prepare { gtid: u64 },
+    /// Coordinator side of 2PC: the global decision for `gtid`. Forced
+    /// before phase 2 begins (presumed abort: only commits are logged
+    /// before the fact; an unlogged gtid means abort).
+    Decision { gtid: u64, commit: bool },
+    /// Transaction fully resolved (participant acked / coordinator done).
+    End,
+    /// Checkpoint completed; everything before `snapshot_lsn` is reflected
+    /// in the on-store snapshot.
+    Checkpoint { snapshot_lsn: Lsn },
+}
+
+const TAG_BEGIN: u8 = 1;
+const TAG_INSERT: u8 = 2;
+const TAG_UPDATE: u8 = 3;
+const TAG_COMMIT: u8 = 4;
+const TAG_ABORT: u8 = 5;
+const TAG_PREPARE: u8 = 6;
+const TAG_DECISION: u8 = 7;
+const TAG_END: u8 = 8;
+const TAG_CHECKPOINT: u8 = 9;
+
+/// A decoded log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Byte offset of this record in the log stream.
+    pub lsn: Lsn,
+    pub txn: TxnId,
+    pub payload: LogPayload,
+}
+
+impl LogRecord {
+    /// LSN that must be durable for this record to be durable.
+    pub fn end_lsn(&self) -> Lsn {
+        self.lsn + encoded_len(&self.payload) as u64
+    }
+}
+
+fn payload_body_len(p: &LogPayload) -> usize {
+    match p {
+        LogPayload::Begin | LogPayload::Commit | LogPayload::Abort | LogPayload::End => 0,
+        LogPayload::Insert { data, .. } => 4 + 8 + 4 + data.len(),
+        LogPayload::Update { before, after, .. } => 4 + 8 + 4 + before.len() + 4 + after.len(),
+        LogPayload::Prepare { .. } => 8,
+        LogPayload::Decision { .. } => 9,
+        LogPayload::Checkpoint { .. } => 8,
+    }
+}
+
+/// Total encoded size of a record with payload `p`.
+pub fn encoded_len(p: &LogPayload) -> usize {
+    4 + 8 + 1 + payload_body_len(p)
+}
+
+/// Append the encoding of `(txn, payload)` to `out`.
+pub fn encode(txn: TxnId, payload: &LogPayload, out: &mut Vec<u8>) {
+    let total = encoded_len(payload);
+    out.reserve(total);
+    out.put_u32_le(total as u32);
+    out.put_u64_le(txn.0);
+    match payload {
+        LogPayload::Begin => out.put_u8(TAG_BEGIN),
+        LogPayload::Insert { table, key, data } => {
+            out.put_u8(TAG_INSERT);
+            out.put_u32_le(*table);
+            out.put_u64_le(*key);
+            out.put_u32_le(data.len() as u32);
+            out.put_slice(data);
+        }
+        LogPayload::Update {
+            table,
+            key,
+            before,
+            after,
+        } => {
+            out.put_u8(TAG_UPDATE);
+            out.put_u32_le(*table);
+            out.put_u64_le(*key);
+            out.put_u32_le(before.len() as u32);
+            out.put_slice(before);
+            out.put_u32_le(after.len() as u32);
+            out.put_slice(after);
+        }
+        LogPayload::Commit => out.put_u8(TAG_COMMIT),
+        LogPayload::Abort => out.put_u8(TAG_ABORT),
+        LogPayload::Prepare { gtid } => {
+            out.put_u8(TAG_PREPARE);
+            out.put_u64_le(*gtid);
+        }
+        LogPayload::Decision { gtid, commit } => {
+            out.put_u8(TAG_DECISION);
+            out.put_u64_le(*gtid);
+            out.put_u8(*commit as u8);
+        }
+        LogPayload::End => out.put_u8(TAG_END),
+        LogPayload::Checkpoint { snapshot_lsn } => {
+            out.put_u8(TAG_CHECKPOINT);
+            out.put_u64_le(*snapshot_lsn);
+        }
+    }
+}
+
+/// Decode one record starting at `lsn` from `buf`; returns the record and
+/// the number of bytes consumed.
+pub fn decode(buf: &[u8], lsn: Lsn) -> Result<(LogRecord, usize)> {
+    if buf.len() < 13 {
+        return Err(StorageError::CorruptLog(format!(
+            "truncated header at lsn {lsn}"
+        )));
+    }
+    let mut b = buf;
+    let total = b.get_u32_le() as usize;
+    if total < 13 || total > buf.len() {
+        return Err(StorageError::CorruptLog(format!(
+            "bad record length {total} at lsn {lsn}"
+        )));
+    }
+    let txn = TxnId(b.get_u64_le());
+    let tag = b.get_u8();
+    let payload = match tag {
+        TAG_BEGIN => LogPayload::Begin,
+        TAG_INSERT => {
+            let table = b.get_u32_le();
+            let key = b.get_u64_le();
+            let n = b.get_u32_le() as usize;
+            let data = b[..n].to_vec();
+            LogPayload::Insert { table, key, data }
+        }
+        TAG_UPDATE => {
+            let table = b.get_u32_le();
+            let key = b.get_u64_le();
+            let nb = b.get_u32_le() as usize;
+            let before = b[..nb].to_vec();
+            b.advance(nb);
+            let na = b.get_u32_le() as usize;
+            let after = b[..na].to_vec();
+            LogPayload::Update {
+                table,
+                key,
+                before,
+                after,
+            }
+        }
+        TAG_COMMIT => LogPayload::Commit,
+        TAG_ABORT => LogPayload::Abort,
+        TAG_PREPARE => LogPayload::Prepare {
+            gtid: b.get_u64_le(),
+        },
+        TAG_DECISION => {
+            let gtid = b.get_u64_le();
+            let commit = b.get_u8() != 0;
+            LogPayload::Decision { gtid, commit }
+        }
+        TAG_END => LogPayload::End,
+        TAG_CHECKPOINT => LogPayload::Checkpoint {
+            snapshot_lsn: b.get_u64_le(),
+        },
+        t => {
+            return Err(StorageError::CorruptLog(format!(
+                "unknown tag {t} at lsn {lsn}"
+            )))
+        }
+    };
+    Ok((LogRecord { lsn, txn, payload }, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(p: LogPayload) {
+        let mut buf = Vec::new();
+        encode(TxnId(77), &p, &mut buf);
+        assert_eq!(buf.len(), encoded_len(&p));
+        let (rec, used) = decode(&buf, 1000).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(rec.txn, TxnId(77));
+        assert_eq!(rec.lsn, 1000);
+        assert_eq!(rec.payload, p);
+        assert_eq!(rec.end_lsn(), 1000 + buf.len() as u64);
+    }
+
+    #[test]
+    fn all_payloads_round_trip() {
+        round_trip(LogPayload::Begin);
+        round_trip(LogPayload::Insert {
+            table: 3,
+            key: 42,
+            data: vec![1, 2, 3, 4, 5],
+        });
+        round_trip(LogPayload::Update {
+            table: 3,
+            key: 42,
+            before: vec![0; 100],
+            after: vec![9; 100],
+        });
+        round_trip(LogPayload::Commit);
+        round_trip(LogPayload::Abort);
+        round_trip(LogPayload::Prepare { gtid: 0xDEAD });
+        round_trip(LogPayload::Decision {
+            gtid: 0xBEEF,
+            commit: true,
+        });
+        round_trip(LogPayload::Decision {
+            gtid: 0xBEEF,
+            commit: false,
+        });
+        round_trip(LogPayload::End);
+        round_trip(LogPayload::Checkpoint { snapshot_lsn: 512 });
+    }
+
+    #[test]
+    fn stream_of_records_decodes_sequentially() {
+        let mut buf = Vec::new();
+        encode(TxnId(1), &LogPayload::Begin, &mut buf);
+        encode(
+            TxnId(1),
+            &LogPayload::Insert {
+                table: 1,
+                key: 7,
+                data: vec![7; 16],
+            },
+            &mut buf,
+        );
+        encode(TxnId(1), &LogPayload::Commit, &mut buf);
+        let mut lsn = 0u64;
+        let mut kinds = Vec::new();
+        while (lsn as usize) < buf.len() {
+            let (rec, used) = decode(&buf[lsn as usize..], lsn).unwrap();
+            kinds.push(std::mem::discriminant(&rec.payload));
+            lsn += used as u64;
+        }
+        assert_eq!(kinds.len(), 3);
+    }
+
+    #[test]
+    fn corrupt_inputs_error() {
+        assert!(matches!(
+            decode(&[1, 2, 3], 0),
+            Err(StorageError::CorruptLog(_))
+        ));
+        let mut buf = Vec::new();
+        encode(TxnId(1), &LogPayload::Commit, &mut buf);
+        buf[12] = 99; // unknown tag
+        assert!(matches!(decode(&buf, 0), Err(StorageError::CorruptLog(_))));
+        // Length larger than buffer.
+        let mut buf2 = Vec::new();
+        encode(TxnId(1), &LogPayload::Commit, &mut buf2);
+        buf2[0] = 200;
+        assert!(matches!(decode(&buf2, 0), Err(StorageError::CorruptLog(_))));
+    }
+}

@@ -1,0 +1,328 @@
+//! Log analysis and logical redo.
+//!
+//! Recovery discipline (documented also in DESIGN.md): the store holds the
+//! last checkpoint *snapshot* plus any pages stolen since (dirty evictions
+//! behind the WAL barrier), and the log holds everything after the
+//! snapshot. Recovery is logical and key-based:
+//!
+//! 1. **Redo** the effects of committed transactions in LSN order
+//!    (idempotent: inserts are insert-if-missing, updates set after-images).
+//! 2. **Undo** loser transactions in reverse LSN order using logged
+//!    before-images (a no-op when the loser's effect never reached the
+//!    store; two-phase locking guarantees no committed write follows an
+//!    unresolved loser write on the same key, so ordering is safe).
+//!
+//! Two-phase commit (presumed abort):
+//! * A participant transaction that logged `Prepare` but no `Commit`/`Abort`
+//!   is **in doubt**: its effects are withheld and reported in
+//!   [`LogAnalysis::in_doubt`]; the deployment layer resolves it against the
+//!   coordinator's logged [`LogPayload::Decision`] and applies
+//!   [`LogAnalysis::in_doubt_ops`] if the decision was commit.
+//! * A coordinator with no logged decision for a gtid presumes abort.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::error::Result;
+use crate::wal::record::{decode, LogPayload};
+use crate::{Lsn, TxnId};
+
+/// A redo-able logical operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RedoOp {
+    Insert { table: u32, key: u64, data: Vec<u8> },
+    Update { table: u32, key: u64, after: Vec<u8> },
+}
+
+/// An undo-able logical operation (for losers and aborted in-doubt txns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UndoOp {
+    /// Restore a before-image.
+    Revert { table: u32, key: u64, before: Vec<u8> },
+    /// Remove a row the loser inserted.
+    Remove { table: u32, key: u64 },
+}
+
+/// Everything recovery needs to know about a log suffix.
+#[derive(Debug, Default)]
+pub struct LogAnalysis {
+    pub committed: HashSet<TxnId>,
+    pub aborted: HashSet<TxnId>,
+    /// Prepared, no local outcome: gtid by transaction.
+    pub in_doubt: HashMap<TxnId, u64>,
+    /// Coordinator decisions found in this log: gtid → commit?
+    pub decisions: HashMap<u64, bool>,
+    /// Redo ops of committed transactions, in LSN order.
+    pub redo: Vec<(Lsn, TxnId, RedoOp)>,
+    /// Undo ops of loser transactions, in LSN order (apply in reverse).
+    pub undo: Vec<(Lsn, TxnId, UndoOp)>,
+    /// Redo ops of in-doubt transactions (applied on a commit decision).
+    pub in_doubt_ops: HashMap<TxnId, Vec<RedoOp>>,
+    /// Undo ops of in-doubt transactions (applied on an abort decision),
+    /// already reversed into application order.
+    pub in_doubt_undo: HashMap<TxnId, Vec<UndoOp>>,
+    /// LSN of the last checkpoint record seen, if any.
+    pub last_checkpoint: Option<Lsn>,
+    pub records_scanned: u64,
+}
+
+/// Scan `log` starting at byte offset `from_lsn` (records must be aligned
+/// with record boundaries, e.g. a checkpoint's `snapshot_lsn`).
+pub fn analyze(log: &[u8], from_lsn: Lsn) -> Result<LogAnalysis> {
+    let mut a = LogAnalysis::default();
+    // ops per live txn until we know the outcome: (lsn, redo, undo).
+    type PendingOp = (Lsn, RedoOp, UndoOp);
+    let mut pending: HashMap<TxnId, Vec<PendingOp>> = HashMap::new();
+    let mut prepared: HashMap<TxnId, u64> = HashMap::new();
+    let mut lsn = from_lsn;
+    while (lsn as usize) < log.len() {
+        let (rec, used) = decode(&log[lsn as usize..], lsn)?;
+        a.records_scanned += 1;
+        match rec.payload {
+            LogPayload::Begin => {
+                pending.entry(rec.txn).or_default();
+            }
+            LogPayload::Insert { table, key, data } => {
+                pending.entry(rec.txn).or_default().push((
+                    rec.lsn,
+                    RedoOp::Insert { table, key, data },
+                    UndoOp::Remove { table, key },
+                ));
+            }
+            LogPayload::Update {
+                table,
+                key,
+                before,
+                after,
+            } => {
+                pending.entry(rec.txn).or_default().push((
+                    rec.lsn,
+                    RedoOp::Update { table, key, after },
+                    UndoOp::Revert { table, key, before },
+                ));
+            }
+            LogPayload::Commit => {
+                a.committed.insert(rec.txn);
+                prepared.remove(&rec.txn);
+                for (l, op, _) in pending.remove(&rec.txn).unwrap_or_default() {
+                    a.redo.push((l, rec.txn, op));
+                }
+            }
+            LogPayload::Abort => {
+                a.aborted.insert(rec.txn);
+                prepared.remove(&rec.txn);
+                // An abort record implies the rollback was applied in memory
+                // before the crash only if the pages were not stolen; undo is
+                // idempotent, so always schedule it.
+                for (l, _, undo) in pending.remove(&rec.txn).unwrap_or_default() {
+                    a.undo.push((l, rec.txn, undo));
+                }
+            }
+            LogPayload::Prepare { gtid } => {
+                prepared.insert(rec.txn, gtid);
+            }
+            LogPayload::Decision { gtid, commit } => {
+                a.decisions.insert(gtid, commit);
+            }
+            LogPayload::End => {}
+            LogPayload::Checkpoint { .. } => {
+                a.last_checkpoint = Some(rec.lsn);
+            }
+        }
+        lsn += used as u64;
+    }
+    // Unresolved transactions: prepared ones are in doubt, the rest are
+    // presumed aborted (loser transactions).
+    for (txn, gtid) in prepared {
+        a.in_doubt.insert(txn, gtid);
+        let ops = pending.remove(&txn).unwrap_or_default();
+        a.in_doubt_ops
+            .insert(txn, ops.iter().map(|(_, r, _)| r.clone()).collect());
+        a.in_doubt_undo
+            .insert(txn, ops.into_iter().rev().map(|(_, _, u)| u).collect());
+    }
+    // Remaining pending transactions are losers: undo them.
+    for (txn, ops) in pending {
+        for (l, _, undo) in ops {
+            a.undo.push((l, txn, undo));
+        }
+    }
+    // Keep redo strictly LSN ordered; undo is applied in reverse LSN order.
+    a.redo.sort_by_key(|&(l, _, _)| l);
+    a.undo.sort_by_key(|&(l, _, _)| l);
+    Ok(a)
+}
+
+/// Find the byte offset to start analysis from: the `snapshot_lsn` of the
+/// last checkpoint record in `log`, or 0.
+pub fn find_redo_start(log: &[u8]) -> Result<Lsn> {
+    let mut lsn = 0u64;
+    let mut start = 0u64;
+    while (lsn as usize) < log.len() {
+        let (rec, used) = decode(&log[lsn as usize..], lsn)?;
+        if let LogPayload::Checkpoint { snapshot_lsn } = rec.payload {
+            start = snapshot_lsn;
+        }
+        lsn += used as u64;
+    }
+    Ok(start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::record::encode;
+
+    fn build(records: &[(u64, LogPayload)]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for (txn, p) in records {
+            encode(TxnId(*txn), p, &mut buf);
+        }
+        buf
+    }
+
+    fn ins(k: u64) -> LogPayload {
+        LogPayload::Insert {
+            table: 1,
+            key: k,
+            data: vec![k as u8],
+        }
+    }
+
+    fn upd(k: u64, v: u8) -> LogPayload {
+        LogPayload::Update {
+            table: 1,
+            key: k,
+            before: vec![0],
+            after: vec![v],
+        }
+    }
+
+    #[test]
+    fn committed_ops_are_redone_in_order() {
+        let log = build(&[
+            (1, LogPayload::Begin),
+            (2, LogPayload::Begin),
+            (1, ins(10)),
+            (2, ins(20)),
+            (1, upd(10, 7)),
+            (1, LogPayload::Commit),
+            (2, LogPayload::Commit),
+        ]);
+        let a = analyze(&log, 0).unwrap();
+        assert_eq!(a.committed.len(), 2);
+        assert_eq!(a.redo.len(), 3);
+        // LSN order preserved across transactions.
+        assert!(a.redo.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn loser_transactions_are_undone_not_redone() {
+        let log = build(&[
+            (1, LogPayload::Begin),
+            (1, ins(10)),
+            (1, upd(11, 4)),
+            (2, LogPayload::Begin),
+            (2, ins(20)),
+            (2, LogPayload::Abort),
+            // txn 1 never resolves: presumed abort.
+        ]);
+        let a = analyze(&log, 0).unwrap();
+        assert!(a.redo.is_empty());
+        assert!(a.aborted.contains(&TxnId(2)));
+        assert!(!a.committed.contains(&TxnId(1)));
+        assert!(a.in_doubt.is_empty());
+        // Both txn 1 (never resolved) and txn 2 (aborted; rollback may not
+        // have reached stolen pages) get undo entries.
+        let undo_txns: Vec<TxnId> = a.undo.iter().map(|&(_, t, _)| t).collect();
+        assert!(undo_txns.contains(&TxnId(1)));
+        assert!(undo_txns.contains(&TxnId(2)));
+        // Undo for txn 1 includes removing the insert and reverting the
+        // update.
+        assert!(a
+            .undo
+            .iter()
+            .any(|(_, t, u)| *t == TxnId(1)
+                && matches!(u, UndoOp::Remove { key: 10, .. })));
+        assert!(a.undo.iter().any(|(_, t, u)| *t == TxnId(1)
+            && matches!(u, UndoOp::Revert { key: 11, .. })));
+    }
+
+    #[test]
+    fn prepared_without_outcome_is_in_doubt() {
+        let log = build(&[
+            (5, LogPayload::Begin),
+            (5, upd(3, 9)),
+            (5, LogPayload::Prepare { gtid: 77 }),
+        ]);
+        let a = analyze(&log, 0).unwrap();
+        assert_eq!(a.in_doubt.get(&TxnId(5)), Some(&77));
+        assert_eq!(
+            a.in_doubt_ops.get(&TxnId(5)).unwrap(),
+            &vec![RedoOp::Update {
+                table: 1,
+                key: 3,
+                after: vec![9]
+            }]
+        );
+        assert_eq!(
+            a.in_doubt_undo.get(&TxnId(5)).unwrap(),
+            &vec![UndoOp::Revert {
+                table: 1,
+                key: 3,
+                before: vec![0]
+            }]
+        );
+        assert!(a.redo.is_empty(), "in-doubt effects are withheld");
+        assert!(a.undo.is_empty(), "in-doubt txns are not losers");
+    }
+
+    #[test]
+    fn prepared_then_committed_is_normal_redo() {
+        let log = build(&[
+            (5, LogPayload::Begin),
+            (5, upd(3, 9)),
+            (5, LogPayload::Prepare { gtid: 77 }),
+            (5, LogPayload::Commit),
+            (5, LogPayload::End),
+        ]);
+        let a = analyze(&log, 0).unwrap();
+        assert!(a.in_doubt.is_empty());
+        assert_eq!(a.redo.len(), 1);
+    }
+
+    #[test]
+    fn coordinator_decisions_collected() {
+        let log = build(&[
+            (9, LogPayload::Decision {
+                gtid: 42,
+                commit: true,
+            }),
+            (9, LogPayload::Decision {
+                gtid: 43,
+                commit: false,
+            }),
+        ]);
+        let a = analyze(&log, 0).unwrap();
+        assert_eq!(a.decisions.get(&42), Some(&true));
+        assert_eq!(a.decisions.get(&43), Some(&false));
+    }
+
+    #[test]
+    fn checkpoint_start_is_found() {
+        let mut log = build(&[(1, LogPayload::Begin), (1, ins(1)), (1, LogPayload::Commit)]);
+        let snapshot_lsn = log.len() as u64;
+        let tail = build(&[
+            (0, LogPayload::Checkpoint { snapshot_lsn }),
+            (2, LogPayload::Begin),
+            (2, ins(2)),
+            (2, LogPayload::Commit),
+        ]);
+        log.extend_from_slice(&tail);
+        let start = find_redo_start(&log).unwrap();
+        assert_eq!(start, snapshot_lsn);
+        let a = analyze(&log, start).unwrap();
+        // Only txn 2's insert is redone; txn 1 is in the snapshot.
+        assert_eq!(a.redo.len(), 1);
+        assert_eq!(a.redo[0].1, TxnId(2));
+    }
+}

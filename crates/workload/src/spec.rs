@@ -1,0 +1,254 @@
+//! Microbenchmark specification and request generation.
+
+use rand::Rng;
+
+use crate::zipf::Zipf;
+
+/// Read or update transactions (the paper's two microbenchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    Read,
+    Update,
+}
+
+impl OpKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Read => "read-only",
+            OpKind::Update => "update",
+        }
+    }
+}
+
+/// One microbenchmark configuration (one curve point in Figures 9–14).
+#[derive(Debug, Clone)]
+pub struct MicroSpec {
+    pub kind: OpKind,
+    /// Rows touched per transaction (`N`).
+    pub rows_per_txn: usize,
+    /// Fraction of transactions that are multisite, `0.0 ..= 1.0`.
+    pub multisite_pct: f64,
+    /// Zipfian skew factor for row selection (0 = uniform; Figure 13).
+    pub skew: f64,
+    /// Total rows in the database.
+    pub total_rows: u64,
+    /// Payload bytes per row.
+    pub row_size: usize,
+}
+
+impl MicroSpec {
+    /// The paper's default small dataset with uniform access.
+    pub fn new(kind: OpKind, rows_per_txn: usize, multisite_pct: f64) -> Self {
+        assert!((0.0..=1.0).contains(&multisite_pct));
+        assert!(rows_per_txn >= 1);
+        MicroSpec {
+            kind,
+            rows_per_txn,
+            multisite_pct,
+            skew: 0.0,
+            total_rows: crate::DEFAULT_ROWS,
+            row_size: crate::DEFAULT_ROW_SIZE,
+        }
+    }
+
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        self.skew = skew;
+        self
+    }
+
+    pub fn with_rows(mut self, total_rows: u64) -> Self {
+        self.total_rows = total_rows;
+        self
+    }
+}
+
+/// A generated transaction request. The *home site* is the partition owning
+/// `keys[0]`; a request is distributed iff any other key maps to a
+/// different physical instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnRequest {
+    pub kind: OpKind,
+    pub keys: Vec<u64>,
+    /// Whether this request was generated as a multisite transaction.
+    pub multisite: bool,
+}
+
+/// Deterministic request stream for a [`MicroSpec`].
+///
+/// Generation model (paper Section 5.2): a transaction's first row is drawn
+/// from the whole range (Zipfian under skew) and defines its home site
+/// within the `n_sites` logical sites; **local** transactions draw their
+/// remaining rows from the home site's range; **multisite** transactions
+/// draw them from the whole range.
+pub struct MicroGenerator {
+    spec: MicroSpec,
+    zipf: Zipf,
+    n_sites: u64,
+}
+
+impl MicroGenerator {
+    /// `n_sites` is the number of logical sites (the finest-grained
+    /// partitioning used by any deployment under comparison; the paper uses
+    /// one logical site per core).
+    pub fn new(spec: MicroSpec, n_sites: u64) -> Self {
+        assert!(n_sites >= 1 && n_sites <= spec.total_rows);
+        let zipf = Zipf::new(spec.total_rows, spec.skew);
+        MicroGenerator {
+            spec,
+            zipf,
+            n_sites,
+        }
+    }
+
+    pub fn spec(&self) -> &MicroSpec {
+        &self.spec
+    }
+
+    /// Key range `[lo, hi)` of logical site `s`.
+    pub fn site_range(&self, s: u64) -> (u64, u64) {
+        let per = self.spec.total_rows / self.n_sites;
+        let lo = s * per;
+        let hi = if s + 1 == self.n_sites {
+            self.spec.total_rows
+        } else {
+            lo + per
+        };
+        (lo, hi)
+    }
+
+    /// Logical site owning `key`.
+    pub fn site_of(&self, key: u64) -> u64 {
+        let per = self.spec.total_rows / self.n_sites;
+        (key / per).min(self.n_sites - 1)
+    }
+
+    /// Generate the next request.
+    pub fn next<R: Rng>(&self, rng: &mut R) -> TxnRequest {
+        let multisite = rng.gen_bool(self.spec.multisite_pct);
+        let n = self.spec.rows_per_txn;
+        let mut keys = Vec::with_capacity(n);
+        let first = self.zipf.sample(rng);
+        keys.push(first);
+        if multisite {
+            // One local row + N-1 rows "chosen uniformly from the whole
+            // data range" (skewed when the experiment says so).
+            while keys.len() < n {
+                let k = self.zipf.sample(rng);
+                if !keys.contains(&k) {
+                    keys.push(k);
+                }
+            }
+        } else {
+            // All rows in the home site, drawn with the same (possibly
+            // skewed) distribution folded into the site's range, so hot
+            // rows stay hot inside every partition.
+            let (lo, hi) = self.site_range(self.site_of(first));
+            while keys.len() < n {
+                let z = self.zipf.sample(rng);
+                let k = lo + z % (hi - lo);
+                if !keys.contains(&k) {
+                    keys.push(k);
+                }
+            }
+        }
+        TxnRequest {
+            kind: self.spec.kind,
+            keys,
+            multisite,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn generator(multisite: f64, rows: usize) -> MicroGenerator {
+        MicroGenerator::new(
+            MicroSpec {
+                kind: OpKind::Read,
+                rows_per_txn: rows,
+                multisite_pct: multisite,
+                skew: 0.0,
+                total_rows: 24_000,
+                row_size: 16,
+            },
+            24,
+        )
+    }
+
+    #[test]
+    fn local_requests_stay_in_home_site() {
+        let g = generator(0.0, 10);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let req = g.next(&mut rng);
+            assert!(!req.multisite);
+            assert_eq!(req.keys.len(), 10);
+            let home = g.site_of(req.keys[0]);
+            for &k in &req.keys {
+                assert_eq!(g.site_of(k), home, "key {k} escaped site {home}");
+            }
+        }
+    }
+
+    #[test]
+    fn multisite_pct_is_respected() {
+        let g = generator(0.3, 4);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 20_000;
+        let multi = (0..n).filter(|_| g.next(&mut rng).multisite).count();
+        let frac = multi as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.02, "{frac}");
+    }
+
+    #[test]
+    fn keys_are_distinct_within_a_txn() {
+        let g = generator(1.0, 8);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let mut keys = g.next(&mut rng).keys;
+            keys.sort_unstable();
+            keys.dedup();
+            assert_eq!(keys.len(), 8);
+        }
+    }
+
+    #[test]
+    fn site_ranges_partition_the_keyspace() {
+        let g = generator(0.0, 2);
+        let mut covered = 0u64;
+        for s in 0..24 {
+            let (lo, hi) = g.site_range(s);
+            assert_eq!(lo, covered);
+            covered = hi;
+            // site_of agrees at both ends.
+            assert_eq!(g.site_of(lo), s);
+            assert_eq!(g.site_of(hi - 1), s);
+        }
+        assert_eq!(covered, 24_000);
+    }
+
+    #[test]
+    fn skewed_generator_hits_hot_sites() {
+        let spec = MicroSpec::new(OpKind::Update, 2, 0.0).with_skew(0.99);
+        let spec = MicroSpec {
+            total_rows: 24_000,
+            ..spec
+        };
+        let g = MicroGenerator::new(spec, 24);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut per_site = vec![0u64; 24];
+        for _ in 0..10_000 {
+            let req = g.next(&mut rng);
+            per_site[g.site_of(req.keys[0]) as usize] += 1;
+        }
+        assert!(
+            per_site[0] > 5_000,
+            "site 0 must be hot under 0.99 skew: {:?}",
+            per_site
+        );
+    }
+}

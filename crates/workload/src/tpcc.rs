@@ -1,0 +1,220 @@
+//! TPC-C-lite: the tables and the Payment transaction used by the paper's
+//! Figures 3 and 7.
+//!
+//! Payment (TPC-C §2.5): increment `W_YTD` and `D_YTD`, update the
+//! customer's balance, insert a history row. Under the standard mix, 15 %
+//! of payments pay through a *remote* warehouse's customer — those become
+//! distributed when partitioning by warehouse. The paper's Figure 7 uses a
+//! "modified version … where all the requests are local", i.e. a 0 % remote
+//! probability, making the workload perfectly partitionable.
+//!
+//! Composite keys are packed into `u64`s so every table indexes by the same
+//! key type as the storage engine:
+//!
+//! ```text
+//! warehouse: w
+//! district:  w * 10 + d                  (10 districts/warehouse)
+//! customer:  (w * 10 + d) * 3000 + c     (3000 customers/district)
+//! history:   per-site monotonic counter  (append-only)
+//! ```
+
+use rand::Rng;
+
+/// Districts per warehouse (TPC-C constant).
+pub const DISTRICTS_PER_WAREHOUSE: u64 = 10;
+/// Customers per district (TPC-C constant).
+pub const CUSTOMERS_PER_DISTRICT: u64 = 3000;
+/// Standard remote-payment probability.
+pub const REMOTE_PAYMENT_PCT: f64 = 0.15;
+
+/// Table names used in the storage catalog.
+pub const T_WAREHOUSE: &str = "warehouse";
+pub const T_DISTRICT: &str = "district";
+pub const T_CUSTOMER: &str = "customer";
+pub const T_HISTORY: &str = "history";
+
+/// Payload sizes (bytes) approximating TPC-C row widths.
+pub const WAREHOUSE_ROW: usize = 88;
+pub const DISTRICT_ROW: usize = 88;
+pub const CUSTOMER_ROW: usize = 240; // trimmed from 655 to keep pages dense
+pub const HISTORY_ROW: usize = 46;
+
+#[inline]
+pub fn district_key(w: u64, d: u64) -> u64 {
+    w * DISTRICTS_PER_WAREHOUSE + d
+}
+
+#[inline]
+pub fn customer_key(w: u64, d: u64, c: u64) -> u64 {
+    district_key(w, d) * CUSTOMERS_PER_DISTRICT + c
+}
+
+/// Which warehouse a key of `table` belongs to (partitioning function).
+pub fn warehouse_of(table: &str, key: u64) -> u64 {
+    match table {
+        T_WAREHOUSE => key,
+        T_DISTRICT => key / DISTRICTS_PER_WAREHOUSE,
+        T_CUSTOMER => key / (DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT),
+        _ => panic!("{table} is not warehouse-partitioned"),
+    }
+}
+
+/// One Payment transaction's inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Payment {
+    /// Home warehouse (where the payment is made).
+    pub w_id: u64,
+    pub d_id: u64,
+    /// Customer's warehouse; differs from `w_id` for remote payments.
+    pub c_w_id: u64,
+    pub c_d_id: u64,
+    pub c_id: u64,
+    pub amount: u64,
+}
+
+impl Payment {
+    /// A payment touching warehouses `{w_id, c_w_id}`; distributed iff they
+    /// map to different instances.
+    pub fn is_remote(&self) -> bool {
+        self.w_id != self.c_w_id
+    }
+
+    /// Warehouses this transaction touches.
+    pub fn warehouses(&self) -> Vec<u64> {
+        if self.is_remote() {
+            vec![self.w_id, self.c_w_id]
+        } else {
+            vec![self.w_id]
+        }
+    }
+}
+
+/// Payment request generator.
+pub struct PaymentGenerator {
+    pub warehouses: u64,
+    /// Probability the customer belongs to a remote warehouse
+    /// (0.15 standard; 0.0 = the paper's perfectly partitionable variant).
+    pub remote_pct: f64,
+}
+
+impl PaymentGenerator {
+    pub fn new(warehouses: u64, remote_pct: f64) -> Self {
+        assert!(warehouses >= 1);
+        assert!((0.0..=1.0).contains(&remote_pct));
+        PaymentGenerator {
+            warehouses,
+            remote_pct,
+        }
+    }
+
+    /// Next payment homed at warehouse `home_w`.
+    pub fn next<R: Rng>(&self, rng: &mut R, home_w: u64) -> Payment {
+        let d_id = rng.gen_range(0..DISTRICTS_PER_WAREHOUSE);
+        let remote = self.warehouses > 1 && rng.gen_bool(self.remote_pct);
+        let c_w_id = if remote {
+            // Any warehouse but home.
+            let mut w = rng.gen_range(0..self.warehouses - 1);
+            if w >= home_w {
+                w += 1;
+            }
+            w
+        } else {
+            home_w
+        };
+        Payment {
+            w_id: home_w,
+            d_id,
+            c_w_id,
+            c_d_id: rng.gen_range(0..DISTRICTS_PER_WAREHOUSE),
+            c_id: rng.gen_range(0..CUSTOMERS_PER_DISTRICT),
+            amount: rng.gen_range(1..=5000),
+        }
+    }
+}
+
+/// Scale description: warehouses and derived row counts.
+#[derive(Debug, Clone, Copy)]
+pub struct TpccScale {
+    pub warehouses: u64,
+}
+
+impl TpccScale {
+    pub fn warehouse_rows(&self) -> u64 {
+        self.warehouses
+    }
+    pub fn district_rows(&self) -> u64 {
+        self.warehouses * DISTRICTS_PER_WAREHOUSE
+    }
+    pub fn customer_rows(&self) -> u64 {
+        self.district_rows() * CUSTOMERS_PER_DISTRICT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn key_packing_is_injective_and_partitionable() {
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..4 {
+            for d in 0..DISTRICTS_PER_WAREHOUSE {
+                assert_eq!(warehouse_of(T_DISTRICT, district_key(w, d)), w);
+                for c in (0..CUSTOMERS_PER_DISTRICT).step_by(997) {
+                    let k = customer_key(w, d, c);
+                    assert!(seen.insert(k), "collision at {w},{d},{c}");
+                    assert_eq!(warehouse_of(T_CUSTOMER, k), w);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remote_pct_zero_is_perfectly_partitionable() {
+        let g = PaymentGenerator::new(24, 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let p = g.next(&mut rng, 7);
+            assert!(!p.is_remote());
+            assert_eq!(p.warehouses(), vec![7]);
+        }
+    }
+
+    #[test]
+    fn standard_mix_is_about_15_percent_remote() {
+        let g = PaymentGenerator::new(24, REMOTE_PAYMENT_PCT);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 20_000;
+        let remote = (0..n).filter(|_| g.next(&mut rng, 3).is_remote()).count();
+        let frac = remote as f64 / n as f64;
+        assert!((frac - 0.15).abs() < 0.02, "{frac}");
+    }
+
+    #[test]
+    fn remote_customer_never_home() {
+        let g = PaymentGenerator::new(8, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let p = g.next(&mut rng, 5);
+            assert_ne!(p.c_w_id, 5);
+            assert!(p.c_w_id < 8);
+        }
+    }
+
+    #[test]
+    fn single_warehouse_cannot_be_remote() {
+        let g = PaymentGenerator::new(1, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p = g.next(&mut rng, 0);
+        assert!(!p.is_remote());
+    }
+
+    #[test]
+    fn scale_math() {
+        let s = TpccScale { warehouses: 24 };
+        assert_eq!(s.district_rows(), 240);
+        assert_eq!(s.customer_rows(), 720_000);
+    }
+}

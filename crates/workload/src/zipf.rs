@@ -1,0 +1,163 @@
+//! Zipfian sampling via Gray et al.'s rejection-free inversion
+//! ("Quickly generating billion-record synthetic databases", SIGMOD '94).
+//!
+//! `theta = 0` degenerates to the uniform distribution, matching the x-axis
+//! of the paper's Figure 13 (skew factor 0 … 1).
+
+use rand::Rng;
+
+/// A Zipfian distribution over `0..n` with skew `theta ∈ [0, 1)`∪{1}.
+///
+/// `theta = 1` is handled by nudging to 0.9999 (the classic formula has a
+/// pole at exactly 1; the paper's plots include s = 1).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    theta: f64,
+}
+
+impl Zipf {
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        assert!((0.0..=1.0).contains(&theta), "skew out of range");
+        let theta = if (theta - 1.0).abs() < 1e-9 { 0.9999 } else { theta };
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            alpha,
+            zetan,
+            eta,
+            theta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact up to 10M terms, then the Euler–Maclaurin tail — keeps the
+        // 120M-row datasets of Figure 14 constructible in microseconds.
+        const EXACT: u64 = 10_000_000;
+        let exact_n = n.min(EXACT);
+        let mut sum = 0.0;
+        for i in 1..=exact_n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > EXACT {
+            // ∫ x^-theta dx from EXACT to n.
+            let a = EXACT as f64;
+            let b = n as f64;
+            sum += (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta);
+        }
+        sum
+    }
+
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw a rank in `0..n` (0 is the hottest item).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn histogram(theta: f64, n: u64, samples: usize) -> Vec<u64> {
+        let z = Zipf::new(n, theta);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut h = vec![0u64; n as usize];
+        for _ in 0..samples {
+            h[z.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let h = histogram(0.0, 10, 100_000);
+        let expect = 10_000.0;
+        for (i, &c) in h.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() / expect < 0.1,
+                "bucket {i}: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn high_skew_concentrates_on_head() {
+        let h = histogram(0.99, 1000, 100_000);
+        // Analytically, ranks 0..10 hold ≈ Σ i^-0.99 / ζ(1000, 0.99) ≈ 39 %
+        // of the mass at this skew.
+        let head: u64 = h[..10].iter().sum();
+        assert!(
+            (35_000..45_000).contains(&head),
+            "head got {head} of 100000 at theta=0.99"
+        );
+        // Monotone-ish decay: rank 0 beats rank 100.
+        assert!(h[0] > h[100] * 5);
+    }
+
+    #[test]
+    fn skew_ordering_holds() {
+        // The 80-20-style concentration should grow with theta.
+        let conc = |theta: f64| {
+            let h = histogram(theta, 100, 50_000);
+            let top20: u64 = h[..20].iter().sum();
+            top20 as f64 / 50_000.0
+        };
+        let c0 = conc(0.0);
+        let c5 = conc(0.5);
+        let c9 = conc(0.95);
+        assert!(c0 < c5 && c5 < c9, "{c0} {c5} {c9}");
+        assert!((c0 - 0.2).abs() < 0.05, "uniform top-20% ≈ 20%: {c0}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        for theta in [0.0, 0.5, 1.0] {
+            let z = Zipf::new(7, theta);
+            let mut rng = SmallRng::seed_from_u64(3);
+            for _ in 0..10_000 {
+                assert!(z.sample(&mut rng) < 7);
+            }
+        }
+    }
+
+    #[test]
+    fn huge_n_constructs_quickly_and_samples() {
+        let z = Zipf::new(120_000_000, 0.5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 120_000_000);
+        }
+    }
+
+    #[test]
+    fn theta_one_is_accepted() {
+        let z = Zipf::new(100, 1.0);
+        assert!(z.theta() < 1.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests on workload generation invariants.
+
+use islands_workload::{MicroGenerator, MicroSpec, OpKind, Zipf};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Zipf samples always stay in range, for any skew and size.
+    #[test]
+    fn zipf_stays_in_range(n in 1u64..100_000, theta in 0.0f64..=1.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, theta);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Generated transactions always have the requested row count, distinct
+    /// in-range keys, and local transactions never leave their home site.
+    #[test]
+    fn requests_are_well_formed(
+        rows in 1usize..12,
+        multisite in 0.0f64..=1.0,
+        skew in 0.0f64..=1.0,
+        sites in 1u64..32,
+        seed in any::<u64>(),
+    ) {
+        let spec = MicroSpec {
+            kind: OpKind::Update,
+            rows_per_txn: rows,
+            multisite_pct: multisite,
+            skew,
+            total_rows: 24_000,
+            row_size: 16,
+        };
+        let g = MicroGenerator::new(spec, sites);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let req = g.next(&mut rng);
+            prop_assert_eq!(req.keys.len(), rows);
+            let mut k = req.keys.clone();
+            k.sort_unstable();
+            k.dedup();
+            prop_assert_eq!(k.len(), rows, "keys must be distinct");
+            prop_assert!(req.keys.iter().all(|&x| x < 24_000));
+            if !req.multisite {
+                let home = g.site_of(req.keys[0]);
+                prop_assert!(req.keys.iter().all(|&x| g.site_of(x) == home));
+            }
+        }
+    }
+
+    /// Site ranges tile the keyspace exactly.
+    #[test]
+    fn site_ranges_tile(sites in 1u64..64) {
+        let spec = MicroSpec::new(OpKind::Read, 1, 0.0);
+        let g = MicroGenerator::new(spec, sites);
+        let mut covered = 0u64;
+        for s in 0..sites {
+            let (lo, hi) = g.site_range(s);
+            prop_assert_eq!(lo, covered);
+            prop_assert!(hi > lo);
+            covered = hi;
+        }
+        prop_assert_eq!(covered, g.spec().total_rows);
+    }
+}
