@@ -6,7 +6,10 @@ use islands_net::{live, IpcMechanism};
 
 fn main() {
     println!("\n=== Figure 6: IPC throughput (thousands of msgs/sec) ===");
-    println!("{:>14} {:>12} {:>12}", "mechanism", "same socket", "diff socket");
+    println!(
+        "{:>14} {:>12} {:>12}",
+        "mechanism", "same socket", "diff socket"
+    );
     for m in IpcMechanism::ALL {
         println!(
             "{:>14} {:>12.1} {:>12.1}",

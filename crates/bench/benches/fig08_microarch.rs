@@ -12,12 +12,7 @@ fn main() {
         "config", "IPC", "stalled %", "sharing %", "KTps"
     );
     for n in [24usize, 12, 8, 4, 2, 1] {
-        let r = sim_run(
-            Machine::quad_socket(),
-            n,
-            &micro(OpKind::Read, 10, 0.0),
-            1,
-        );
+        let r = sim_run(Machine::quad_socket(), n, &micro(OpKind::Read, 10, 0.0), 1);
         println!(
             "{:>7} {:>7.2} {:>10.1} {:>12.1} {:>10.1}",
             r.label,

@@ -13,7 +13,10 @@ fn main() {
     ] {
         header(
             title,
-            &pcts.iter().map(|p| format!("{}%", (p * 100.0) as u32)).collect::<Vec<_>>(),
+            &pcts
+                .iter()
+                .map(|p| format!("{}%", (p * 100.0) as u32))
+                .collect::<Vec<_>>(),
         );
         for n in [24usize, 4, 1] {
             let vals: Vec<f64> = pcts

@@ -9,18 +9,32 @@ fn main() {
     let rows = [2usize, 4, 8, 12, 18, 24, 30, 40, 60];
     let configs = [24usize, 12, 8, 4, 2, 1];
     for (kind, pct, title) in [
-        (OpKind::Read, 0.0, "Fig 10 a: local read-only, cost/txn (us)"),
-        (OpKind::Read, 1.0, "Fig 10 b: multisite read-only, cost/txn (us)"),
+        (
+            OpKind::Read,
+            0.0,
+            "Fig 10 a: local read-only, cost/txn (us)",
+        ),
+        (
+            OpKind::Read,
+            1.0,
+            "Fig 10 b: multisite read-only, cost/txn (us)",
+        ),
         (OpKind::Update, 0.0, "Fig 10 c: local update, cost/txn (us)"),
-        (OpKind::Update, 1.0, "Fig 10 d: multisite update, cost/txn (us)"),
+        (
+            OpKind::Update,
+            1.0,
+            "Fig 10 d: multisite update, cost/txn (us)",
+        ),
     ] {
-        header(title, &rows.iter().map(|r| r.to_string()).collect::<Vec<_>>());
+        header(
+            title,
+            &rows.iter().map(|r| r.to_string()).collect::<Vec<_>>(),
+        );
         for &n in &configs {
             let vals: Vec<f64> = rows
                 .iter()
                 .map(|&k| {
-                    sim_run(Machine::quad_socket(), n, &micro(kind, k, pct), 1)
-                        .cost_per_txn_us()
+                    sim_run(Machine::quad_socket(), n, &micro(kind, k, pct), 1).cost_per_txn_us()
                 })
                 .collect();
             row(&format!("{n}ISL"), &vals);

@@ -14,11 +14,17 @@ fn sweep(machine: &Machine, cores: &[u32], kind: OpKind) {
             kind.label(),
             machine.name
         ),
-        &cores.iter().map(|c| format!("{c} cores")).collect::<Vec<_>>(),
+        &cores
+            .iter()
+            .map(|c| format!("{c} cores"))
+            .collect::<Vec<_>>(),
     );
     let cps = machine.cores_per_socket as usize;
     for (label, inst_of) in [
-        ("FG", Box::new(|c: u32| c as usize) as Box<dyn Fn(u32) -> usize>),
+        (
+            "FG",
+            Box::new(|c: u32| c as usize) as Box<dyn Fn(u32) -> usize>,
+        ),
         ("CG", Box::new(move |c: u32| (c as usize / cps).max(1))),
         ("SE", Box::new(|_| 1usize)),
     ] {

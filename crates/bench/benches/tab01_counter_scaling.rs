@@ -15,8 +15,18 @@ fn main() {
     let mut base = 0.0;
     for (label, setup, counters, placement) in [
         ("Single", CounterSetup::Single, 1, ThreadPlacement::Spread),
-        ("Per socket", CounterSetup::PerSocket, 8, ThreadPlacement::Grouped),
-        ("Per core", CounterSetup::PerCore, 80, ThreadPlacement::Grouped),
+        (
+            "Per socket",
+            CounterSetup::PerSocket,
+            8,
+            ThreadPlacement::Grouped,
+        ),
+        (
+            "Per core",
+            CounterSetup::PerCore,
+            80,
+            ThreadPlacement::Grouped,
+        ),
     ] {
         let mut s = RunningStats::new();
         for seed in 0..5 {

@@ -137,8 +137,14 @@ mod tests {
     fn table1_per_core_is_orders_faster_than_single() {
         let m = octo();
         let single = run_counters(&m, CounterSetup::Single, 80, ThreadPlacement::Grouped, 1, 1);
-        let per_core =
-            run_counters(&m, CounterSetup::PerCore, 80, ThreadPlacement::Grouped, 1, 1);
+        let per_core = run_counters(
+            &m,
+            CounterSetup::PerCore,
+            80,
+            ThreadPlacement::Grouped,
+            1,
+            1,
+        );
         // Paper: 18.4 vs 9527.8 M/s — a ~500x gap.
         assert!(
             per_core.mops() > single.mops() * 100.0,
@@ -157,8 +163,14 @@ mod tests {
             "single counter: {:.1} M/s (paper 18.4)",
             single.mops()
         );
-        let per_core =
-            run_counters(&m, CounterSetup::PerCore, 80, ThreadPlacement::Grouped, 1, 1);
+        let per_core = run_counters(
+            &m,
+            CounterSetup::PerCore,
+            80,
+            ThreadPlacement::Grouped,
+            1,
+            1,
+        );
         assert!(
             (per_core.mops() - 9527.8).abs() / 9527.8 < 0.2,
             "per-core: {:.0} M/s (paper 9527.8)",
@@ -177,8 +189,14 @@ mod tests {
             1,
             1,
         );
-        let spread =
-            run_counters(&m, CounterSetup::PerSocket, 80, ThreadPlacement::Spread, 1, 1);
+        let spread = run_counters(
+            &m,
+            CounterSetup::PerSocket,
+            80,
+            ThreadPlacement::Spread,
+            1,
+            1,
+        );
         let os = run_counters(
             &m,
             CounterSetup::PerSocket,

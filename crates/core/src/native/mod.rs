@@ -169,9 +169,7 @@ impl NativeCluster {
                         row[..8].copy_from_slice(&v.to_le_bytes());
                         txn.update(MICRO_TABLE_NAME, op.key, &row)
                     }
-                    OpType::Insert => {
-                        txn.insert(MICRO_TABLE_NAME, op.key, &vec![0u8; 0]).map(|_| ())
-                    }
+                    OpType::Insert => txn.insert(MICRO_TABLE_NAME, op.key, &[0u8; 0]).map(|_| ()),
                 };
                 if let Err(e) = r {
                     failed = Some(e);
@@ -216,10 +214,8 @@ impl NativeCluster {
                     }
                     Action::ForceCommitDecision { gtid } => {
                         let wal = self.instances[home].wal();
-                        let lsn = wal.append(
-                            TxnId(gtid),
-                            &LogPayload::Decision { gtid, commit: true },
-                        );
+                        let lsn =
+                            wal.append(TxnId(gtid), &LogPayload::Decision { gtid, commit: true });
                         wal.commit_durable(lsn);
                     }
                     Action::SendDecision { to, commit } => {

@@ -100,7 +100,7 @@ mod tests {
             total_rows: 24_000,
             n_sites: 24,
         };
-        let mut counts = vec![0u64; 24];
+        let mut counts = [0u64; 24];
         for k in 0..24_000 {
             counts[m.site_of(0, k)] += 1;
         }
@@ -159,10 +159,7 @@ mod tests {
         };
         use crate::plan::*;
         assert_eq!(sites.site_of(TPCC_WAREHOUSE, 7), 7);
-        assert_eq!(
-            sites.site_of(TPCC_DISTRICT, tpcc::district_key(7, 3)),
-            7
-        );
+        assert_eq!(sites.site_of(TPCC_DISTRICT, tpcc::district_key(7, 3)), 7);
         assert_eq!(
             sites.site_of(TPCC_CUSTOMER, tpcc::customer_key(7, 3, 100)),
             7

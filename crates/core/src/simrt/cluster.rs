@@ -250,7 +250,10 @@ pub struct Audit {
 fn make_latches(owned: u64, row_size: usize) -> (Vec<SimMutex<()>>, u64) {
     let rows_per_page = (8192 / (row_size as u64 + 12)).max(1);
     let pages = (owned / rows_per_page).clamp(1, 128) as usize;
-    ((0..pages).map(|_| SimMutex::new(())).collect(), rows_per_page)
+    (
+        (0..pages).map(|_| SimMutex::new(())).collect(),
+        rows_per_page,
+    )
 }
 
 fn index_height(rows: u64) -> u32 {
@@ -319,10 +322,30 @@ fn build_tables(
             };
             let per = |rows: u64| rows / n_instances as u64;
             let specs = [
-                (plan::TPCC_WAREHOUSE, scale.warehouse_rows(), tpcc::WAREHOUSE_ROW, 0.9),
-                (plan::TPCC_DISTRICT, scale.district_rows(), tpcc::DISTRICT_ROW, 0.9),
-                (plan::TPCC_CUSTOMER, scale.customer_rows(), tpcc::CUSTOMER_ROW, 0.5),
-                (plan::TPCC_HISTORY, scale.customer_rows() / 3, tpcc::HISTORY_ROW, 0.9),
+                (
+                    plan::TPCC_WAREHOUSE,
+                    scale.warehouse_rows(),
+                    tpcc::WAREHOUSE_ROW,
+                    0.9,
+                ),
+                (
+                    plan::TPCC_DISTRICT,
+                    scale.district_rows(),
+                    tpcc::DISTRICT_ROW,
+                    0.9,
+                ),
+                (
+                    plan::TPCC_CUSTOMER,
+                    scale.customer_rows(),
+                    tpcc::CUSTOMER_ROW,
+                    0.5,
+                ),
+                (
+                    plan::TPCC_HISTORY,
+                    scale.customer_rows() / 3,
+                    tpcc::HISTORY_ROW,
+                    0.9,
+                ),
             ];
             for (id, rows, row_size, wr) in specs {
                 let (latches, rpp) = make_latches(per(rows).max(1), row_size);
@@ -332,11 +355,7 @@ fn build_tables(
                         row_size,
                         height: index_height(rows.max(1)),
                         index_region: mk_region("tpcc-index", per(rows) * 16, 0.05),
-                        heap_region: mk_region(
-                            "tpcc-heap",
-                            per(rows) * (row_size as u64 + 40),
-                            wr,
-                        ),
+                        heap_region: mk_region("tpcc-heap", per(rows) * (row_size as u64 + 40), wr),
                         counters: None,
                         base_key: 0,
                         page_latches: latches,
@@ -381,9 +400,7 @@ fn build_cluster(cfg: &SimClusterConfig, workload: &SimWorkload) -> Rc<Cluster> 
         }),
     };
 
-    let raid = cfg
-        .data_disk
-        .map(|params| Raid0::new(&sim, params, 2));
+    let raid = cfg.data_disk.map(|params| Raid0::new(&sim, params, 2));
     let workload_local = match workload {
         SimWorkload::Micro(spec) => spec.multisite_pct == 0.0,
         SimWorkload::Payment { remote_pct, .. } => *remote_pct == 0.0,
@@ -466,10 +483,9 @@ fn build_cluster(cfg: &SimClusterConfig, workload: &SimWorkload) -> Rc<Cluster> 
     }
 
     let gen = match workload {
-        SimWorkload::Micro(spec) => Gen::Micro(MicroGenerator::new(
-            spec.clone(),
-            worker_cores.len() as u64,
-        )),
+        SimWorkload::Micro(spec) => {
+            Gen::Micro(MicroGenerator::new(spec.clone(), worker_cores.len() as u64))
+        }
         SimWorkload::Payment {
             warehouses,
             remote_pct,
@@ -628,15 +644,26 @@ async fn do_op(
 ) -> Result<bool, Died> {
     let core = inst.cores[core_idx];
     if !inst.locks_off {
-        acquire_row_lock(cl, inst, core_idx, txn, op.table, op.key, op.op != OpType::Read)
-            .await?;
+        acquire_row_lock(
+            cl,
+            inst,
+            core_idx,
+            txn,
+            op.table,
+            op.key,
+            op.op != OpType::Read,
+        )
+        .await?;
     }
     let table = inst.tables.get(&op.table).expect("unknown table");
     // Shared engine-state traffic for this op (lock manager, latches,
     // buffer pool): coherence misses grow with the instance's span.
-    let engine = cl
-        .cost
-        .charge_region(core, &inst.engine_region, cl.costs.engine_lines_per_op, true);
+    let engine = cl.cost.charge_region(
+        core,
+        &inst.engine_region,
+        cl.costs.engine_lines_per_op,
+        true,
+    );
     busy(cl, inst, core_idx, Cat::XctExecution, engine).await;
     // Index probe.
     let probe_mem = cl
@@ -789,7 +816,13 @@ async fn poller(cl: Rc<Cluster>, idx: usize, rx: Receiver<Msg>) {
 }
 
 /// Participant side: execute the coordinator's ops, prepare, vote.
-async fn participant_execute(cl: Rc<Cluster>, idx: usize, gtid: u64, from: usize, ops: Vec<PlanOp>) {
+async fn participant_execute(
+    cl: Rc<Cluster>,
+    idx: usize,
+    gtid: u64,
+    from: usize,
+    ops: Vec<PlanOp>,
+) {
     let inst = Rc::clone(&cl.instances[idx]);
     let core_idx = cl.pick_core(&inst);
     let core = inst.cores[core_idx];
@@ -815,11 +848,17 @@ async fn participant_execute(cl: Rc<Cluster>, idx: usize, gtid: u64, from: usize
     if died {
         undo_applied(&inst, &applied);
         release_locks(&cl, &inst, txn);
-        send_msg(&cl, &inst, core_idx, from, Msg::Vote {
-            gtid,
-            from: idx,
-            vote: islands_dtxn::Vote::No,
-        })
+        send_msg(
+            &cl,
+            &inst,
+            core_idx,
+            from,
+            Msg::Vote {
+                gtid,
+                from: idx,
+                vote: islands_dtxn::Vote::No,
+            },
+        )
         .await;
         return;
     }
@@ -832,20 +871,32 @@ async fn participant_execute(cl: Rc<Cluster>, idx: usize, gtid: u64, from: usize
         inst.prepared
             .borrow_mut()
             .insert(gtid, PreparedPart { txn, applied });
-        send_msg(&cl, &inst, core_idx, from, Msg::Vote {
-            gtid,
-            from: idx,
-            vote: islands_dtxn::Vote::Yes,
-        })
+        send_msg(
+            &cl,
+            &inst,
+            core_idx,
+            from,
+            Msg::Vote {
+                gtid,
+                from: idx,
+                vote: islands_dtxn::Vote::Yes,
+            },
+        )
         .await;
     } else {
         // Read-only optimization: release now, skip phase 2.
         release_locks(&cl, &inst, txn);
-        send_msg(&cl, &inst, core_idx, from, Msg::Vote {
-            gtid,
-            from: idx,
-            vote: islands_dtxn::Vote::ReadOnly,
-        })
+        send_msg(
+            &cl,
+            &inst,
+            core_idx,
+            from,
+            Msg::Vote {
+                gtid,
+                from: idx,
+                vote: islands_dtxn::Vote::ReadOnly,
+            },
+        )
         .await;
     }
 }
@@ -990,11 +1041,17 @@ async fn execute_txn(
         .charge_instr(core, cl.costs.instr_2pc_coord * remote_ops.len() as u64);
     busy(cl, inst, core_idx, Cat::XctManagement, coord_instr).await;
     for (p, ops) in &remote_ops {
-        send_msg(cl, inst, core_idx, *p, Msg::ExecutePrepare {
-            gtid,
-            from: home,
-            ops: ops.clone(),
-        })
+        send_msg(
+            cl,
+            inst,
+            core_idx,
+            *p,
+            Msg::ExecutePrepare {
+                gtid,
+                from: home,
+                ops: ops.clone(),
+            },
+        )
         .await;
     }
     // Await votes.
@@ -1322,10 +1379,13 @@ mod tests {
         let mut cfg = SimClusterConfig::new(Machine::quad_socket(), 24);
         cfg.warmup_ms = 2;
         cfg.measure_ms = 8;
-        let r = run(&cfg, &SimWorkload::Payment {
-            warehouses: 24,
-            remote_pct: 0.0,
-        });
+        let r = run(
+            &cfg,
+            &SimWorkload::Payment {
+                warehouses: 24,
+                remote_pct: 0.0,
+            },
+        );
         assert!(r.commits > 500, "payment commits {}", r.commits);
         assert_eq!(r.distributed, 0);
     }

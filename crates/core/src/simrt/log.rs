@@ -21,6 +21,12 @@ pub struct SimLog {
     flushes: Cell<u64>,
 }
 
+impl Default for SimLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl SimLog {
     pub fn new() -> Self {
         SimLog {
@@ -126,7 +132,13 @@ mod tests {
     fn durability_is_monotone() {
         let sim = Sim::new();
         let log = Rc::new(SimLog::new());
-        let disk = Disk::new(&sim, DiskParams { access_ps: 10, per_byte_ps: 1 });
+        let disk = Disk::new(
+            &sim,
+            DiskParams {
+                access_ps: 10,
+                per_byte_ps: 1,
+            },
+        );
         {
             let log = Rc::clone(&log);
             let s = sim.clone();

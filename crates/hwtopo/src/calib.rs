@@ -67,16 +67,16 @@ impl Calib {
     /// (4 × Intel Xeon E7530 @ 1.86 GHz, 6 cores/CPU, 12 MB LLC).
     pub fn quad_socket() -> Self {
         Calib {
-            l1_ps: 2_200,            // 4 cycles @ 1.86 GHz
-            l2_ps: 5_400,            // 10 cycles
-            llc_ps: 24_000,          // ~45 cycles
+            l1_ps: 2_200,   // 4 cycles @ 1.86 GHz
+            l2_ps: 5_400,   // 10 cycles
+            llc_ps: 24_000, // ~45 cycles
             remote_cache_ps: 80_000,
             dram_local_ps: 65_000,
             dram_remote_ps: 106_000,
             line_same_core_ps: 9_100,
             line_same_socket_ps: 25_500,
             line_cross_socket_ps: 63_000,
-            instr_ps: 270,           // IPC ~2 @ 1.86 GHz
+            instr_ps: 270, // IPC ~2 @ 1.86 GHz
             freq_khz: 1_860_000,
             os_migration_interval_ps: crate::ms(4),
             os_migration_penalty_ps: crate::us(60),
@@ -90,16 +90,16 @@ impl Calib {
     /// docs for the back-solve).
     pub fn octo_socket() -> Self {
         Calib {
-            l1_ps: 1_900,            // 4 cycles @ 2.13 GHz
+            l1_ps: 1_900, // 4 cycles @ 2.13 GHz
             l2_ps: 4_700,
             llc_ps: 21_000,
             remote_cache_ps: 78_000,
             dram_local_ps: 65_000,
             dram_remote_ps: 105_000,
-            line_same_core_ps: 8_400,   // Table 1: 9527.8 M/s / 80 cores
-            line_same_socket_ps: 23_400, // Table 1: 341.7 M/s / 8 counters
+            line_same_core_ps: 8_400,     // Table 1: 9527.8 M/s / 80 cores
+            line_same_socket_ps: 23_400,  // Table 1: 341.7 M/s / 8 counters
             line_cross_socket_ps: 58_300, // back-solved from 18.4 M/s
-            instr_ps: 235,           // IPC ~2 @ 2.13 GHz
+            instr_ps: 235,                // IPC ~2 @ 2.13 GHz
             freq_khz: 2_130_000,
             os_migration_interval_ps: crate::ms(4),
             os_migration_penalty_ps: crate::us(60),
@@ -149,8 +149,8 @@ mod tests {
         // 9 of the 79 other contenders are on-socket.
         let c = Calib::octo_socket();
         let p_same = 9.0 / 79.0;
-        let avg = p_same * c.line_same_socket_ps as f64
-            + (1.0 - p_same) * c.line_cross_socket_ps as f64;
+        let avg =
+            p_same * c.line_same_socket_ps as f64 + (1.0 - p_same) * c.line_cross_socket_ps as f64;
         let total_mops = 1e12 / avg / 1e6;
         assert!((total_mops - 18.4).abs() / 18.4 < 0.03, "{total_mops}");
     }

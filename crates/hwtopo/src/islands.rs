@@ -68,11 +68,12 @@ pub fn island_configs(machine: &Machine) -> Vec<NislConfig> {
     let active: Vec<CoreId> = machine.all_cores().collect();
     let mut out = Vec::new();
     for n in 1..=total {
-        if total % n != 0 {
+        if !total.is_multiple_of(n) {
             continue;
         }
         let per = total / n;
-        let aligned = (per <= cps && cps % per == 0) || (per > cps && per % cps == 0);
+        let aligned =
+            (per <= cps && cps.is_multiple_of(per)) || (per > cps && per.is_multiple_of(cps));
         if aligned {
             out.push(NislConfig::new(
                 machine,
@@ -93,7 +94,10 @@ mod tests {
     fn quad_socket_configs_match_figure10() {
         let m = Machine::quad_socket();
         let labels: Vec<String> = island_configs(&m).iter().map(|c| c.label()).collect();
-        assert_eq!(labels, vec!["1ISL", "2ISL", "4ISL", "8ISL", "12ISL", "24ISL"]);
+        assert_eq!(
+            labels,
+            vec!["1ISL", "2ISL", "4ISL", "8ISL", "12ISL", "24ISL"]
+        );
     }
 
     #[test]

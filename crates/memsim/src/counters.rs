@@ -80,11 +80,13 @@ impl Counters {
     }
 
     pub fn add_qpi(&self, lines: u64) {
-        self.qpi_bytes.set(self.qpi_bytes.get() + lines * LINE_BYTES);
+        self.qpi_bytes
+            .set(self.qpi_bytes.get() + lines * LINE_BYTES);
     }
 
     pub fn add_imc(&self, lines: u64) {
-        self.imc_bytes.set(self.imc_bytes.get() + lines * LINE_BYTES);
+        self.imc_bytes
+            .set(self.imc_bytes.get() + lines * LINE_BYTES);
     }
 
     /// Interconnect-to-memory traffic ratio; the paper reports 1.73 for

@@ -82,17 +82,13 @@ impl Region {
         let my_socket = machine.socket_of(core);
 
         // 1. Dirty-in-another-cache check for write-shared regions.
-        let other_writers: Vec<&CoreId> = spec
-            .writer_cores
-            .iter()
-            .filter(|&&w| w != core)
-            .collect();
+        let other_writers: Vec<&CoreId> =
+            spec.writer_cores.iter().filter(|&&w| w != core).collect();
         if !other_writers.is_empty() && spec.write_ratio > 0.0 {
             // P(line last written by someone else) ~ write_ratio * share of
             // other writers among all accessors.
             let k = spec.writer_cores.len().max(1) as f64;
-            let p_dirty_elsewhere =
-                spec.write_ratio * (other_writers.len() as f64 / k);
+            let p_dirty_elsewhere = spec.write_ratio * (other_writers.len() as f64 / k);
             if rng.gen_bool(p_dirty_elsewhere.clamp(0.0, 1.0)) {
                 let idx = rng.gen_range(0..other_writers.len());
                 let writer = *other_writers[idx];

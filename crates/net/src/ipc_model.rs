@@ -120,16 +120,15 @@ mod tests {
     #[test]
     fn cross_socket_is_slower_for_every_mechanism() {
         for m in IpcMechanism::ALL {
-            assert!(
-                m.cost(false).total_ps() > m.cost(true).total_ps(),
-                "{m:?}"
-            );
+            assert!(m.cost(false).total_ps() > m.cost(true).total_ps(), "{m:?}");
         }
     }
 
     #[test]
     fn calibration_matches_figure6_unix_sockets() {
-        let thr = IpcMechanism::UnixSocket.cost(true).throughput_msgs_per_sec();
+        let thr = IpcMechanism::UnixSocket
+            .cost(true)
+            .throughput_msgs_per_sec();
         assert!((thr - 62_000.0).abs() / 62_000.0 < 0.01, "{thr}");
         let thr = IpcMechanism::UnixSocket
             .cost(false)

@@ -127,16 +127,10 @@ impl<T> Sender<T> {
             let seq = st.seq;
             st.seq += 1;
             let arrival = now + latency_ps;
-            st.pending.push(Reverse(Pending {
-                arrival,
-                seq,
-                msg,
-            }));
+            st.pending.push(Reverse(Pending { arrival, seq, msg }));
             // If the receiver is parked, arrange a wake at arrival time.
             if let Some(w) = st.recv_waker.as_ref() {
-                self.inner
-                    .sim
-                    .register_timer(SimTime(arrival), w.clone());
+                self.inner.sim.register_timer(SimTime(arrival), w.clone());
             }
         }
     }
@@ -190,7 +184,9 @@ impl<T> Future for Recv<'_, T> {
         st.recv_waker = Some(cx.waker().clone());
         // If something is in flight, make sure we wake when it lands.
         if let Some(Reverse(p)) = st.pending.peek() {
-            inner.sim.register_timer(SimTime(p.arrival), cx.waker().clone());
+            inner
+                .sim
+                .register_timer(SimTime(p.arrival), cx.waker().clone());
         }
         Poll::Pending
     }

@@ -18,6 +18,9 @@ use crate::time::SimTime;
 
 pub(crate) type TaskId = u64;
 
+/// A spawned task's future, pinned and type-erased.
+type TaskFuture = Pin<Box<dyn Future<Output = ()>>>;
+
 /// A handle to the simulation: clock, spawner, and run loop.
 ///
 /// Cheap to clone; all clones share the same virtual world.
@@ -29,7 +32,7 @@ pub struct Sim {
 pub(crate) struct Inner {
     now: Cell<u64>,
     next_task: Cell<TaskId>,
-    tasks: RefCell<HashMap<TaskId, Pin<Box<dyn Future<Output = ()>>>>>,
+    tasks: RefCell<HashMap<TaskId, TaskFuture>>,
     ready: Arc<ReadyQueue>,
     timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
     timer_seq: Cell<u64>,

@@ -577,10 +577,7 @@ mod tests {
     fn duplicate_key_rejected() {
         let t = tree(64, 64);
         t.insert(1, 1).unwrap();
-        assert!(matches!(
-            t.insert(1, 2),
-            Err(StorageError::DuplicateKey(1))
-        ));
+        assert!(matches!(t.insert(1, 2), Err(StorageError::DuplicateKey(1))));
         assert_eq!(t.get(1).unwrap(), Some(1));
     }
 
@@ -688,7 +685,7 @@ mod tests {
                 let mut i = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let k = (i * 31) % 2000;
-                    if k % 2 == 0 {
+                    if k.is_multiple_of(2) {
                         assert_eq!(t.get(k).unwrap(), Some(k / 2));
                     }
                     i += 1;

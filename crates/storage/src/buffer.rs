@@ -312,8 +312,8 @@ mod tests {
             p.mark_dirty();
             pids.push(p.pid);
         }
-        pool.flush_all().unwrap(); // clean them
-        // A third page forces an eviction.
+        // Clean them; a third page then forces an eviction.
+        pool.flush_all().unwrap();
         let p3 = pool.new_page().unwrap();
         drop(p3);
         assert!(pool.stats.evictions.load(Ordering::Relaxed) >= 1);

@@ -79,14 +79,14 @@ mod tests {
     fn display_is_informative() {
         let e = StorageError::Deadlock(TxnId(9));
         assert!(e.to_string().contains("txn9"));
-        let e = StorageError::Io(io::Error::new(io::ErrorKind::Other, "boom"));
+        let e = StorageError::Io(io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
     }
 
     #[test]
     fn io_source_is_preserved() {
         use std::error::Error;
-        let e = StorageError::from(io::Error::new(io::ErrorKind::Other, "x"));
+        let e = StorageError::from(io::Error::other("x"));
         assert!(e.source().is_some());
         assert!(StorageError::BufferFull.source().is_none());
     }

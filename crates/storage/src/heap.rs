@@ -176,13 +176,7 @@ impl HeapFile {
             let g = pin.read();
             for s in 0..g.slot_count() {
                 if g.slot_live(s) {
-                    f(
-                        Rid {
-                            page: cur,
-                            slot: s,
-                        },
-                        g.get_record(s)?,
-                    );
+                    f(Rid { page: cur, slot: s }, g.get_record(s)?);
                 }
             }
             cur = g.next_page();

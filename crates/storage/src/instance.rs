@@ -743,8 +743,7 @@ mod tests {
         let store: Arc<dyn PageStore> = Arc::new(MemStore::new());
         let dev = MemLogDevice::new();
         {
-            let inst =
-                StorageInstance::create(Arc::clone(&store), dev.clone(), small_opts());
+            let inst = StorageInstance::create(Arc::clone(&store), dev.clone(), small_opts());
             let t = inst.create_table("a", 8).unwrap();
             for k in 0..10u64 {
                 inst.load_row(&t, k, &[0u8; 8]).unwrap();
@@ -764,13 +763,16 @@ mod tests {
             std::mem::forget(txn); // simulate crash: no abort, no commit
         }
         // "Reboot" from store + log.
-        let (inst, in_doubt) =
-            StorageInstance::recover(store, dev, small_opts()).unwrap();
+        let (inst, in_doubt) = StorageInstance::recover(store, dev, small_opts()).unwrap();
         assert!(in_doubt.is_empty());
         let mut txn = inst.begin();
         assert_eq!(txn.read("a", 3).unwrap(), Some(vec![3u8; 8]));
         assert_eq!(txn.read("a", 100).unwrap(), Some(vec![7u8; 8]));
-        assert_eq!(txn.read("a", 4).unwrap(), Some(vec![0u8; 8]), "loser undone");
+        assert_eq!(
+            txn.read("a", 4).unwrap(),
+            Some(vec![0u8; 8]),
+            "loser undone"
+        );
         txn.commit().unwrap();
     }
 
@@ -779,8 +781,7 @@ mod tests {
         let store: Arc<dyn PageStore> = Arc::new(MemStore::new());
         let dev = MemLogDevice::new();
         {
-            let inst =
-                StorageInstance::create(Arc::clone(&store), dev.clone(), small_opts());
+            let inst = StorageInstance::create(Arc::clone(&store), dev.clone(), small_opts());
             let t = inst.create_table("a", 8).unwrap();
             inst.load_row(&t, 1, &[0u8; 8]).unwrap();
             inst.checkpoint().unwrap();
@@ -789,8 +790,7 @@ mod tests {
             assert_eq!(txn.prepare(777).unwrap(), PrepareVote::Yes);
             std::mem::forget(txn); // crash while in doubt
         }
-        let (inst, in_doubt) =
-            StorageInstance::recover(store, dev, small_opts()).unwrap();
+        let (inst, in_doubt) = StorageInstance::recover(store, dev, small_opts()).unwrap();
         assert_eq!(in_doubt.len(), 1);
         assert_eq!(in_doubt[0].gtid, 777);
         // Effects withheld until the decision arrives.

@@ -26,13 +26,10 @@ impl LockMode {
     /// Whether holding `self` already satisfies a request for `want`.
     pub fn covers(self, want: LockMode) -> bool {
         use LockMode::*;
-        match (self, want) {
-            (X, _) => true,
-            (S, S) | (S, IS) => true,
-            (IX, IX) | (IX, IS) => true,
-            (IS, IS) => true,
-            _ => false,
-        }
+        matches!(
+            (self, want),
+            (X, _) | (S, S) | (S, IS) | (IX, IX) | (IX, IS) | (IS, IS)
+        )
     }
 
     /// The weakest mode granting both `self` and `other` (supremum in the
@@ -252,11 +249,7 @@ impl LockTable {
     pub fn holds(&self, txn: TxnId, id: LockId, mode: LockMode) -> bool {
         self.entries
             .get(&id)
-            .map(|e| {
-                e.granted
-                    .iter()
-                    .any(|(t, m)| *t == txn && m.covers(mode))
-            })
+            .map(|e| e.granted.iter().any(|(t, m)| *t == txn && m.covers(mode)))
             .unwrap_or(false)
     }
 

@@ -105,10 +105,7 @@ impl Table {
     /// Overwrite a row's payload, returning the before image.
     pub fn update(&self, key: u64, payload: &[u8]) -> Result<Vec<u8>> {
         self.check_payload(payload)?;
-        let packed = self
-            .index
-            .get(key)?
-            .ok_or(StorageError::KeyNotFound(key))?;
+        let packed = self.index.get(key)?.ok_or(StorageError::KeyNotFound(key))?;
         let rid = Rid::unpack(packed);
         let before = self.heap.with_record(rid, |rec| rec[8..].to_vec())?;
         let mut rec = Vec::with_capacity(8 + payload.len());

@@ -102,10 +102,7 @@ mod tests {
         let l1 = lb.append(TxnId(1), &LogPayload::Begin);
         let l2 = lb.append(TxnId(1), &LogPayload::Commit);
         assert_eq!(l1, record::encoded_len(&LogPayload::Begin) as u64);
-        assert_eq!(
-            l2,
-            l1 + record::encoded_len(&LogPayload::Commit) as u64
-        );
+        assert_eq!(l2, l1 + record::encoded_len(&LogPayload::Commit) as u64);
         assert_eq!(lb.end_lsn(), l2);
     }
 
@@ -121,7 +118,7 @@ mod tests {
 
         // Appends during an in-flight batch keep correct LSNs.
         let l2 = lb.append(TxnId(2), &LogPayload::Commit);
-        assert_eq!(l2, l1 + bytes.len() as u64 - (l1 - 0) + l1); // l1*2
+        assert_eq!(l2, l1 + bytes.len() as u64); // the batch was one Begin record, so l2 == l1*2
         let (base2, bytes2) = lb.take_batch().unwrap();
         assert_eq!(base2, l1);
         lb.mark_durable(base2 + bytes2.len() as u64);

@@ -216,9 +216,7 @@ fn flusher_loop(shared: Arc<Shared>, device: Arc<dyn LogDevice>, group_window: D
                 // first one, unless the batch is already large or we're
                 // shutting down.
                 if !st.buffer.should_flush() && !st.shutdown {
-                    let _ = shared
-                        .flush_cv
-                        .wait_for(&mut st, group_window);
+                    let _ = shared.flush_cv.wait_for(&mut st, group_window);
                 }
                 break st.buffer.take_batch();
             }

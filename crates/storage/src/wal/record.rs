@@ -34,16 +34,23 @@ pub enum LogPayload {
     Abort,
     /// Participant side of 2PC: this transaction is prepared for global
     /// transaction `gtid` and may no longer unilaterally abort. Forced.
-    Prepare { gtid: u64 },
+    Prepare {
+        gtid: u64,
+    },
     /// Coordinator side of 2PC: the global decision for `gtid`. Forced
     /// before phase 2 begins (presumed abort: only commits are logged
     /// before the fact; an unlogged gtid means abort).
-    Decision { gtid: u64, commit: bool },
+    Decision {
+        gtid: u64,
+        commit: bool,
+    },
     /// Transaction fully resolved (participant acked / coordinator done).
     End,
     /// Checkpoint completed; everything before `snapshot_lsn` is reflected
     /// in the on-store snapshot.
-    Checkpoint { snapshot_lsn: Lsn },
+    Checkpoint {
+        snapshot_lsn: Lsn,
+    },
 }
 
 const TAG_BEGIN: u8 = 1;

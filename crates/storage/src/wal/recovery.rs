@@ -29,15 +29,27 @@ use crate::{Lsn, TxnId};
 /// A redo-able logical operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RedoOp {
-    Insert { table: u32, key: u64, data: Vec<u8> },
-    Update { table: u32, key: u64, after: Vec<u8> },
+    Insert {
+        table: u32,
+        key: u64,
+        data: Vec<u8>,
+    },
+    Update {
+        table: u32,
+        key: u64,
+        after: Vec<u8>,
+    },
 }
 
 /// An undo-able logical operation (for losers and aborted in-doubt txns).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UndoOp {
     /// Restore a before-image.
-    Revert { table: u32, key: u64, before: Vec<u8> },
+    Revert {
+        table: u32,
+        key: u64,
+        before: Vec<u8>,
+    },
     /// Remove a row the loser inserted.
     Remove { table: u32, key: u64 },
 }
@@ -241,10 +253,11 @@ mod tests {
         assert!(a
             .undo
             .iter()
-            .any(|(_, t, u)| *t == TxnId(1)
-                && matches!(u, UndoOp::Remove { key: 10, .. })));
-        assert!(a.undo.iter().any(|(_, t, u)| *t == TxnId(1)
-            && matches!(u, UndoOp::Revert { key: 11, .. })));
+            .any(|(_, t, u)| *t == TxnId(1) && matches!(u, UndoOp::Remove { key: 10, .. })));
+        assert!(a
+            .undo
+            .iter()
+            .any(|(_, t, u)| *t == TxnId(1) && matches!(u, UndoOp::Revert { key: 11, .. })));
     }
 
     #[test]
@@ -293,14 +306,20 @@ mod tests {
     #[test]
     fn coordinator_decisions_collected() {
         let log = build(&[
-            (9, LogPayload::Decision {
-                gtid: 42,
-                commit: true,
-            }),
-            (9, LogPayload::Decision {
-                gtid: 43,
-                commit: false,
-            }),
+            (
+                9,
+                LogPayload::Decision {
+                    gtid: 42,
+                    commit: true,
+                },
+            ),
+            (
+                9,
+                LogPayload::Decision {
+                    gtid: 43,
+                    commit: false,
+                },
+            ),
         ]);
         let a = analyze(&log, 0).unwrap();
         assert_eq!(a.decisions.get(&42), Some(&true));

@@ -44,11 +44,11 @@ proptest! {
                 TreeOp::Insert(k, v) => {
                     let k = k as u64;
                     let r = tree.insert(k, v);
-                    if model.contains_key(&k) {
-                        prop_assert!(r.is_err(), "duplicate insert must fail");
-                    } else {
+                    if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
                         prop_assert!(r.is_ok());
-                        model.insert(k, v);
+                        e.insert(v);
+                    } else {
+                        prop_assert!(r.is_err(), "duplicate insert must fail");
                     }
                 }
                 TreeOp::Delete(k) => {

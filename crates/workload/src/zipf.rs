@@ -23,7 +23,11 @@ impl Zipf {
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0);
         assert!((0.0..=1.0).contains(&theta), "skew out of range");
-        let theta = if (theta - 1.0).abs() < 1e-9 { 0.9999 } else { theta };
+        let theta = if (theta - 1.0).abs() < 1e-9 {
+            0.9999
+        } else {
+            theta
+        };
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2.min(n), theta);
         let alpha = 1.0 / (1.0 - theta);
@@ -99,10 +103,7 @@ mod tests {
         let h = histogram(0.0, 10, 100_000);
         let expect = 10_000.0;
         for (i, &c) in h.iter().enumerate() {
-            assert!(
-                (c as f64 - expect).abs() / expect < 0.1,
-                "bucket {i}: {c}"
-            );
+            assert!((c as f64 - expect).abs() / expect < 0.1, "bucket {i}: {c}");
         }
     }
 

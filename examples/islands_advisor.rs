@@ -30,9 +30,16 @@ fn main() {
         profile.skew_band
     );
     let rec = recommend(&machine, &profile, 8);
-    println!("\n{:>8} {:>14} {:>12} {:>10}", "config", "expected KTps", "worst KTps", "score");
+    println!(
+        "\n{:>8} {:>14} {:>12} {:>10}",
+        "config", "expected KTps", "worst KTps", "score"
+    );
     for c in &rec.candidates {
-        let marker = if c.label == rec.best.label { "  <== recommended" } else { "" };
+        let marker = if c.label == rec.best.label {
+            "  <== recommended"
+        } else {
+            ""
+        };
         println!(
             "{:>8} {:>14.1} {:>12.1} {:>10.1}{marker}",
             c.label, c.expected_ktps, c.worst_ktps, c.score

@@ -19,12 +19,20 @@ fn main() {
         ..Default::default()
     };
     let cluster = Arc::new(NativeCluster::build_micro(&cfg).unwrap());
-    println!("built {} instances over {} rows", cluster.n_instances(), cfg.total_rows);
+    println!(
+        "built {} instances over {} rows",
+        cluster.n_instances(),
+        cfg.total_rows
+    );
 
     // A local transaction (all keys in instance 0).
     let local = TxnPlan {
         ops: (0..4)
-            .map(|k| PlanOp { table: MICRO_TABLE, key: k, op: OpType::Update })
+            .map(|k| PlanOp {
+                table: MICRO_TABLE,
+                key: k,
+                op: OpType::Update,
+            })
             .collect(),
     };
     let was_2pc = cluster.execute(&local).unwrap();
@@ -33,8 +41,16 @@ fn main() {
     // A distributed transaction (keys span instances -> 2PC).
     let distributed = TxnPlan {
         ops: vec![
-            PlanOp { table: MICRO_TABLE, key: 5, op: OpType::Update },
-            PlanOp { table: MICRO_TABLE, key: 35_000, op: OpType::Update },
+            PlanOp {
+                table: MICRO_TABLE,
+                key: 5,
+                op: OpType::Update,
+            },
+            PlanOp {
+                table: MICRO_TABLE,
+                key: 35_000,
+                op: OpType::Update,
+            },
         ],
     };
     let was_2pc = cluster.execute(&distributed).unwrap();
@@ -47,17 +63,32 @@ fn main() {
         let b = (a + 911) % total_rows;
         TxnPlan {
             ops: vec![
-                PlanOp { table: MICRO_TABLE, key: a, op: OpType::Update },
-                PlanOp { table: MICRO_TABLE, key: b, op: OpType::Update },
+                PlanOp {
+                    table: MICRO_TABLE,
+                    key: a,
+                    op: OpType::Update,
+                },
+                PlanOp {
+                    table: MICRO_TABLE,
+                    key: b,
+                    op: OpType::Update,
+                },
             ],
         }
     });
     println!(
         "closed loop: {} commits ({} distributed, {} aborts) -> {:.0} tps",
-        result.commits, result.distributed, result.aborts, result.tps()
+        result.commits,
+        result.distributed,
+        result.aborts,
+        result.tps()
     );
-    // Exactly-once accounting: every committed txn incremented 2 rows.
+    // Exactly-once accounting: the 4-op local txn, the 2-op distributed txn,
+    // then 2 rows per closed-loop commit.
     let sum = cluster.audit_sum().unwrap();
-    assert_eq!(sum, (result.commits + 2) * 2);
-    println!("audit: {} row updates applied = 2 x {} committed txns  OK", sum, result.commits + 2);
+    assert_eq!(sum, result.commits * 2 + 6);
+    println!(
+        "audit: {} row updates applied = 4 + 2 + 2 x {} committed txns  OK",
+        sum, result.commits
+    );
 }

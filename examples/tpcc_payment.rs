@@ -15,21 +15,40 @@ use rand::{Rng, SeedableRng};
 
 /// Payment-shaped plan over the micro table: one hot "warehouse" row, one
 /// "district" row, one "customer" row (all updates).
-fn payment_plan(rng: &mut SmallRng, warehouses: u64, rows: u64, home: u64, remote_pct: f64) -> TxnPlan {
+fn payment_plan(
+    rng: &mut SmallRng,
+    warehouses: u64,
+    rows: u64,
+    home: u64,
+    remote_pct: f64,
+) -> TxnPlan {
     let w_row = home; // warehouse rows live at keys 0..warehouses
-    let d_row = warehouses + home * 10 + rng.gen_range(0..10);
+    let d_row = warehouses + home * 10 + rng.gen_range(0..10u64);
     let c_w = if rng.gen_bool(remote_pct) {
         (home + 1 + rng.gen_range(0..warehouses - 1)) % warehouses
     } else {
         home
     };
-    let c_row = warehouses * 11 + (c_w * (rows - warehouses * 11) / warehouses)
+    let c_row = warehouses * 11
+        + (c_w * (rows - warehouses * 11) / warehouses)
         + rng.gen_range(0..(rows - warehouses * 11) / warehouses);
     TxnPlan {
         ops: vec![
-            PlanOp { table: MICRO_TABLE, key: w_row, op: OpType::Update },
-            PlanOp { table: MICRO_TABLE, key: d_row, op: OpType::Update },
-            PlanOp { table: MICRO_TABLE, key: c_row, op: OpType::Update },
+            PlanOp {
+                table: MICRO_TABLE,
+                key: w_row,
+                op: OpType::Update,
+            },
+            PlanOp {
+                table: MICRO_TABLE,
+                key: d_row,
+                op: OpType::Update,
+            },
+            PlanOp {
+                table: MICRO_TABLE,
+                key: c_row,
+                op: OpType::Update,
+            },
         ],
     }
 }
@@ -37,7 +56,9 @@ fn payment_plan(rng: &mut SmallRng, warehouses: u64, rows: u64, home: u64, remot
 fn main() {
     let rows = 44_000u64;
     let warehouses = 4u64;
-    for (label, n_instances, workers) in [("shared-everything", 1usize, 4usize), ("4 islands", 4, 1)] {
+    for (label, n_instances, workers) in
+        [("shared-everything", 1usize, 4usize), ("4 islands", 4, 1)]
+    {
         let cluster = Arc::new(
             NativeCluster::build_micro(&NativeClusterConfig {
                 n_instances,
@@ -55,7 +76,10 @@ fn main() {
         });
         println!(
             "{label:>18}: {:>8.0} tps ({} commits, {} distributed, {} aborts)",
-            r.tps(), r.commits, r.distributed, r.aborts
+            r.tps(),
+            r.commits,
+            r.distributed,
+            r.aborts
         );
         assert_eq!(cluster.audit_sum().unwrap(), r.commits * 3);
     }

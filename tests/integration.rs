@@ -70,10 +70,14 @@ fn recovery_across_checkpoint_and_2pc() {
     let store: Arc<dyn oltp_islands::storage::store::PageStore> = Arc::new(MemStore::new());
     let dev = MemLogDevice::new();
     {
-        let inst = StorageInstance::create(Arc::clone(&store), dev.clone(), InstanceOptions {
-            buffer_frames: 256,
-            ..Default::default()
-        });
+        let inst = StorageInstance::create(
+            Arc::clone(&store),
+            dev.clone(),
+            InstanceOptions {
+                buffer_frames: 256,
+                ..Default::default()
+            },
+        );
         let t = inst.create_table("t", 16).unwrap();
         for k in 0..50u64 {
             inst.load_row(&t, k, &[0u8; 16]).unwrap();
@@ -88,10 +92,14 @@ fn recovery_across_checkpoint_and_2pc() {
         b.prepare(42).unwrap();
         std::mem::forget(b); // crash while prepared
     }
-    let (inst, in_doubt) = StorageInstance::recover(store, dev, InstanceOptions {
-        buffer_frames: 256,
-        ..Default::default()
-    })
+    let (inst, in_doubt) = StorageInstance::recover(
+        store,
+        dev,
+        InstanceOptions {
+            buffer_frames: 256,
+            ..Default::default()
+        },
+    )
     .unwrap();
     assert_eq!(in_doubt.len(), 1);
     // Coordinator decision arrives: commit.
@@ -110,7 +118,11 @@ fn sim_exactly_once_under_multisite_and_skew() {
         cfg.warmup_ms = 2;
         cfg.measure_ms = 6;
         let (r, audit) = run_with_audit(&cfg, &SimWorkload::Micro(spec));
-        assert!(r.commits > 50, "{n}ISL pct={pct} skew={skew}: {}", r.commits);
+        assert!(
+            r.commits > 50,
+            "{n}ISL pct={pct} skew={skew}: {}",
+            r.commits
+        );
         assert_eq!(
             audit.applied_row_updates, audit.committed_row_writes,
             "{n}ISL pct={pct} skew={skew}"
@@ -125,7 +137,11 @@ fn sim_is_deterministic_for_a_seed() {
         cfg.warmup_ms = 1;
         cfg.measure_ms = 4;
         cfg.seed = 1234;
-        run_with_audit(&cfg, &SimWorkload::Micro(MicroSpec::new(OpKind::Update, 4, 0.3))).0
+        run_with_audit(
+            &cfg,
+            &SimWorkload::Micro(MicroSpec::new(OpKind::Update, 4, 0.3)),
+        )
+        .0
     };
     let a = mk();
     let b = mk();
@@ -148,20 +164,29 @@ fn headline_results_hold() {
     let local_read = SimWorkload::Micro(MicroSpec::new(OpKind::Read, 10, 0.0));
     let fg = mk(24, &local_read);
     let se = mk(1, &local_read);
-    assert!(fg > se * 1.5, "FG {fg:.0} must beat SE {se:.0} on local reads");
+    assert!(
+        fg > se * 1.5,
+        "FG {fg:.0} must beat SE {se:.0} on local reads"
+    );
 
     // Paper headline 2: at 100% multisite, shared-everything wins.
     let all_multi = SimWorkload::Micro(MicroSpec::new(OpKind::Read, 10, 1.0));
     let fg = mk(24, &all_multi);
     let se = mk(1, &all_multi);
-    assert!(se > fg * 1.5, "SE {se:.0} must beat FG {fg:.0} at 100% multisite");
+    assert!(
+        se > fg * 1.5,
+        "SE {se:.0} must beat FG {fg:.0} at 100% multisite"
+    );
 
     // Paper headline 3: under heavy skew, islands degrade more gracefully
     // than fine-grained shared-nothing.
     let skewed = SimWorkload::Micro(MicroSpec::new(OpKind::Update, 2, 0.2).with_skew(1.0));
     let fg = mk(24, &skewed);
     let cg = mk(4, &skewed);
-    assert!(cg > fg * 2.0, "CG {cg:.0} must beat FG {fg:.0} under heavy skew");
+    assert!(
+        cg > fg * 2.0,
+        "CG {cg:.0} must beat FG {fg:.0} under heavy skew"
+    );
 }
 
 #[test]
@@ -180,6 +205,9 @@ fn native_single_threaded_fine_grained_optimization() {
         cluster.execute(&upd(&[k])).unwrap();
     }
     let (acquires, _, _) = cluster.instance(0).locks().stats();
-    assert_eq!(acquires, 0, "single-threaded instances skip the lock manager");
+    assert_eq!(
+        acquires, 0,
+        "single-threaded instances skip the lock manager"
+    );
     assert_eq!(cluster.audit_sum().unwrap(), 10);
 }

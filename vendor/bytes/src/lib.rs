@@ -1,0 +1,134 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of `bytes` 1.x this workspace uses: the [`Buf`]
+//! trait for `&[u8]` cursors and the [`BufMut`] trait for `Vec<u8>` sinks,
+//! with little-endian fixed-width accessors. Panics on underflow, matching
+//! the real crate's contract.
+
+/// Read-side byte cursor.
+pub trait Buf {
+    /// Bytes remaining between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Advance the cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    /// If `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(b)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+
+    /// Copy `dst.len()` bytes into `dst` and advance.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write-side byte sink.
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(7);
+        out.put_u16_le(0xBEEF);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u64_le(0x0123_4567_89AB_CDEF);
+        out.put_slice(b"xyz");
+
+        let mut b: &[u8] = &out;
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16_le(), 0xBEEF);
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(b.remaining(), 3);
+        let mut rest = [0u8; 3];
+        b.copy_to_slice(&mut rest);
+        assert_eq!(&rest, b"xyz");
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut b: &[u8] = &[1, 2];
+        b.advance(3);
+    }
+}

@@ -1,0 +1,195 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the `bench_function` / `criterion_group!` / `criterion_main!`
+//! surface used by this workspace's `components` bench. Measurement is a
+//! straightforward walltime sampler: warm up for `warm_up_time`, then take
+//! `sample_size` samples whose batch size is tuned so the whole run fits in
+//! roughly `measurement_time`; mean and standard deviation are printed in
+//! plain text. No plotting, no statistics beyond mean/σ, no comparison with
+//! previous runs.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run `f` as a named benchmark and print its timing.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: Mode::WarmUp {
+                until: self.warm_up_time,
+                iters: 0,
+            },
+        };
+        f(&mut b);
+        let iters_per_sec = match b.mode {
+            Mode::WarmUp { iters, .. } => iters.max(1),
+            _ => 1,
+        };
+
+        // Size each sample so that sample_size samples fill measurement_time.
+        let total_iters =
+            (iters_per_sec as f64 * self.measurement_time.as_secs_f64()).max(1.0) as u64;
+        let per_sample = (total_iters / self.sample_size as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                mode: Mode::Measure {
+                    iters: per_sample,
+                    elapsed: Duration::ZERO,
+                },
+            };
+            f(&mut b);
+            if let Mode::Measure { elapsed, .. } = b.mode {
+                samples_ns.push(elapsed.as_nanos() as f64 / per_sample as f64);
+            }
+        }
+
+        let n = samples_ns.len() as f64;
+        let mean = samples_ns.iter().sum::<f64>() / n;
+        let var = samples_ns
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / (n - 1.0);
+        let sd = var.sqrt();
+        println!("{id:<40} time: [{} ± {}]", fmt_ns(mean), fmt_ns(sd));
+        self
+    }
+}
+
+enum Mode {
+    /// Run for a wall-clock duration, counting iterations to calibrate.
+    WarmUp { until: Duration, iters: u64 },
+    /// Run a fixed iteration count, accumulating elapsed time.
+    Measure { iters: u64, elapsed: Duration },
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Time `routine`, discarding its output via a black box.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &mut self.mode {
+            Mode::WarmUp { until, iters } => {
+                let deadline = Instant::now() + *until;
+                // Normalize warm-up iteration count to iters/second.
+                let start = Instant::now();
+                let mut n = 0u64;
+                while Instant::now() < deadline {
+                    std_black_box(routine());
+                    n += 1;
+                }
+                let secs = start.elapsed().as_secs_f64().max(1e-9);
+                *iters = (n as f64 / secs).max(1.0) as u64;
+            }
+            Mode::Measure { iters, elapsed } => {
+                let start = Instant::now();
+                for _ in 0..*iters {
+                    std_black_box(routine());
+                }
+                *elapsed += start.elapsed();
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declare a group of benchmark functions (criterion-compatible subset).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5))
+            .sample_size(2);
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,439 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no network access to crates.io, so this vendored
+//! crate reimplements the subset of the `parking_lot` 0.12 API this workspace
+//! uses on top of `std::sync`. Semantics match parking_lot where it matters:
+//! locks do not poison (a panic while holding a lock simply releases it), and
+//! guards are `Deref`/`DerefMut` smart pointers.
+//!
+//! Provided:
+//!
+//! * [`Mutex`] / [`MutexGuard`] — non-poisoning mutex.
+//! * [`Condvar`] with [`Condvar::wait_for`] returning a [`WaitTimeoutResult`].
+//! * [`RwLock`] / [`RwLockReadGuard`] / [`RwLockWriteGuard`] — non-poisoning
+//!   reader-writer lock.
+//! * `RwLock::read_arc` / `RwLock::write_arc` and the
+//!   [`lock_api::ArcRwLockReadGuard`] / [`lock_api::ArcRwLockWriteGuard`]
+//!   owned-guard types (the `arc_lock` feature surface of the real crate).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, PoisonError};
+use std::time::Duration;
+
+/// Marker type standing in for `parking_lot::RawRwLock`; only used as the `R`
+/// type parameter of the `lock_api` guard aliases.
+pub struct RawRwLock {
+    _priv: (),
+}
+
+/// Marker type standing in for `parking_lot::RawMutex`.
+pub struct RawMutex {
+    _priv: (),
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// A non-poisoning mutual-exclusion lock (API subset of `parking_lot::Mutex`).
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex`]. The inner `Option` exists so [`Condvar::wait_for`]
+/// can temporarily take the underlying std guard; it is `Some` at all times
+/// outside that method.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("guard taken during condvar wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("guard taken during condvar wait")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable usable with [`MutexGuard`].
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Block until notified. Spurious wakeups are possible, as with any
+    /// condition variable.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard poisoned by earlier panic");
+        let g = self.inner.wait(g).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+    }
+
+    /// Block until notified or `timeout` elapses; the guard is reacquired in
+    /// either case.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard poisoned by earlier panic");
+        let (g, res) = self
+            .inner
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// A non-poisoning reader-writer lock (API subset of `parking_lot::RwLock`).
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Lock for reading through an `Arc`, returning an owned guard that keeps
+    /// the lock alive (the real crate's `arc_lock` API).
+    pub fn read_arc(self: &Arc<Self>) -> lock_api::ArcRwLockReadGuard<RawRwLock, T> {
+        lock_api::ArcRwLockReadGuard::new(Arc::clone(self))
+    }
+
+    /// Lock for writing through an `Arc`, returning an owned guard.
+    pub fn write_arc(self: &Arc<Self>) -> lock_api::ArcRwLockWriteGuard<RawRwLock, T> {
+        lock_api::ArcRwLockWriteGuard::new(Arc::clone(self))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(RwLockReadGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
+                inner: p.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(RwLockWriteGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
+                inner: p.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+// ---------------------------------------------------------------------------
+// lock_api guard types
+// ---------------------------------------------------------------------------
+
+pub mod lock_api {
+    //! Owned (`Arc`-holding) guard types mirroring `lock_api`'s `arc_lock`
+    //! surface. The `R` type parameter is a phantom matching the real crate's
+    //! raw-lock parameter; only `crate::RawRwLock` is ever used for it.
+
+    use std::marker::PhantomData;
+    use std::mem::ManuallyDrop;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::{Arc, PoisonError};
+
+    use crate::RwLock;
+
+    /// An RAII read guard that owns an `Arc` to its `RwLock`.
+    ///
+    /// Safety argument for the internal `'static` extension: the guard
+    /// borrows out of the `std::sync::RwLock` inside `self.lock`, an `Arc`
+    /// held by this same struct, whose pointee never moves. The std guard is
+    /// dropped (in `Drop::drop`) strictly before the `Arc` is released.
+    pub struct ArcRwLockReadGuard<R, T: 'static> {
+        guard: ManuallyDrop<std::sync::RwLockReadGuard<'static, T>>,
+        lock: Arc<RwLock<T>>,
+        _raw: PhantomData<R>,
+    }
+
+    /// An RAII write guard that owns an `Arc` to its `RwLock`.
+    pub struct ArcRwLockWriteGuard<R, T: 'static> {
+        guard: ManuallyDrop<std::sync::RwLockWriteGuard<'static, T>>,
+        lock: Arc<RwLock<T>>,
+        _raw: PhantomData<R>,
+    }
+
+    impl<R, T> ArcRwLockReadGuard<R, T> {
+        pub(crate) fn new(lock: Arc<RwLock<T>>) -> Self {
+            // Borrow through a raw pointer so the resulting guard's lifetime
+            // is unbound, then pin it to 'static; see the struct-level safety
+            // argument.
+            let inner: *const std::sync::RwLock<T> = &lock.inner;
+            let guard = unsafe { &*inner }
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            ArcRwLockReadGuard {
+                guard: ManuallyDrop::new(guard),
+                lock,
+                _raw: PhantomData,
+            }
+        }
+
+        /// The lock this guard came from.
+        pub fn rwlock(this: &Self) -> &Arc<RwLock<T>> {
+            &this.lock
+        }
+    }
+
+    impl<R, T> ArcRwLockWriteGuard<R, T> {
+        pub(crate) fn new(lock: Arc<RwLock<T>>) -> Self {
+            let inner: *const std::sync::RwLock<T> = &lock.inner;
+            let guard = unsafe { &*inner }
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            ArcRwLockWriteGuard {
+                guard: ManuallyDrop::new(guard),
+                lock,
+                _raw: PhantomData,
+            }
+        }
+
+        pub fn rwlock(this: &Self) -> &Arc<RwLock<T>> {
+            &this.lock
+        }
+    }
+
+    impl<R, T> Deref for ArcRwLockReadGuard<R, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.guard
+        }
+    }
+
+    impl<R, T> Deref for ArcRwLockWriteGuard<R, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.guard
+        }
+    }
+
+    impl<R, T> DerefMut for ArcRwLockWriteGuard<R, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.guard
+        }
+    }
+
+    impl<R, T> Drop for ArcRwLockReadGuard<R, T> {
+        fn drop(&mut self) {
+            // Release the lock before the owning Arc can go away.
+            unsafe { ManuallyDrop::drop(&mut self.guard) };
+        }
+    }
+
+    impl<R, T> Drop for ArcRwLockWriteGuard<R, T> {
+        fn drop(&mut self) {
+            unsafe { ManuallyDrop::drop(&mut self.guard) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let m = Mutex::new(0u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(res.timed_out());
+        assert_eq!(*g, 1);
+    }
+
+    #[test]
+    fn rwlock_arc_guards_hold_lock_alive() {
+        let l = Arc::new(RwLock::new(7u64));
+        let r1 = l.read_arc();
+        let r2 = l.read_arc();
+        assert_eq!(*r1 + *r2, 14);
+        drop((r1, r2));
+        let mut w = l.write_arc();
+        *w = 9;
+        drop(w);
+        assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn guard_survives_lock_handle_drop() {
+        let l = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let g = l.read_arc();
+        drop(l); // guard still owns an Arc
+        assert_eq!(g.len(), 3);
+    }
+}
