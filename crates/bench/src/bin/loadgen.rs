@@ -1,0 +1,418 @@
+//! Open/closed-loop load generator for socket-served deployments.
+//!
+//! Spawns a `NativeCluster` behind an `islands-server` endpoint (or connects
+//! to an already-running one with `--connect`), drives it with concurrent
+//! client connections generating the paper's microbenchmark mix, and reports
+//! throughput plus p50/p95/p99 latency.
+//!
+//! ```sh
+//! cargo run --release -p islands-bench --bin loadgen -- \
+//!     --transport uds --clients 8 --secs 2
+//! ```
+//!
+//! Closed loop (default): each client submits its next transaction the
+//! moment the previous reply arrives — offered load tracks capacity.
+//! Open loop (`--open RATE`): clients submit on a fixed schedule of RATE
+//! transactions/second in aggregate, and latency is measured from the
+//! *scheduled* send time, so queueing delay when the server falls behind is
+//! charged to the server (no coordinated omission).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use islands_core::native::{NativeCluster, NativeClusterConfig};
+use islands_server::{Client, Endpoint, Reply, Server, ServerConfig, ServerHandle};
+use islands_workload::{MicroGenerator, MicroSpec, OpKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const USAGE: &str = "loadgen - drive a socket-served islands deployment
+
+USAGE:
+  loadgen [OPTIONS]
+
+OPTIONS:
+  --transport uds|tcp   transport for the spawned server (default uds)
+  --uds-path PATH       socket path for --transport uds (default: temp dir)
+  --connect EP          drive an existing server instead of spawning one;
+                        EP is uds:/path/to.sock or tcp:HOST:PORT
+                        (requires matching --rows; the external server is
+                        NOT drained afterwards)
+  --clients N           concurrent client connections (default 8)
+  --secs S              measured duration in seconds (default 2)
+  --open RATE           open-loop arrival rate, txn/s aggregate
+                        (default: closed loop)
+  --kind read|update    transaction kind (default update)
+  --rows-per-txn N      rows touched per transaction (default 4)
+  --multisite PCT       multisite transaction percentage 0-100 (default 20)
+  --skew Z              Zipfian skew for row selection (default 0)
+  --rows N              total rows loaded/partitioned (default 40000)
+  --instances N         storage instances in the spawned cluster (default 4)
+  --retry-limit N       server-side retry budget per txn (default 64)
+  -h, --help            print this help
+";
+
+#[derive(Debug, Clone)]
+struct Args {
+    transport: String,
+    uds_path: Option<String>,
+    connect: Option<String>,
+    clients: usize,
+    secs: f64,
+    open_rate: Option<f64>,
+    kind: OpKind,
+    rows_per_txn: usize,
+    multisite_pct: f64,
+    skew: f64,
+    rows: u64,
+    instances: usize,
+    retry_limit: u32,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            transport: "uds".into(),
+            uds_path: None,
+            connect: None,
+            clients: 8,
+            secs: 2.0,
+            open_rate: None,
+            kind: OpKind::Update,
+            rows_per_txn: 4,
+            multisite_pct: 20.0,
+            skew: 0.0,
+            rows: 40_000,
+            instances: 4,
+            retry_limit: 64,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--transport" => args.transport = value("--transport")?,
+            "--uds-path" => args.uds_path = Some(value("--uds-path")?),
+            "--connect" => args.connect = Some(value("--connect")?),
+            "--clients" => args.clients = num(&value("--clients")?)?,
+            "--secs" => args.secs = num(&value("--secs")?)?,
+            "--open" => args.open_rate = Some(num(&value("--open")?)?),
+            "--kind" => {
+                args.kind = match value("--kind")?.as_str() {
+                    "read" => OpKind::Read,
+                    "update" => OpKind::Update,
+                    other => return Err(format!("--kind read|update, got {other}")),
+                }
+            }
+            "--rows-per-txn" => args.rows_per_txn = num(&value("--rows-per-txn")?)?,
+            "--multisite" => args.multisite_pct = num(&value("--multisite")?)?,
+            "--skew" => args.skew = num(&value("--skew")?)?,
+            "--rows" => args.rows = num(&value("--rows")?)?,
+            "--instances" => args.instances = num(&value("--instances")?)?,
+            "--retry-limit" => args.retry_limit = num(&value("--retry-limit")?)?,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (see --help)")),
+        }
+    }
+    if args.clients == 0 {
+        return Err("--clients must be >= 1".into());
+    }
+    if !(0.0..=100.0).contains(&args.multisite_pct) {
+        return Err("--multisite must be 0-100".into());
+    }
+    if !args.secs.is_finite() || args.secs < 0.0 {
+        return Err("--secs must be a nonnegative number".into());
+    }
+    if let Some(rate) = args.open_rate {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err("--open must be a positive rate in txn/s".into());
+        }
+    }
+    if args.transport != "uds" && args.transport != "tcp" {
+        return Err(format!("--transport uds|tcp, got {}", args.transport));
+    }
+    Ok(args)
+}
+
+fn num<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("bad number {s:?}: {e}"))
+}
+
+fn parse_endpoint(s: &str) -> Result<Endpoint, String> {
+    if let Some(path) = s.strip_prefix("uds:") {
+        Ok(Endpoint::Uds(path.into()))
+    } else if let Some(addr) = s.strip_prefix("tcp:") {
+        Ok(Endpoint::Tcp(
+            addr.parse()
+                .map_err(|e| format!("bad address {addr}: {e}"))?,
+        ))
+    } else {
+        Err(format!("endpoint must be uds:PATH or tcp:ADDR, got {s}"))
+    }
+}
+
+/// Per-client tallies.
+#[derive(Debug, Default)]
+struct ClientResult {
+    committed: u64,
+    aborted: u64,
+    errors: u64,
+    distributed: u64,
+    /// End-to-end latency per completed request, microseconds.
+    latencies_us: Vec<u64>,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn drive_client(
+    id: usize,
+    endpoint: &Endpoint,
+    args: &Args,
+    deadline: Instant,
+) -> std::io::Result<ClientResult> {
+    let mut client = Client::connect_with_retry(endpoint, Duration::from_secs(2))?;
+    let spec = MicroSpec {
+        kind: args.kind,
+        rows_per_txn: args.rows_per_txn,
+        multisite_pct: args.multisite_pct / 100.0,
+        skew: args.skew,
+        total_rows: args.rows,
+        row_size: 64,
+    };
+    let gen = MicroGenerator::new(spec, args.instances.max(1) as u64);
+    let mut rng = SmallRng::seed_from_u64(0x1517_ab1e ^ (id as u64) << 17);
+    let mut result = ClientResult::default();
+
+    // Open loop: this client owns a 1/clients share of the aggregate rate.
+    let interval = args
+        .open_rate
+        .map(|rate| Duration::from_secs_f64(args.clients as f64 / rate));
+    let mut next_due = Instant::now();
+
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let measured_from = match interval {
+            None => now, // closed loop: service time is the latency
+            Some(gap) => {
+                // Open loop: wait for the schedule, then charge latency from
+                // the scheduled instant even if we are running behind.
+                if next_due > now {
+                    std::thread::sleep(next_due - now);
+                }
+                let due = next_due;
+                next_due += gap;
+                if due >= deadline {
+                    break;
+                }
+                due
+            }
+        };
+        let req = gen.next(&mut rng);
+        match client.submit(&req)? {
+            Reply::Committed { distributed, .. } => {
+                result.committed += 1;
+                result.distributed += distributed as u64;
+            }
+            Reply::Aborted { .. } => result.aborted += 1,
+            Reply::Error { message } => {
+                result.errors += 1;
+                eprintln!("client {id}: server error: {message}");
+            }
+            other => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unexpected reply {other:?}"),
+                ))
+            }
+        }
+        result
+            .latencies_us
+            .push(measured_from.elapsed().as_micros() as u64);
+    }
+    Ok(result)
+}
+
+fn spawn_server(args: &Args) -> std::io::Result<(ServerHandle, Endpoint)> {
+    let cluster = Arc::new(
+        NativeCluster::build_micro(&NativeClusterConfig {
+            n_instances: args.instances,
+            total_rows: args.rows,
+            row_size: 64,
+            workers_per_instance: args.clients.div_ceil(args.instances.max(1)).max(2),
+            ..Default::default()
+        })
+        .map_err(|e| std::io::Error::other(format!("cluster build failed: {e}")))?,
+    );
+    let endpoint = if args.transport == "tcp" {
+        Endpoint::Tcp("127.0.0.1:0".parse().expect("loopback addr"))
+    } else {
+        let path = match &args.uds_path {
+            Some(p) => p.into(),
+            None => {
+                let mut p = std::env::temp_dir();
+                p.push(format!("islands-loadgen-{}.sock", std::process::id()));
+                p
+            }
+        };
+        Endpoint::Uds(path)
+    };
+    let handle = Server::spawn(
+        cluster,
+        endpoint,
+        ServerConfig {
+            retry_limit: args.retry_limit,
+            ..Default::default()
+        },
+    )?;
+    let resolved = handle.endpoint().clone();
+    Ok((handle, resolved))
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+
+    let (handle, endpoint) = match &args.connect {
+        Some(ep) => (None, parse_endpoint(ep)?),
+        None => {
+            let (h, ep) = spawn_server(&args).map_err(|e| format!("spawn server: {e}"))?;
+            (Some(h), ep)
+        }
+    };
+    let mode = match args.open_rate {
+        Some(rate) => format!("open @ {rate:.0} txn/s"),
+        None => "closed".into(),
+    };
+    println!(
+        "loadgen: {endpoint} clients={} secs={} mode={mode} kind={} rows/txn={} \
+         multisite={}% skew={} rows={} instances={}",
+        args.clients,
+        args.secs,
+        args.kind.label(),
+        args.rows_per_txn,
+        args.multisite_pct,
+        args.skew,
+        args.rows,
+        args.instances,
+    );
+
+    // Drive.
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(args.secs);
+    let workers: Vec<_> = (0..args.clients)
+        .map(|id| {
+            let endpoint = endpoint.clone();
+            let args = args.clone();
+            std::thread::spawn(move || drive_client(id, &endpoint, &args, deadline))
+        })
+        .collect();
+    let mut total = ClientResult::default();
+    let mut client_failures = 0u64;
+    for w in workers {
+        match w.join().expect("client thread panicked") {
+            Ok(r) => {
+                total.committed += r.committed;
+                total.aborted += r.aborted;
+                total.errors += r.errors;
+                total.distributed += r.distributed;
+                total.latencies_us.extend(r.latencies_us);
+            }
+            Err(e) => {
+                client_failures += 1;
+                eprintln!("client connection failed: {e}");
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+
+    // Report.
+    total.latencies_us.sort_unstable();
+    let n = total.latencies_us.len();
+    let tput = total.committed as f64 / elapsed.as_secs_f64();
+    println!(
+        "completed: committed={} aborted={} errors={} distributed={} ({:.1}%) in {:.2}s",
+        total.committed,
+        total.aborted,
+        total.errors,
+        total.distributed,
+        if total.committed > 0 {
+            100.0 * total.distributed as f64 / total.committed as f64
+        } else {
+            0.0
+        },
+        elapsed.as_secs_f64(),
+    );
+    println!("throughput: {tput:.0} committed txn/s");
+    if n > 0 {
+        let mean = total.latencies_us.iter().sum::<u64>() as f64 / n as f64;
+        println!(
+            "latency: p50={}us p95={}us p99={}us max={}us mean={:.0}us ({} samples)",
+            percentile(&total.latencies_us, 50.0),
+            percentile(&total.latencies_us, 95.0),
+            percentile(&total.latencies_us, 99.0),
+            total.latencies_us[n - 1],
+            mean,
+            n,
+        );
+    }
+
+    // Drain the server we spawned and insist on a clean exit.
+    if let Some(handle) = handle {
+        let mut closer =
+            Client::connect(&endpoint).map_err(|e| format!("drain connect failed: {e}"))?;
+        closer
+            .drain_server()
+            .map_err(|e| format!("drain request failed: {e}"))?;
+        let stats = handle
+            .join()
+            .map_err(|e| format!("server join failed: {e}"))?;
+        println!(
+            "server drained cleanly: connections={} requests={} commits={} aborts={} errors={}",
+            stats.connections, stats.requests, stats.commits, stats.aborts, stats.errors,
+        );
+        if stats.commits != total.committed {
+            return Err(format!(
+                "server counted {} commits but clients saw {}",
+                stats.commits, total.committed
+            ));
+        }
+    }
+
+    if client_failures > 0 {
+        return Err(format!("{client_failures} client(s) failed"));
+    }
+    Ok(total.committed > 0)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("loadgen: FAILED - zero committed transactions");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

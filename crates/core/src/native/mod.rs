@@ -22,9 +22,10 @@ use islands_storage::store::MemStore;
 use islands_storage::wal::record::LogPayload;
 use islands_storage::wal::MemLogDevice;
 use islands_storage::{InstanceOptions, StorageError, StorageInstance, TxnId};
+use islands_workload::TxnRequest;
 
 use crate::partition::{instance_of_site, RangeSites, SiteMap};
-use crate::plan::{OpType, TxnPlan, MICRO_TABLE};
+use crate::plan::{plan_micro, OpType, TxnPlan, MICRO_TABLE};
 
 /// Configuration for a native micro-benchmark cluster.
 #[derive(Debug, Clone)]
@@ -75,6 +76,21 @@ impl NativeRunResult {
     pub fn tps(&self) -> f64 {
         self.commits as f64 / self.elapsed.as_secs_f64()
     }
+}
+
+/// Result of one externally submitted request (see [`NativeCluster::submit`]).
+///
+/// `committed == false` means the retry budget was exhausted by repeated
+/// deadlock/timeout/2PC aborts — a well-formed request that simply lost; the
+/// submitter decides whether to resubmit. Malformed requests (missing key,
+/// unknown table) surface as `Err` instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    pub committed: bool,
+    /// Whether the (last) attempt ran two-phase commit.
+    pub distributed: bool,
+    /// Abort-and-retry rounds before the final outcome.
+    pub retries: u32,
 }
 
 impl NativeCluster {
@@ -240,6 +256,83 @@ impl NativeCluster {
                 unreachable!("2PC stalled without Finish");
             }
             actions = std::mem::take(&mut queue);
+        }
+    }
+
+    /// Total rows loaded across all instances (the partitioned key space is
+    /// `0..total_rows`).
+    pub fn total_rows(&self) -> u64 {
+        self.sites.total_rows
+    }
+
+    /// Submission entry point for external callers (servers, client
+    /// libraries): run `req` to completion, retrying contention aborts
+    /// (deadlock, lock timeout, 2PC abort) up to `retry_limit` times.
+    ///
+    /// Unlike [`execute`](Self::execute), which hands protocol-level aborts
+    /// back to the caller, this is the full at-most-one-commit request loop a
+    /// front end wants: `Ok` with [`SubmitOutcome::committed`] true/false for
+    /// well-formed requests, `Err` only for requests the engine can never
+    /// satisfy (e.g. a key outside the loaded range).
+    pub fn submit(
+        &self,
+        req: &TxnRequest,
+        retry_limit: u32,
+    ) -> Result<SubmitOutcome, StorageError> {
+        self.submit_plan(&plan_micro(req), retry_limit)
+    }
+
+    /// [`submit`](Self::submit) for an already-built plan.
+    pub fn submit_plan(
+        &self,
+        plan: &TxnPlan,
+        retry_limit: u32,
+    ) -> Result<SubmitOutcome, StorageError> {
+        // Reject keys outside the loaded range up front: the partition map
+        // asserts on them, and a served deployment must answer a malformed
+        // request with an error, not a panic.
+        if let Some(op) = plan
+            .ops
+            .iter()
+            .find(|op| op.table == MICRO_TABLE && op.key >= self.sites.total_rows)
+        {
+            return Err(StorageError::KeyNotFound(op.key));
+        }
+        // Whether the plan spans instances (so a failed submission can still
+        // report the distributed flag truthfully).
+        let mut spans = false;
+        if let Some(first) = plan.ops.first() {
+            let home = self.instance_of(first.table, first.key);
+            spans = plan
+                .ops
+                .iter()
+                .any(|op| self.instance_of(op.table, op.key) != home);
+        }
+        let mut retries = 0u32;
+        loop {
+            match self.execute(plan) {
+                Ok(distributed) => {
+                    return Ok(SubmitOutcome {
+                        committed: true,
+                        distributed,
+                        retries,
+                    })
+                }
+                Err(StorageError::Deadlock(_))
+                | Err(StorageError::LockTimeout(_))
+                | Err(StorageError::MustAbort(_)) => {
+                    if retries >= retry_limit {
+                        return Ok(SubmitOutcome {
+                            committed: false,
+                            distributed: spans,
+                            retries,
+                        });
+                    }
+                    retries += 1;
+                    std::thread::yield_now();
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -412,6 +505,54 @@ mod tests {
             r.commits,
             r.aborts
         );
+    }
+
+    #[test]
+    fn submit_commits_and_reports_distribution() {
+        use islands_workload::OpKind;
+        let c = NativeCluster::build_micro(&small()).unwrap();
+        let local = c
+            .submit(
+                &TxnRequest {
+                    kind: OpKind::Update,
+                    keys: vec![1, 2],
+                    multisite: false,
+                },
+                8,
+            )
+            .unwrap();
+        assert!(local.committed);
+        assert!(!local.distributed);
+        let multi = c
+            .submit(
+                &TxnRequest {
+                    kind: OpKind::Update,
+                    keys: vec![10, 150, 390],
+                    multisite: true,
+                },
+                8,
+            )
+            .unwrap();
+        assert!(multi.committed);
+        assert!(multi.distributed);
+        assert_eq!(c.audit_sum().unwrap(), 5);
+    }
+
+    #[test]
+    fn submit_surfaces_unsatisfiable_requests_as_errors() {
+        use islands_workload::OpKind;
+        let c = NativeCluster::build_micro(&small()).unwrap();
+        let err = c
+            .submit(
+                &TxnRequest {
+                    kind: OpKind::Update,
+                    keys: vec![999_999],
+                    multisite: false,
+                },
+                8,
+            )
+            .unwrap_err();
+        assert!(matches!(err, StorageError::KeyNotFound(999_999)));
     }
 
     #[test]

@@ -22,9 +22,11 @@
 
 pub mod coordinator;
 pub mod participant;
+pub mod recovery;
 
 pub use coordinator::{Action, Coordinator, CoordinatorState};
 pub use participant::{Participant, ParticipantEvent, ParticipantState};
+pub use recovery::{resolve_in_doubt, RecoveredOutcome};
 
 /// Global (distributed) transaction id.
 pub type Gtid = u64;

@@ -27,36 +27,47 @@ fn pingpong<S: Read + Write + Send + 'static>(
     mut a: S,
     mut b: S,
     round_trips: u32,
-) -> LiveResult {
-    let peer = std::thread::spawn(move || {
+) -> std::io::Result<LiveResult> {
+    let peer = std::thread::spawn(move || -> std::io::Result<()> {
         let mut buf = [0u8; MSG_SIZE];
         for _ in 0..round_trips {
-            b.read_exact(&mut buf).unwrap();
-            b.write_all(&buf).unwrap();
+            b.read_exact(&mut buf)?;
+            b.write_all(&buf)?;
         }
+        Ok(())
     });
     let msg = [7u8; MSG_SIZE];
     let mut buf = [0u8; MSG_SIZE];
     let start = Instant::now();
+    let mut local: std::io::Result<()> = Ok(());
     for _ in 0..round_trips {
-        a.write_all(&msg).unwrap();
-        a.read_exact(&mut buf).unwrap();
+        local = a.write_all(&msg).and_then(|()| a.read_exact(&mut buf));
+        if local.is_err() {
+            // Drop our end so the peer unblocks with an error of its own,
+            // then report ours (it names the first failure).
+            break;
+        }
     }
     let elapsed = start.elapsed();
-    peer.join().unwrap();
+    drop(a);
+    let peer_result = peer
+        .join()
+        .map_err(|_| std::io::Error::other("ping-pong peer thread panicked"))?;
+    local?;
+    peer_result?;
     // Two messages per round trip.
     let msgs = 2.0 * round_trips as f64;
-    LiveResult {
+    Ok(LiveResult {
         mechanism,
         msgs_per_sec: msgs / elapsed.as_secs_f64(),
         round_trips,
-    }
+    })
 }
 
 /// Measure Unix-domain-socket ping-pong throughput.
 pub fn measure_unix_sockets(round_trips: u32) -> std::io::Result<LiveResult> {
     let (a, b) = UnixStream::pair()?;
-    Ok(pingpong("UNIX sockets (live)", a, b, round_trips))
+    pingpong("UNIX sockets (live)", a, b, round_trips)
 }
 
 /// Measure TCP-loopback ping-pong throughput.
@@ -67,7 +78,7 @@ pub fn measure_tcp(round_trips: u32) -> std::io::Result<LiveResult> {
     let (b, _) = listener.accept()?;
     a.set_nodelay(true)?;
     b.set_nodelay(true)?;
-    Ok(pingpong("TCP sockets (live)", a, b, round_trips))
+    pingpong("TCP sockets (live)", a, b, round_trips)
 }
 
 #[cfg(test)]
@@ -85,6 +96,16 @@ mod tests {
     fn tcp_pingpong_runs() {
         let r = measure_tcp(200).unwrap();
         assert!(r.msgs_per_sec > 500.0, "{:?}", r);
+    }
+
+    #[test]
+    fn broken_connection_is_an_error_not_a_panic() {
+        let (a, b) = UnixStream::pair().unwrap();
+        // Kill the peer end before the exchange: every round trip must fail
+        // with an I/O error that propagates out of the measurement.
+        b.shutdown(std::net::Shutdown::Both).unwrap();
+        let err = pingpong("broken pair", a, b, 10);
+        assert!(err.is_err(), "dead peer must surface as Err: {err:?}");
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Socket-served shared-nothing deployments.
+//!
+//! The paper's shared-nothing configurations are separate OS processes
+//! exchanging messages over IPC — Unix domain sockets above all (Figure 6
+//! measures exactly that axis). The in-process
+//! [`NativeCluster`](islands_core::native::NativeCluster) replaces those
+//! messages with function calls; this crate puts the messages back. It
+//! fronts a cluster with a real served API over Unix domain sockets or TCP:
+//!
+//! * [`wire`] — a hand-rolled length-prefixed wire protocol: framed
+//!   [`Request`](wire::Request)/[`Reply`](wire::Reply) messages carrying
+//!   [`TxnRequest`](islands_workload::TxnRequest) submissions and typed
+//!   commit/abort/latency replies, with a streaming
+//!   [`FrameReader`](wire::FrameReader) that makes pipelining natural and
+//!   rejects oversized or truncated traffic instead of trusting it.
+//! * [`server`] — a multi-threaded acceptor: one session thread per
+//!   connection, request pipelining with a group-commit batch window (all
+//!   replies of a batch flush in one write), live counters, and graceful
+//!   drain via a wire message or the local handle.
+//! * [`client`] — the blocking client library: single connections
+//!   ([`Client`](client::Client)), one-write pipelining, and a
+//!   checkout/checkin [`ClientPool`](client::ClientPool).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use islands_core::native::{NativeCluster, NativeClusterConfig};
+//! use islands_server::{Client, Endpoint, Server, ServerConfig};
+//! use islands_workload::{OpKind, TxnRequest};
+//!
+//! let cluster = Arc::new(NativeCluster::build_micro(&NativeClusterConfig::default()).unwrap());
+//! let handle = Server::spawn(
+//!     cluster,
+//!     Endpoint::Uds("/tmp/islands.sock".into()),
+//!     ServerConfig::default(),
+//! ).unwrap();
+//!
+//! let mut client = Client::connect(handle.endpoint()).unwrap();
+//! let reply = client.submit(&TxnRequest {
+//!     kind: OpKind::Update,
+//!     keys: vec![1, 39_999],
+//!     multisite: true,
+//! }).unwrap();
+//! println!("{reply:?}");
+//! client.drain_server().unwrap();
+//! handle.join().unwrap();
+//! ```
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientPool, PooledClient};
+pub use server::{Endpoint, Server, ServerConfig, ServerHandle, ServerStats};
+pub use wire::{FrameReader, Reply, Request, WireError, WireMessage, MAX_FRAME};

@@ -1,0 +1,506 @@
+//! The served deployment: acceptor, per-connection sessions, drain.
+//!
+//! [`Server::spawn`] binds a Unix-domain-socket or TCP endpoint in front of
+//! an [`Arc<NativeCluster>`] and returns a handle. An acceptor thread hands
+//! each connection to its own session thread — the paper's shared-nothing
+//! processes talk over exactly these transports, so a served `NativeCluster`
+//! is the in-process deployment plus a real IPC boundary.
+//!
+//! Sessions implement **request pipelining with a group-commit batch
+//! window**: every complete frame already buffered on the socket is decoded
+//! into one batch, and when a batch is still smaller than
+//! [`ServerConfig::max_batch`], the session waits up to
+//! [`ServerConfig::batch_window`] for more pipelined frames before
+//! executing. The whole batch then runs back-to-back and all replies are
+//! flushed in a single write — one syscall amortized over the group, the
+//! socket-level analogue of group commit.
+//!
+//! **Drain**: a [`Request::Drain`] (or [`ServerHandle::initiate_shutdown`])
+//! flips the shared shutdown flag. The acceptor stops accepting, sessions
+//! finish the batch in flight, flush, and exit at their next poll tick, and
+//! [`ServerHandle::join`] returns the final counters once every thread is
+//! gone.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use islands_core::native::NativeCluster;
+
+use crate::wire::{FrameReader, Reply, Request, WireMessage};
+
+/// Where a server listens / a client connects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Unix domain socket at this path.
+    Uds(PathBuf),
+    /// TCP socket (use port 0 to bind an ephemeral port; the handle reports
+    /// the resolved address).
+    Tcp(SocketAddr),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Uds(p) => write!(f, "uds:{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// Tuning knobs for a served deployment.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Server-side retry budget per submitted transaction.
+    pub retry_limit: u32,
+    /// Largest request batch one session executes between flushes.
+    pub max_batch: usize,
+    /// How long a session waits for more pipelined requests before executing
+    /// a non-full batch. Zero executes immediately.
+    pub batch_window: Duration,
+    /// Poll granularity for noticing shutdown while idle; also the upper
+    /// bound on how long a drain waits for idle sessions.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            retry_limit: 64,
+            max_batch: 64,
+            batch_window: Duration::from_micros(50),
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Monotonic counters, updated by sessions, readable any time.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Snapshot of a server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Requests of any kind decoded.
+    pub requests: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions that exhausted their retry budget.
+    pub aborts: u64,
+    /// Malformed or unsatisfiable requests answered with an error reply.
+    pub errors: u64,
+}
+
+enum Listener {
+    Uds(UnixListener, PathBuf),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn bind(endpoint: &Endpoint) -> io::Result<Self> {
+        match endpoint {
+            Endpoint::Uds(path) => {
+                // A stale socket file from a dead server would make bind
+                // fail; remove it only if nothing is listening there.
+                if path.exists() && UnixStream::connect(path).is_err() {
+                    let _ = std::fs::remove_file(path);
+                }
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Uds(l, path.clone()))
+            }
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Tcp(l))
+            }
+        }
+    }
+
+    fn local_endpoint(&self) -> io::Result<Endpoint> {
+        match self {
+            Listener::Uds(_, path) => Ok(Endpoint::Uds(path.clone())),
+            Listener::Tcp(l) => Ok(Endpoint::Tcp(l.local_addr()?)),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Uds(l, _) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(Conn::Uds(s))
+            }
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                s.set_nodelay(true)?;
+                Ok(Conn::Tcp(s))
+            }
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Uds(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One accepted connection, transport-erased.
+pub(crate) enum Conn {
+    Uds(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    pub(crate) fn connect(endpoint: &Endpoint) -> io::Result<Self> {
+        match endpoint {
+            Endpoint::Uds(path) => Ok(Conn::Uds(UnixStream::connect(path)?)),
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr)?;
+                s.set_nodelay(true)?;
+                Ok(Conn::Tcp(s))
+            }
+        }
+    }
+
+    pub(crate) fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Uds(s) => s.set_read_timeout(t),
+            Conn::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+
+    pub(crate) fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Conn::Uds(s) => s.set_nonblocking(nb),
+            Conn::Tcp(s) => s.set_nonblocking(nb),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Uds(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Uds(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Uds(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Handle to a running server. Dropping the handle does **not** stop the
+/// server; call [`initiate_shutdown`](Self::initiate_shutdown) +
+/// [`join`](Self::join) (or have a client send [`Request::Drain`]).
+pub struct ServerHandle {
+    endpoint: Endpoint,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    acceptor: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+/// Namespace for [`Server::spawn`].
+pub struct Server;
+
+impl Server {
+    /// Bind `endpoint` and serve `cluster` until drained.
+    pub fn spawn(
+        cluster: Arc<NativeCluster>,
+        endpoint: Endpoint,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = Listener::bind(&endpoint)?;
+        let resolved = listener.local_endpoint()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("islands-acceptor".into())
+                .spawn(move || accept_loop(listener, cluster, config, shutdown, counters))?
+        };
+        Ok(ServerHandle {
+            endpoint: resolved,
+            shutdown,
+            counters,
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The resolved endpoint (actual TCP port when bound to port 0).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            commits: self.counters.commits.load(Ordering::Relaxed),
+            aborts: self.counters.aborts.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether a drain/shutdown has been initiated.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Begin a drain, as if a client had sent [`Request::Drain`].
+    pub fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the acceptor and every session to exit; returns the final
+    /// counters. Call after a drain was initiated (by a client or
+    /// [`initiate_shutdown`](Self::initiate_shutdown)) or this blocks until
+    /// one happens.
+    pub fn join(mut self) -> io::Result<ServerStats> {
+        if let Some(h) = self.acceptor.take() {
+            h.join()
+                .map_err(|_| io::Error::other("acceptor thread panicked"))??;
+        }
+        Ok(self.stats())
+    }
+}
+
+fn accept_loop(
+    listener: Listener,
+    cluster: Arc<NativeCluster>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+) -> io::Result<()> {
+    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(conn) => {
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                let cluster = Arc::clone(&cluster);
+                let config = config.clone();
+                let shutdown = Arc::clone(&shutdown);
+                let counters = Arc::clone(&counters);
+                sessions.push(
+                    std::thread::Builder::new()
+                        .name("islands-session".into())
+                        .spawn(move || {
+                            // Per-connection errors end that session only.
+                            let _ = session(conn, cluster, config, shutdown, counters);
+                        })?,
+                );
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(config.poll_interval.min(Duration::from_millis(5)));
+                sessions.retain(|h| !h.is_finished());
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    // Drain: stop accepting (listener drops below), let sessions finish.
+    drop(listener);
+    for h in sessions {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+/// Serve one connection until it closes, errors fatally, or a drain lands.
+fn session(
+    mut conn: Conn,
+    cluster: Arc<NativeCluster>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+) -> io::Result<()> {
+    let mut reader = FrameReader::new();
+    let mut batch: Vec<Request> = Vec::new();
+    let mut out: Vec<u8> = Vec::new();
+    conn.set_read_timeout(Some(config.poll_interval))?;
+    'conn: loop {
+        // Gather a batch: everything already buffered, up to max_batch. A
+        // wire error anywhere is fatal for the connection, but only after
+        // the requests decoded before it have been executed and answered —
+        // otherwise a pipelining client would hang waiting for replies the
+        // server silently dropped.
+        batch.clear();
+        let mut pending_err: Option<crate::wire::WireError> = None;
+        loop {
+            match reader.next_message::<Request>() {
+                Ok(Some(req)) => {
+                    batch.push(req);
+                    if batch.len() >= config.max_batch {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    pending_err = Some(e);
+                    break;
+                }
+            }
+        }
+
+        if batch.is_empty() && pending_err.is_none() {
+            // Idle: block (bounded by the poll timeout) for more bytes.
+            match reader.fill_from(&mut conn) {
+                Ok(0) => return Ok(()), // client hung up
+                Ok(_) => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return Ok(()); // drained while idle
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            continue;
+        }
+
+        // Group-commit window: a non-full batch waits briefly for more
+        // pipelined requests so their replies share one flush. Socket read
+        // timeouts round up to scheduler-tick granularity (milliseconds), so
+        // a microsecond window must poll nonblocking reads instead.
+        if !config.batch_window.is_zero() && batch.len() < config.max_batch && pending_err.is_none()
+        {
+            let window_ends = Instant::now() + config.batch_window;
+            conn.set_nonblocking(true)?;
+            'window: loop {
+                match reader.fill_from(&mut conn) {
+                    Ok(0) => break, // EOF; the final batch still executes
+                    Ok(_) => {
+                        while batch.len() < config.max_batch {
+                            match reader.next_message::<Request>() {
+                                Ok(Some(req)) => batch.push(req),
+                                Ok(None) => break,
+                                Err(e) => {
+                                    // The frame was already consumed from the
+                                    // stream; remember the error so it is
+                                    // answered after this batch, not dropped.
+                                    pending_err = Some(e);
+                                    break 'window;
+                                }
+                            }
+                        }
+                        if batch.len() >= config.max_batch {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        if Instant::now() >= window_ends {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        conn.set_nonblocking(false)?;
+                        return Err(e);
+                    }
+                }
+            }
+            conn.set_nonblocking(false)?;
+        }
+
+        // Execute the batch back-to-back, then flush all replies at once.
+        out.clear();
+        let mut drain_after_flush = false;
+        for req in &batch {
+            counters.requests.fetch_add(1, Ordering::Relaxed);
+            match req {
+                Request::Ping => Reply::Pong.encode_frame(&mut out),
+                Request::Drain => {
+                    drain_after_flush = true;
+                    Reply::Draining.encode_frame(&mut out);
+                }
+                Request::Submit(txn) => {
+                    let started = Instant::now();
+                    match cluster.submit(txn, config.retry_limit) {
+                        Ok(outcome) => {
+                            let reply = if outcome.committed {
+                                counters.commits.fetch_add(1, Ordering::Relaxed);
+                                Reply::Committed {
+                                    distributed: outcome.distributed,
+                                    retries: outcome.retries,
+                                    server_micros: started.elapsed().as_micros() as u64,
+                                }
+                            } else {
+                                counters.aborts.fetch_add(1, Ordering::Relaxed);
+                                Reply::Aborted {
+                                    retries: outcome.retries,
+                                }
+                            };
+                            reply.encode_frame(&mut out);
+                        }
+                        Err(e) => {
+                            counters.errors.fetch_add(1, Ordering::Relaxed);
+                            Reply::Error {
+                                message: e.to_string(),
+                            }
+                            .encode_frame(&mut out);
+                        }
+                    }
+                }
+            }
+        }
+        conn.write_all(&out)?;
+        conn.flush()?;
+        if let Some(e) = pending_err {
+            // Framing is broken past this point: report and hang up.
+            out.clear();
+            Reply::Error {
+                message: format!("protocol error: {e}"),
+            }
+            .encode_frame(&mut out);
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+            let _ = conn.write_all(&out);
+            return Ok(());
+        }
+        if drain_after_flush {
+            shutdown.store(true, Ordering::SeqCst);
+            break 'conn;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            // A drain landed elsewhere while this batch ran: the in-flight
+            // work is answered, so this session exits even though its client
+            // may still be sending.
+            break 'conn;
+        }
+    }
+    Ok(())
+}

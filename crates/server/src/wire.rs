@@ -1,0 +1,490 @@
+//! The wire protocol: length-prefixed frames carrying typed messages.
+//!
+//! Every message travels as one *frame*:
+//!
+//! ```text
+//! [len: u32 LE][payload: len bytes]      1 <= len <= MAX_FRAME
+//! payload = [tag: u8][body...]
+//! ```
+//!
+//! Client → server messages are [`Request`]s (submit a transaction, ping,
+//! drain); server → client messages are [`Reply`]s (committed/aborted with
+//! retry counts and server-side latency, protocol errors, pong, drain ack).
+//! Bodies reuse the [`TxnRequest`] byte codec from `islands-workload`.
+//!
+//! The framing layer is streaming-friendly: [`FrameReader`] accumulates
+//! bytes from a socket and yields complete payloads. An *incomplete* frame
+//! is simply "not yet" (`Ok(None)`) — the connection waits for more bytes —
+//! while a frame whose header declares more than [`MAX_FRAME`] bytes, a
+//! zero-length frame, or a complete frame whose body fails to decode are
+//! hard [`WireError`]s: no message boundary can be trusted after them.
+
+use std::io::{self, Read};
+
+use islands_workload::{CodecError, TxnRequest};
+
+/// Largest accepted frame payload. Large enough for a request touching
+/// [`islands_workload::MAX_KEYS_PER_REQUEST`] rows with room to spare,
+/// small enough that a hostile length field cannot balloon memory.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// Bytes in the frame length prefix.
+pub const FRAME_HEADER: usize = 4;
+
+// Request tags (client -> server).
+const TAG_SUBMIT: u8 = 0x01;
+const TAG_PING: u8 = 0x02;
+const TAG_DRAIN: u8 = 0x03;
+// Reply tags (server -> client) have the high bit set.
+const TAG_COMMITTED: u8 = 0x81;
+const TAG_ABORTED: u8 = 0x82;
+const TAG_ERROR: u8 = 0x83;
+const TAG_PONG: u8 = 0x84;
+const TAG_DRAINING: u8 = 0x85;
+
+/// Everything that can go wrong between bytes and messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame header declares `len` bytes, over [`MAX_FRAME`].
+    Oversized { len: usize },
+    /// Frame header declares zero bytes (no tag fits).
+    EmptyFrame,
+    /// Tag byte is not a known message of the expected direction.
+    UnknownTag(u8),
+    /// Message body ended early or had trailing garbage.
+    BadBody { tag: u8, needed: usize, had: usize },
+    /// The embedded transaction request failed to decode.
+    Request(CodecError),
+    /// Error-reply message was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Oversized { len } => {
+                write!(f, "frame of {len} bytes exceeds MAX_FRAME ({MAX_FRAME})")
+            }
+            WireError::EmptyFrame => write!(f, "zero-length frame"),
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            WireError::BadBody { tag, needed, had } => write!(
+                f,
+                "message {tag:#04x}: body needs {needed} bytes, frame had {had}"
+            ),
+            WireError::Request(e) => write!(f, "embedded request: {e}"),
+            WireError::BadUtf8 => write!(f, "error message is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Request(e)
+    }
+}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Client → server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run this transaction to completion and report the outcome.
+    Submit(TxnRequest),
+    /// Liveness / latency-floor probe.
+    Ping,
+    /// Ask the server to stop accepting connections and shut down once
+    /// in-flight work has drained.
+    Drain,
+}
+
+/// Server → client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Transaction committed.
+    Committed {
+        /// Whether it ran two-phase commit across instances.
+        distributed: bool,
+        /// Contention aborts retried server-side before the commit.
+        retries: u32,
+        /// Server-side execution time, microseconds.
+        server_micros: u64,
+    },
+    /// Retry budget exhausted; the transaction did not commit.
+    Aborted { retries: u32 },
+    /// The request was malformed or unsatisfiable.
+    Error { message: String },
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Drain`]: shutdown is underway.
+    Draining,
+}
+
+/// Messages that can be framed and unframed.
+pub trait WireMessage: Sized {
+    /// Append `[tag][body]` to `buf`.
+    fn encode_payload(&self, buf: &mut Vec<u8>);
+    /// Decode from a complete frame payload.
+    fn decode_payload(payload: &[u8]) -> Result<Self, WireError>;
+
+    /// Append the full frame (`[len][tag][body]`) to `out`.
+    fn encode_frame(&self, out: &mut Vec<u8>) {
+        let header_at = out.len();
+        out.extend_from_slice(&[0u8; FRAME_HEADER]);
+        self.encode_payload(out);
+        let len = out.len() - header_at - FRAME_HEADER;
+        debug_assert!(len <= MAX_FRAME, "outgoing frame over MAX_FRAME");
+        out[header_at..header_at + FRAME_HEADER].copy_from_slice(&(len as u32).to_le_bytes());
+    }
+}
+
+fn need(tag: u8, body: &[u8], n: usize) -> Result<(), WireError> {
+    if body.len() < n {
+        return Err(WireError::BadBody {
+            tag,
+            needed: n,
+            had: body.len(),
+        });
+    }
+    Ok(())
+}
+
+fn exactly(tag: u8, body: &[u8], n: usize) -> Result<(), WireError> {
+    if body.len() != n {
+        return Err(WireError::BadBody {
+            tag,
+            needed: n,
+            had: body.len(),
+        });
+    }
+    Ok(())
+}
+
+impl WireMessage for Request {
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        match self {
+            Request::Submit(req) => {
+                buf.push(TAG_SUBMIT);
+                req.encode_into(buf);
+            }
+            Request::Ping => buf.push(TAG_PING),
+            Request::Drain => buf.push(TAG_DRAIN),
+        }
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Self, WireError> {
+        let (&tag, body) = payload.split_first().ok_or(WireError::EmptyFrame)?;
+        match tag {
+            TAG_SUBMIT => {
+                let (req, used) = TxnRequest::decode_from(body)?;
+                exactly(tag, body, used)?;
+                Ok(Request::Submit(req))
+            }
+            TAG_PING => {
+                exactly(tag, body, 0)?;
+                Ok(Request::Ping)
+            }
+            TAG_DRAIN => {
+                exactly(tag, body, 0)?;
+                Ok(Request::Drain)
+            }
+            other => Err(WireError::UnknownTag(other)),
+        }
+    }
+}
+
+impl WireMessage for Reply {
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        match self {
+            Reply::Committed {
+                distributed,
+                retries,
+                server_micros,
+            } => {
+                buf.push(TAG_COMMITTED);
+                buf.push(*distributed as u8);
+                buf.extend_from_slice(&retries.to_le_bytes());
+                buf.extend_from_slice(&server_micros.to_le_bytes());
+            }
+            Reply::Aborted { retries } => {
+                buf.push(TAG_ABORTED);
+                buf.extend_from_slice(&retries.to_le_bytes());
+            }
+            Reply::Error { message } => {
+                buf.push(TAG_ERROR);
+                // Truncate at a char boundary so the frame stays bounded.
+                let mut msg = message.as_str();
+                if msg.len() > MAX_FRAME - 16 {
+                    let mut cut = MAX_FRAME - 16;
+                    while !msg.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    msg = &msg[..cut];
+                }
+                buf.extend_from_slice(msg.as_bytes());
+            }
+            Reply::Pong => buf.push(TAG_PONG),
+            Reply::Draining => buf.push(TAG_DRAINING),
+        }
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Self, WireError> {
+        let (&tag, body) = payload.split_first().ok_or(WireError::EmptyFrame)?;
+        match tag {
+            TAG_COMMITTED => {
+                exactly(tag, body, 13)?;
+                let distributed = match body[0] {
+                    0 => false,
+                    1 => true,
+                    _ => {
+                        return Err(WireError::BadBody {
+                            tag,
+                            needed: 13,
+                            had: body.len(),
+                        })
+                    }
+                };
+                Ok(Reply::Committed {
+                    distributed,
+                    retries: u32::from_le_bytes(body[1..5].try_into().expect("4")),
+                    server_micros: u64::from_le_bytes(body[5..13].try_into().expect("8")),
+                })
+            }
+            TAG_ABORTED => {
+                exactly(tag, body, 4)?;
+                Ok(Reply::Aborted {
+                    retries: u32::from_le_bytes(body.try_into().expect("4")),
+                })
+            }
+            TAG_ERROR => {
+                need(tag, body, 0)?;
+                Ok(Reply::Error {
+                    message: std::str::from_utf8(body)
+                        .map_err(|_| WireError::BadUtf8)?
+                        .to_owned(),
+                })
+            }
+            TAG_PONG => {
+                exactly(tag, body, 0)?;
+                Ok(Reply::Pong)
+            }
+            TAG_DRAINING => {
+                exactly(tag, body, 0)?;
+                Ok(Reply::Draining)
+            }
+            other => Err(WireError::UnknownTag(other)),
+        }
+    }
+}
+
+/// Incremental frame assembler over a byte stream.
+///
+/// Feed it socket reads with [`fill_from`](Self::fill_from); pop complete
+/// payloads with [`next_payload`](Self::next_payload). Bytes of incomplete
+/// frames stay buffered across calls, so request pipelining falls out for
+/// free: however many frames one `read` returns, each is yielded in order.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted opportunistically).
+    start: usize,
+    /// Reusable landing area for socket reads: zeroed once here, never
+    /// re-zeroed — `fill_from` sits in nonblocking poll loops (the server's
+    /// group-commit window), where a fresh `resize(.., 0)` per attempted
+    /// read would memset 16 KiB just to learn `WouldBlock`.
+    scratch: Box<[u8]>,
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        FrameReader {
+            buf: Vec::new(),
+            start: 0,
+            scratch: vec![0u8; 16 * 1024].into_boxed_slice(),
+        }
+    }
+}
+
+impl FrameReader {
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Append bytes directly (tests, non-socket transports).
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// One `read` from `r` into the buffer. Returns the byte count (0 means
+    /// EOF). `WouldBlock`/timeouts surface as `Err` for the caller to
+    /// interpret.
+    pub fn fill_from<R: Read>(&mut self, r: &mut R) -> io::Result<usize> {
+        self.compact();
+        let n = r.read(&mut self.scratch)?;
+        self.buf.extend_from_slice(&self.scratch[..n]);
+        Ok(n)
+    }
+
+    /// Pop the next complete frame payload, `Ok(None)` if more bytes are
+    /// needed, or a [`WireError`] if the stream is unrecoverable
+    /// (oversized/empty frame).
+    pub fn next_payload(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < FRAME_HEADER {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..FRAME_HEADER].try_into().expect("4")) as usize;
+        if len == 0 {
+            return Err(WireError::EmptyFrame);
+        }
+        if len > MAX_FRAME {
+            return Err(WireError::Oversized { len });
+        }
+        if avail.len() < FRAME_HEADER + len {
+            return Ok(None);
+        }
+        let payload = avail[FRAME_HEADER..FRAME_HEADER + len].to_vec();
+        self.start += FRAME_HEADER + len;
+        self.compact();
+        Ok(Some(payload))
+    }
+
+    /// Pop and decode the next complete message.
+    pub fn next_message<M: WireMessage>(&mut self) -> Result<Option<M>, WireError> {
+        match self.next_payload()? {
+            Some(p) => M::decode_payload(&p).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 && (self.start >= self.buf.len() || self.start > 32 * 1024) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islands_workload::OpKind;
+
+    fn submit(keys: &[u64]) -> Request {
+        Request::Submit(TxnRequest {
+            kind: OpKind::Update,
+            keys: keys.to_vec(),
+            multisite: keys.len() > 1,
+        })
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for r in [submit(&[1, 2, 3]), Request::Ping, Request::Drain] {
+            let mut frame = Vec::new();
+            r.encode_frame(&mut frame);
+            let mut rd = FrameReader::new();
+            rd.extend(&frame);
+            assert_eq!(rd.next_message::<Request>().unwrap(), Some(r));
+            assert_eq!(rd.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        for r in [
+            Reply::Committed {
+                distributed: true,
+                retries: 3,
+                server_micros: 123_456,
+            },
+            Reply::Aborted { retries: 17 },
+            Reply::Error {
+                message: "no such key".into(),
+            },
+            Reply::Pong,
+            Reply::Draining,
+        ] {
+            let mut frame = Vec::new();
+            r.encode_frame(&mut frame);
+            let payload = &frame[FRAME_HEADER..];
+            assert_eq!(Reply::decode_payload(payload).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_pop_in_order() {
+        let mut bytes = Vec::new();
+        submit(&[1]).encode_frame(&mut bytes);
+        Request::Ping.encode_frame(&mut bytes);
+        submit(&[2, 9]).encode_frame(&mut bytes);
+        let mut rd = FrameReader::new();
+        // Deliver in awkward 3-byte chunks: framing must reassemble.
+        for chunk in bytes.chunks(3) {
+            rd.extend(chunk);
+        }
+        assert_eq!(rd.next_message::<Request>().unwrap(), Some(submit(&[1])));
+        assert_eq!(rd.next_message::<Request>().unwrap(), Some(Request::Ping));
+        assert_eq!(rd.next_message::<Request>().unwrap(), Some(submit(&[2, 9])));
+        assert_eq!(rd.next_message::<Request>().unwrap(), None);
+    }
+
+    #[test]
+    fn incomplete_frame_is_not_an_error() {
+        let mut frame = Vec::new();
+        submit(&[1, 2]).encode_frame(&mut frame);
+        let mut rd = FrameReader::new();
+        rd.extend(&frame[..frame.len() - 1]);
+        assert_eq!(rd.next_payload().unwrap(), None);
+        rd.extend(&frame[frame.len() - 1..]);
+        assert!(rd.next_payload().unwrap().is_some());
+    }
+
+    #[test]
+    fn oversized_and_empty_frames_are_fatal() {
+        let mut rd = FrameReader::new();
+        rd.extend(&((MAX_FRAME as u32) + 1).to_le_bytes());
+        assert_eq!(
+            rd.next_payload(),
+            Err(WireError::Oversized { len: MAX_FRAME + 1 })
+        );
+        let mut rd = FrameReader::new();
+        rd.extend(&0u32.to_le_bytes());
+        assert_eq!(rd.next_payload(), Err(WireError::EmptyFrame));
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_garbage_rejected() {
+        assert_eq!(
+            Request::decode_payload(&[0x77]),
+            Err(WireError::UnknownTag(0x77))
+        );
+        assert_eq!(
+            Request::decode_payload(&[TAG_PING, 0xFF]),
+            Err(WireError::BadBody {
+                tag: TAG_PING,
+                needed: 0,
+                had: 1
+            })
+        );
+        // A submit body with bytes beyond the encoded request is a framing
+        // bug, not silently ignored.
+        let mut payload = Vec::new();
+        submit(&[4]).encode_payload(&mut payload);
+        payload.push(0);
+        assert!(matches!(
+            Request::decode_payload(&payload),
+            Err(WireError::BadBody { .. })
+        ));
+    }
+}

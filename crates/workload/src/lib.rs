@@ -11,12 +11,15 @@
 //! Requests mix the two types with a configurable multisite percentage, and
 //! home sites / row choices can be skewed with a Zipfian distribution
 //! (Section 7.3). [`tpcc`] adds a scaled-down TPC-C with the Payment
-//! transaction used in Figures 3 and 7.
+//! transaction used in Figures 3 and 7. [`codec`] gives [`TxnRequest`] a
+//! stable byte form so served deployments can ship requests over sockets.
 
+pub mod codec;
 pub mod spec;
 pub mod tpcc;
 pub mod zipf;
 
+pub use codec::{CodecError, MAX_KEYS_PER_REQUEST};
 pub use spec::{MicroGenerator, MicroSpec, OpKind, TxnRequest};
 pub use zipf::Zipf;
 

@@ -28,6 +28,11 @@
 //!   advisor ([`core::advisor`]).
 //! * [`workload`] — the paper's microbenchmarks (multisite %, Zipfian
 //!   skew) and TPC-C-lite Payment.
+//! * [`server`] — socket-served deployments: a length-prefixed wire
+//!   protocol over Unix domain sockets / TCP, a multi-threaded server with
+//!   request pipelining and a group-commit batch window, and a blocking
+//!   client library with a connection pool (drive it with the `loadgen`
+//!   binary in `islands-bench`).
 //!
 //! ## Quickstart
 //!
@@ -59,6 +64,7 @@ pub use islands_dtxn as dtxn;
 pub use islands_hwtopo as hwtopo;
 pub use islands_memsim as memsim;
 pub use islands_net as net;
+pub use islands_server as server;
 pub use islands_sim as sim;
 pub use islands_storage as storage;
 pub use islands_workload as workload;
