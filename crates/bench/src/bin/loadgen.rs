@@ -1,13 +1,21 @@
-//! Open/closed-loop load generator for socket-served deployments.
+//! Open/closed-loop load generator for served islands deployments.
 //!
-//! Spawns a `NativeCluster` behind an `islands-server` endpoint (or connects
-//! to an already-running one with `--connect`), drives it with concurrent
-//! client connections generating the paper's microbenchmark mix, and reports
-//! throughput plus p50/p95/p99 latency.
+//! Two deployment modes:
+//!
+//! * `--deploy proc` (default): the paper's topology for real — N separate
+//!   OS processes, one per shared-nothing instance, each pinned to its
+//!   island's cores, with single-site requests routed to the owner and
+//!   multisite requests running presumed-abort 2PC **over the wire**
+//!   (`Prepare`/`Vote`/`Decision`/`Ack` frames). One invocation stands the
+//!   deployment up, drives it, tears it down, and verifies no process
+//!   leaked an in-doubt transaction.
+//! * `--deploy inproc`: one server process fronting an in-process
+//!   `NativeCluster` (2PC by function call), as served by PR 2 — the
+//!   baseline the multi-process numbers are compared against.
 //!
 //! ```sh
 //! cargo run --release -p islands-bench --bin loadgen -- \
-//!     --transport uds --clients 8 --secs 2
+//!     --instances 4 --multisite 20 --clients 8 --secs 2 --json BENCH_loadgen.json
 //! ```
 //!
 //! Closed loop (default): each client submits its next transaction the
@@ -16,26 +24,37 @@
 //! transactions/second in aggregate, and latency is measured from the
 //! *scheduled* send time, so queueing delay when the server falls behind is
 //! charged to the server (no coordinated omission).
+//!
+//! Statistics are reported **per transaction class** (local vs multisite),
+//! because the paper's served-deployment comparisons (Fig. 9 style) hinge
+//! on how the multisite class degrades while the local class holds.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use islands_core::native::{NativeCluster, NativeClusterConfig};
-use islands_server::{Client, Endpoint, Reply, Server, ServerConfig, ServerHandle};
-use islands_workload::{MicroGenerator, MicroSpec, OpKind};
+use islands_server::deploy::{self, DeployConfig, DeployReply, Deployment, SpawnMode, Transport};
+use islands_server::{
+    Client, DeployClient, Endpoint, InstanceExit, Reply, Server, ServerConfig, ServerHandle,
+};
+use islands_workload::{MicroGenerator, MicroSpec, OpKind, TxnRequest};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-const USAGE: &str = "loadgen - drive a socket-served islands deployment
+const USAGE: &str = "loadgen - drive a served islands deployment
 
 USAGE:
   loadgen [OPTIONS]
 
 OPTIONS:
-  --transport uds|tcp   transport for the spawned server (default uds)
-  --uds-path PATH       socket path for --transport uds (default: temp dir)
-  --connect EP          drive an existing server instead of spawning one;
+  --deploy proc|inproc  proc (default): N pinned server processes, one per
+                        instance, wire-level 2PC for multisite txns;
+                        inproc: one server process around a NativeCluster
+  --transport uds|tcp   transport for the spawned server(s) (default uds)
+  --uds-path PATH       socket path for inproc uds (default: temp dir)
+  --connect EP          drive an existing single server instead of spawning;
                         EP is uds:/path/to.sock or tcp:HOST:PORT
                         (requires matching --rows; the external server is
                         NOT drained afterwards)
@@ -48,13 +67,19 @@ OPTIONS:
   --multisite PCT       multisite transaction percentage 0-100 (default 20)
   --skew Z              Zipfian skew for row selection (default 0)
   --rows N              total rows loaded/partitioned (default 40000)
-  --instances N         storage instances in the spawned cluster (default 4)
+  --instances N         shared-nothing instances: processes under proc,
+                        storage instances under inproc (default 4)
   --retry-limit N       server-side retry budget per txn (default 64)
+  --pin on|off          pin instance processes to island core sets via
+                        taskset (proc mode; default on)
+  --json PATH           write machine-readable results (throughput and
+                        latency percentiles per class) to PATH
   -h, --help            print this help
 ";
 
 #[derive(Debug, Clone)]
 struct Args {
+    deploy: String,
     transport: String,
     uds_path: Option<String>,
     connect: Option<String>,
@@ -68,11 +93,14 @@ struct Args {
     rows: u64,
     instances: usize,
     retry_limit: u32,
+    pin: bool,
+    json: Option<String>,
 }
 
 impl Default for Args {
     fn default() -> Self {
         Args {
+            deploy: "proc".into(),
             transport: "uds".into(),
             uds_path: None,
             connect: None,
@@ -86,6 +114,8 @@ impl Default for Args {
             rows: 40_000,
             instances: 4,
             retry_limit: 64,
+            pin: true,
+            json: None,
         }
     }
 }
@@ -96,6 +126,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
+            "--deploy" => args.deploy = value("--deploy")?,
             "--transport" => args.transport = value("--transport")?,
             "--uds-path" => args.uds_path = Some(value("--uds-path")?),
             "--connect" => args.connect = Some(value("--connect")?),
@@ -115,6 +146,14 @@ fn parse_args() -> Result<Args, String> {
             "--rows" => args.rows = num(&value("--rows")?)?,
             "--instances" => args.instances = num(&value("--instances")?)?,
             "--retry-limit" => args.retry_limit = num(&value("--retry-limit")?)?,
+            "--pin" => {
+                args.pin = match value("--pin")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--pin on|off, got {other}")),
+                }
+            }
+            "--json" => args.json = Some(value("--json")?),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -122,8 +161,20 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other} (see --help)")),
         }
     }
+    if args.deploy != "proc" && args.deploy != "inproc" {
+        return Err(format!("--deploy proc|inproc, got {}", args.deploy));
+    }
     if args.clients == 0 {
         return Err("--clients must be >= 1".into());
+    }
+    if args.instances == 0 {
+        return Err("--instances must be >= 1".into());
+    }
+    if args.rows < args.instances as u64 {
+        return Err(format!(
+            "--rows {} cannot partition across {} instances (need rows >= instances)",
+            args.rows, args.instances
+        ));
     }
     if !(0.0..=100.0).contains(&args.multisite_pct) {
         return Err("--multisite must be 0-100".into());
@@ -149,28 +200,34 @@ where
     s.parse().map_err(|e| format!("bad number {s:?}: {e}"))
 }
 
-fn parse_endpoint(s: &str) -> Result<Endpoint, String> {
-    if let Some(path) = s.strip_prefix("uds:") {
-        Ok(Endpoint::Uds(path.into()))
-    } else if let Some(addr) = s.strip_prefix("tcp:") {
-        Ok(Endpoint::Tcp(
-            addr.parse()
-                .map_err(|e| format!("bad address {addr}: {e}"))?,
-        ))
-    } else {
-        Err(format!("endpoint must be uds:PATH or tcp:ADDR, got {s}"))
-    }
-}
-
-/// Per-client tallies.
-#[derive(Debug, Default)]
-struct ClientResult {
+/// Tallies for one transaction class (local or multisite).
+#[derive(Debug, Default, Clone)]
+struct ClassTally {
     committed: u64,
     aborted: u64,
     errors: u64,
     distributed: u64,
+    presumed_aborts: u64,
     /// End-to-end latency per completed request, microseconds.
     latencies_us: Vec<u64>,
+}
+
+impl ClassTally {
+    fn absorb(&mut self, other: ClassTally) {
+        self.committed += other.committed;
+        self.aborted += other.aborted;
+        self.errors += other.errors;
+        self.distributed += other.distributed;
+        self.presumed_aborts += other.presumed_aborts;
+        self.latencies_us.extend(other.latencies_us);
+    }
+}
+
+/// Per-client tallies, split by class.
+#[derive(Debug, Default)]
+struct ClientResult {
+    local: ClassTally,
+    multi: ClassTally,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -181,13 +238,79 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+/// The two ways a client submits one request.
+enum Submitter {
+    /// One wire connection to a single server (inproc / --connect).
+    Wire(Client),
+    /// Coordinator over a multi-process deployment.
+    Proc(DeployClient),
+}
+
+/// Unified per-request outcome across submitters.
+struct Done {
+    committed: bool,
+    error: Option<String>,
+    distributed: bool,
+    presumed_abort: bool,
+}
+
+impl Submitter {
+    fn submit(&mut self, req: &TxnRequest) -> std::io::Result<Done> {
+        match self {
+            Submitter::Wire(client) => match client.submit(req)? {
+                Reply::Committed { distributed, .. } => Ok(Done {
+                    committed: true,
+                    error: None,
+                    distributed,
+                    presumed_abort: false,
+                }),
+                Reply::Aborted { .. } => Ok(Done {
+                    committed: false,
+                    error: None,
+                    distributed: false,
+                    presumed_abort: false,
+                }),
+                Reply::Error { message } => Ok(Done {
+                    committed: false,
+                    error: Some(message),
+                    distributed: false,
+                    presumed_abort: false,
+                }),
+                other => Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unexpected reply {other:?}"),
+                )),
+            },
+            Submitter::Proc(client) => match client.submit(req)? {
+                DeployReply::Outcome(o) => Ok(Done {
+                    committed: o.committed,
+                    error: None,
+                    distributed: o.distributed,
+                    presumed_abort: o.presumed_abort,
+                }),
+                DeployReply::ServerError(message) => Ok(Done {
+                    committed: false,
+                    error: Some(message),
+                    distributed: false,
+                    presumed_abort: false,
+                }),
+                DeployReply::InstanceDown(i) => Ok(Done {
+                    committed: false,
+                    error: Some(format!("instance {i} unreachable")),
+                    distributed: false,
+                    presumed_abort: false,
+                }),
+            },
+        }
+    }
+}
+
 fn drive_client(
     id: usize,
-    endpoint: &Endpoint,
+    mut submitter: Submitter,
     args: &Args,
     deadline: Instant,
 ) -> std::io::Result<ClientResult> {
-    let mut client = Client::connect_with_retry(endpoint, Duration::from_secs(2))?;
     let spec = MicroSpec {
         kind: args.kind,
         rows_per_txn: args.rows_per_txn,
@@ -228,31 +351,30 @@ fn drive_client(
             }
         };
         let req = gen.next(&mut rng);
-        match client.submit(&req)? {
-            Reply::Committed { distributed, .. } => {
-                result.committed += 1;
-                result.distributed += distributed as u64;
-            }
-            Reply::Aborted { .. } => result.aborted += 1,
-            Reply::Error { message } => {
-                result.errors += 1;
-                eprintln!("client {id}: server error: {message}");
-            }
-            other => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("unexpected reply {other:?}"),
-                ))
-            }
+        let done = submitter.submit(&req)?;
+        let tally = if req.multisite {
+            &mut result.multi
+        } else {
+            &mut result.local
+        };
+        if done.committed {
+            tally.committed += 1;
+            tally.distributed += done.distributed as u64;
+        } else if let Some(message) = done.error {
+            tally.errors += 1;
+            eprintln!("client {id}: server error: {message}");
+        } else {
+            tally.aborted += 1;
+            tally.presumed_aborts += done.presumed_abort as u64;
         }
-        result
+        tally
             .latencies_us
             .push(measured_from.elapsed().as_micros() as u64);
     }
     Ok(result)
 }
 
-fn spawn_server(args: &Args) -> std::io::Result<(ServerHandle, Endpoint)> {
+fn spawn_inproc_server(args: &Args) -> std::io::Result<(ServerHandle, Endpoint)> {
     let cluster = Arc::new(
         NativeCluster::build_micro(&NativeClusterConfig {
             n_instances: args.instances,
@@ -288,22 +410,196 @@ fn spawn_server(args: &Args) -> std::io::Result<(ServerHandle, Endpoint)> {
     Ok((handle, resolved))
 }
 
+/// What the run drove, so teardown knows what to drain.
+enum Target {
+    /// A multi-process deployment we own.
+    Deployment(Arc<Deployment>),
+    /// A single server we spawned in-process.
+    Inproc(ServerHandle, Endpoint),
+    /// Someone else's server (not drained).
+    External(Endpoint),
+}
+
+fn class_report(name: &str, tally: &mut ClassTally, elapsed: Duration) {
+    tally.latencies_us.sort_unstable();
+    let n = tally.latencies_us.len();
+    let tput = tally.committed as f64 / elapsed.as_secs_f64();
+    print!(
+        "class {name}: committed={} aborted={} errors={} distributed={} tput={tput:.0}/s",
+        tally.committed, tally.aborted, tally.errors, tally.distributed,
+    );
+    if n > 0 {
+        let mean = tally.latencies_us.iter().sum::<u64>() as f64 / n as f64;
+        println!(
+            " p50={}us p95={}us p99={}us max={}us mean={mean:.0}us ({n} samples)",
+            percentile(&tally.latencies_us, 50.0),
+            percentile(&tally.latencies_us, 95.0),
+            percentile(&tally.latencies_us, 99.0),
+            tally.latencies_us[n - 1],
+        );
+    } else {
+        println!(" (no samples)");
+    }
+}
+
+fn class_json(tally: &ClassTally, elapsed: Duration) -> String {
+    // Sort locally: correctness here must not depend on class_report
+    // having run (and sorted in place) first.
+    let mut sorted = tally.latencies_us.clone();
+    sorted.sort_unstable();
+    let tally = ClassTally {
+        latencies_us: sorted,
+        ..tally.clone()
+    };
+    let n = tally.latencies_us.len();
+    let mean = if n > 0 {
+        tally.latencies_us.iter().sum::<u64>() as f64 / n as f64
+    } else {
+        0.0
+    };
+    format!(
+        "{{\"committed\":{},\"aborted\":{},\"errors\":{},\"distributed\":{},\
+         \"presumed_aborts\":{},\"throughput_tps\":{:.1},\"p50_us\":{},\"p95_us\":{},\
+         \"p99_us\":{},\"max_us\":{},\"mean_us\":{:.1},\"samples\":{}}}",
+        tally.committed,
+        tally.aborted,
+        tally.errors,
+        tally.distributed,
+        tally.presumed_aborts,
+        tally.committed as f64 / elapsed.as_secs_f64(),
+        percentile(&tally.latencies_us, 50.0),
+        percentile(&tally.latencies_us, 95.0),
+        percentile(&tally.latencies_us, 99.0),
+        tally.latencies_us.last().copied().unwrap_or(0),
+        mean,
+        n,
+    )
+}
+
+fn instance_json(r: &InstanceExit) -> String {
+    let s = r.stats.unwrap_or_default();
+    format!(
+        "{{\"index\":{},\"clean\":{},\"commits\":{},\"aborts\":{},\"errors\":{},\
+         \"prepares\":{},\"decisions\":{},\"presumed_aborts\":{},\"in_doubt\":{}}}",
+        r.index,
+        r.clean,
+        s.commits,
+        s.aborts,
+        s.errors,
+        s.prepares,
+        s.decisions,
+        s.presumed_aborts,
+        s.in_doubt,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &str,
+    args: &Args,
+    elapsed: Duration,
+    local: &ClassTally,
+    multi: &ClassTally,
+    coordinator_presumed_aborts: u64,
+    pinned: bool,
+    instances: &[InstanceExit],
+) -> std::io::Result<()> {
+    let committed = local.committed + multi.committed;
+    let mode = match args.open_rate {
+        Some(rate) => format!("\"open@{rate:.0}\""),
+        None => "\"closed\"".to_string(),
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"islands-loadgen/1\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"deploy\":\"{}\",\"transport\":\"{}\",\"instances\":{},\
+         \"clients\":{},\"secs\":{},\"mode\":{mode},\"kind\":\"{}\",\"rows_per_txn\":{},\
+         \"multisite_pct\":{},\"skew\":{},\"rows\":{},\"pinned\":{}}},\n",
+        args.deploy,
+        args.transport,
+        args.instances,
+        args.clients,
+        args.secs,
+        args.kind.label(),
+        args.rows_per_txn,
+        args.multisite_pct,
+        args.skew,
+        args.rows,
+        pinned,
+    ));
+    out.push_str(&format!(
+        "  \"totals\": {{\"committed\":{},\"throughput_tps\":{:.1},\
+         \"coordinator_presumed_aborts\":{},\"elapsed_secs\":{:.3}}},\n",
+        committed,
+        committed as f64 / elapsed.as_secs_f64(),
+        coordinator_presumed_aborts,
+        elapsed.as_secs_f64(),
+    ));
+    out.push_str(&format!(
+        "  \"classes\": {{\n    \"local\": {},\n    \"multisite\": {}\n  }},\n",
+        class_json(local, elapsed),
+        class_json(multi, elapsed),
+    ));
+    out.push_str("  \"instances\": [");
+    out.push_str(
+        &instances
+            .iter()
+            .map(instance_json)
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    out.push_str("]\n}\n");
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())
+}
+
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
 
-    let (handle, endpoint) = match &args.connect {
-        Some(ep) => (None, parse_endpoint(ep)?),
-        None => {
-            let (h, ep) = spawn_server(&args).map_err(|e| format!("spawn server: {e}"))?;
-            (Some(h), ep)
+    let target = match (&args.connect, args.deploy.as_str()) {
+        (Some(ep), _) => Target::External(Endpoint::parse(ep)?),
+        (None, "proc") => {
+            let transport = if args.transport == "tcp" {
+                Transport::Tcp
+            } else {
+                Transport::Uds
+            };
+            let deployment = Deployment::spawn(&DeployConfig {
+                instances: args.instances,
+                transport,
+                total_rows: args.rows,
+                row_size: 64,
+                retry_limit: args.retry_limit,
+                pin: args.pin,
+                spawn: SpawnMode::SelfExec,
+                ..Default::default()
+            })
+            .map_err(|e| format!("spawn deployment: {e}"))?;
+            Target::Deployment(Arc::new(deployment))
+        }
+        (None, _) => {
+            let (h, ep) = spawn_inproc_server(&args).map_err(|e| format!("spawn server: {e}"))?;
+            Target::Inproc(h, ep)
         }
     };
+
     let mode = match args.open_rate {
         Some(rate) => format!("open @ {rate:.0} txn/s"),
         None => "closed".into(),
     };
+    let where_ = match &target {
+        Target::Deployment(d) => format!(
+            "{} processes ({}, {})",
+            d.instances(),
+            args.transport,
+            if d.pinned() { "pinned" } else { "unpinned" },
+        ),
+        Target::Inproc(_, ep) => format!("{ep} (inproc)"),
+        Target::External(ep) => format!("{ep} (external)"),
+    };
     println!(
-        "loadgen: {endpoint} clients={} secs={} mode={mode} kind={} rows/txn={} \
+        "loadgen: {where_} clients={} secs={} mode={mode} kind={} rows/txn={} \
          multisite={}% skew={} rows={} instances={}",
         args.clients,
         args.secs,
@@ -314,96 +610,186 @@ fn run() -> Result<bool, String> {
         args.rows,
         args.instances,
     );
+    if let Target::Deployment(d) = &target {
+        for i in 0..d.instances() {
+            let (lo, hi) = d.range(i);
+            println!(
+                "  instance {i}: keys {lo}..{hi} at {}{}",
+                d.endpoint(i),
+                d.cpus_of(i)
+                    .map(|c| format!(" cpus {c}"))
+                    .unwrap_or_default(),
+            );
+        }
+    }
+
+    // Connect every client before spawning any worker thread: an error here
+    // propagates with `?` while nothing else holds the deployment, so the
+    // Drop impl still reaps every instance process (a `?` after threads are
+    // running would exit the process with worker threads — and their
+    // `Arc<Deployment>` clones — still alive, orphaning the children).
+    let mut submitters = Vec::with_capacity(args.clients);
+    for id in 0..args.clients {
+        submitters.push(match &target {
+            Target::Deployment(d) => Submitter::Proc(
+                d.client()
+                    .map_err(|e| format!("connect client {id}: {e}"))?,
+            ),
+            Target::Inproc(_, ep) | Target::External(ep) => Submitter::Wire(
+                Client::connect_with_retry(ep, Duration::from_secs(2))
+                    .map_err(|e| format!("connect client {id}: {e}"))?,
+            ),
+        });
+    }
 
     // Drive.
     let started = Instant::now();
     let deadline = started + Duration::from_secs_f64(args.secs);
-    let workers: Vec<_> = (0..args.clients)
-        .map(|id| {
-            let endpoint = endpoint.clone();
+    let workers: Vec<_> = submitters
+        .into_iter()
+        .enumerate()
+        .map(|(id, submitter)| {
             let args = args.clone();
-            std::thread::spawn(move || drive_client(id, &endpoint, &args, deadline))
+            std::thread::spawn(move || drive_client(id, submitter, &args, deadline))
         })
         .collect();
-    let mut total = ClientResult::default();
+    let mut local = ClassTally::default();
+    let mut multi = ClassTally::default();
     let mut client_failures = 0u64;
     for w in workers {
-        match w.join().expect("client thread panicked") {
-            Ok(r) => {
-                total.committed += r.committed;
-                total.aborted += r.aborted;
-                total.errors += r.errors;
-                total.distributed += r.distributed;
-                total.latencies_us.extend(r.latencies_us);
+        // A panicked worker is a failure to report, not a reason to unwind
+        // past the live deployment handle.
+        match w.join() {
+            Ok(Ok(r)) => {
+                local.absorb(r.local);
+                multi.absorb(r.multi);
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 client_failures += 1;
                 eprintln!("client connection failed: {e}");
+            }
+            Err(_) => {
+                client_failures += 1;
+                eprintln!("client thread panicked");
             }
         }
     }
     let elapsed = started.elapsed();
 
     // Report.
-    total.latencies_us.sort_unstable();
-    let n = total.latencies_us.len();
-    let tput = total.committed as f64 / elapsed.as_secs_f64();
+    let committed = local.committed + multi.committed;
+    let coordinator_presumed_aborts = match &target {
+        Target::Deployment(d) => d.presumed_aborts(),
+        _ => 0,
+    };
     println!(
-        "completed: committed={} aborted={} errors={} distributed={} ({:.1}%) in {:.2}s",
-        total.committed,
-        total.aborted,
-        total.errors,
-        total.distributed,
-        if total.committed > 0 {
-            100.0 * total.distributed as f64 / total.committed as f64
-        } else {
-            0.0
-        },
+        "completed: committed={committed} aborted={} errors={} presumed_aborts={} in {:.2}s",
+        local.aborted + multi.aborted,
+        local.errors + multi.errors,
+        coordinator_presumed_aborts,
         elapsed.as_secs_f64(),
     );
-    println!("throughput: {tput:.0} committed txn/s");
-    if n > 0 {
-        let mean = total.latencies_us.iter().sum::<u64>() as f64 / n as f64;
-        println!(
-            "latency: p50={}us p95={}us p99={}us max={}us mean={:.0}us ({} samples)",
-            percentile(&total.latencies_us, 50.0),
-            percentile(&total.latencies_us, 95.0),
-            percentile(&total.latencies_us, 99.0),
-            total.latencies_us[n - 1],
-            mean,
-            n,
-        );
+    println!(
+        "throughput: {:.0} committed txn/s",
+        committed as f64 / elapsed.as_secs_f64()
+    );
+    class_report("local", &mut local, elapsed);
+    class_report("multisite", &mut multi, elapsed);
+
+    // Tear down and verify.
+    let mut instance_reports: Vec<InstanceExit> = Vec::new();
+    let mut pinned = false;
+    match target {
+        Target::External(_) => {}
+        Target::Inproc(handle, endpoint) => {
+            let mut closer =
+                Client::connect(&endpoint).map_err(|e| format!("drain connect failed: {e}"))?;
+            closer
+                .drain_server()
+                .map_err(|e| format!("drain request failed: {e}"))?;
+            let stats = handle
+                .join()
+                .map_err(|e| format!("server join failed: {e}"))?;
+            println!(
+                "server drained cleanly: connections={} requests={} commits={} aborts={} errors={}",
+                stats.connections, stats.requests, stats.commits, stats.aborts, stats.errors,
+            );
+            if stats.commits != committed {
+                return Err(format!(
+                    "server counted {} commits but clients saw {committed}",
+                    stats.commits
+                ));
+            }
+        }
+        Target::Deployment(deployment) => {
+            pinned = deployment.pinned();
+            let deployment = Arc::try_unwrap(deployment)
+                .ok()
+                .expect("all clients joined");
+            instance_reports = deployment.shutdown();
+            let mut unclean = 0u64;
+            let mut leaks = 0u64;
+            for r in &instance_reports {
+                let s = r.stats.unwrap_or_default();
+                println!(
+                    "  instance {} {}: commits={} aborts={} errors={} prepares={} \
+                     decisions={} presumed_aborts={} in_doubt={}{}",
+                    r.index,
+                    if r.clean { "clean" } else { "UNCLEAN" },
+                    s.commits,
+                    s.aborts,
+                    s.errors,
+                    s.prepares,
+                    s.decisions,
+                    s.presumed_aborts,
+                    s.in_doubt,
+                    if r.clean {
+                        String::new()
+                    } else {
+                        format!(" ({})", r.detail)
+                    },
+                );
+                unclean += (!r.clean) as u64;
+                leaks += s.in_doubt;
+            }
+            if unclean > 0 {
+                return Err(format!("{unclean} instance(s) exited unclean"));
+            }
+            if leaks > 0 {
+                return Err(format!("{leaks} in-doubt transaction(s) leaked"));
+            }
+            println!(
+                "deployment drained cleanly: instances={} in_doubt_leaks=0",
+                instance_reports.len()
+            );
+        }
     }
 
-    // Drain the server we spawned and insist on a clean exit.
-    if let Some(handle) = handle {
-        let mut closer =
-            Client::connect(&endpoint).map_err(|e| format!("drain connect failed: {e}"))?;
-        closer
-            .drain_server()
-            .map_err(|e| format!("drain request failed: {e}"))?;
-        let stats = handle
-            .join()
-            .map_err(|e| format!("server join failed: {e}"))?;
-        println!(
-            "server drained cleanly: connections={} requests={} commits={} aborts={} errors={}",
-            stats.connections, stats.requests, stats.commits, stats.aborts, stats.errors,
-        );
-        if stats.commits != total.committed {
-            return Err(format!(
-                "server counted {} commits but clients saw {}",
-                stats.commits, total.committed
-            ));
-        }
+    if let Some(path) = &args.json {
+        write_json(
+            path,
+            &args,
+            elapsed,
+            &local,
+            &multi,
+            coordinator_presumed_aborts,
+            pinned,
+            &instance_reports,
+        )
+        .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
     }
 
     if client_failures > 0 {
         return Err(format!("{client_failures} client(s) failed"));
     }
-    Ok(total.committed > 0)
+    Ok(committed > 0)
 }
 
 fn main() -> ExitCode {
+    // A `--instance-child` first argument means we were spawned as one of a
+    // deployment's instance processes: serve the partition and exit.
+    deploy::run_instance_child_if_requested();
     match run() {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => {

@@ -1,0 +1,316 @@
+//! Single-partition engine: one OS process's share of a shared-nothing
+//! deployment.
+//!
+//! A [`PartitionEngine`] is one [`StorageInstance`] owning a contiguous key
+//! sub-range `[lo, hi)` of the globally partitioned microbenchmark table.
+//! The multi-process deployment (`islands-server`'s `deploy` module) spawns
+//! one process per partition; each process serves its engine over the wire:
+//!
+//! * **Local transactions** (all keys inside the range) commit entirely here
+//!   via [`submit_local`](PartitionEngine::submit_local), retrying contention
+//!   aborts like [`NativeCluster::submit`](super::NativeCluster::submit).
+//! * **Distributed branches** arrive as 2PC `Prepare` frames: the engine
+//!   executes the branch's operations and runs participant-side phase 1
+//!   ([`prepare_branch`](PartitionEngine::prepare_branch)), handing the
+//!   prepared [`TxnHandle`] back to the session, which holds it in-doubt
+//!   until the coordinator's decision (or presumes abort on connection
+//!   loss).
+//!
+//! Keys stay **global**: the engine checks range membership instead of
+//! translating, so a request routed to the wrong process is a typed error,
+//! never a silent write to the wrong row.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use islands_storage::instance::PrepareVote;
+use islands_storage::store::MemStore;
+use islands_storage::wal::MemLogDevice;
+use islands_storage::{InstanceOptions, StorageError, StorageInstance, TxnHandle};
+use islands_workload::{OpKind, TxnRequest};
+
+use super::{SubmitOutcome, MICRO_TABLE_NAME};
+
+/// Construction knobs for one partition's engine.
+#[derive(Debug, Clone)]
+pub struct PartitionConfig {
+    /// First key this partition owns (inclusive).
+    pub lo: u64,
+    /// One past the last key this partition owns (exclusive).
+    pub hi: u64,
+    /// Payload bytes per row (first 8 bytes hold the audit counter).
+    pub row_size: usize,
+    pub buffer_frames: usize,
+    pub lock_timeout: Duration,
+    /// One worker ⇒ skip locking (the paper's fine-grained optimization).
+    pub single_threaded: bool,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            lo: 0,
+            hi: 10_000,
+            row_size: 64,
+            buffer_frames: 4096,
+            lock_timeout: Duration::from_millis(200),
+            single_threaded: false,
+        }
+    }
+}
+
+/// Participant-side outcome of executing and preparing one branch.
+pub enum BranchOutcome {
+    /// Executed, prepare record forced; the handle holds locks until the
+    /// coordinator's decision arrives (pass it to [`TxnHandle::decide`]).
+    Prepared(TxnHandle),
+    /// Read-only branch: voted, released, excluded from phase 2.
+    ReadOnly,
+    /// Local execution or validation failed (lock timeout, deadlock); the
+    /// branch rolled back and the participant votes No.
+    No,
+}
+
+/// One shared-nothing partition: a storage instance plus its key range.
+pub struct PartitionEngine {
+    inst: Arc<StorageInstance>,
+    lo: u64,
+    hi: u64,
+}
+
+impl PartitionEngine {
+    /// Create the instance and load rows `lo..hi` (keys are global).
+    pub fn build(cfg: &PartitionConfig) -> Result<Self, StorageError> {
+        assert!(cfg.lo < cfg.hi, "empty partition {}..{}", cfg.lo, cfg.hi);
+        assert!(cfg.row_size >= 8, "rows hold an 8-byte audit counter");
+        let inst = StorageInstance::create(
+            Arc::new(MemStore::new()),
+            MemLogDevice::new(),
+            InstanceOptions {
+                buffer_frames: cfg.buffer_frames,
+                single_threaded: cfg.single_threaded,
+                lock_timeout: cfg.lock_timeout,
+                ..Default::default()
+            },
+        );
+        let table = inst.create_table(MICRO_TABLE_NAME, cfg.row_size)?;
+        let payload = vec![0u8; cfg.row_size];
+        for key in cfg.lo..cfg.hi {
+            inst.load_row(&table, key, &payload)?;
+        }
+        inst.checkpoint()?;
+        Ok(PartitionEngine {
+            inst,
+            lo: cfg.lo,
+            hi: cfg.hi,
+        })
+    }
+
+    /// The key range `[lo, hi)` this partition owns.
+    pub fn range(&self) -> (u64, u64) {
+        (self.lo, self.hi)
+    }
+
+    /// Whether `key` belongs to this partition.
+    pub fn owns(&self, key: u64) -> bool {
+        (self.lo..self.hi).contains(&key)
+    }
+
+    /// The underlying storage instance (tests, stats).
+    pub fn instance(&self) -> &Arc<StorageInstance> {
+        &self.inst
+    }
+
+    fn check_keys(&self, req: &TxnRequest) -> Result<(), StorageError> {
+        match req.keys.iter().find(|&&k| !self.owns(k)) {
+            Some(&k) => Err(StorageError::KeyNotFound(k)),
+            None => Ok(()),
+        }
+    }
+
+    /// Run `req`'s operations inside `txn` (same semantics as the in-process
+    /// cluster: reads fetch the row, updates increment the audit counter in
+    /// the first 8 bytes).
+    fn run_ops(&self, txn: &mut TxnHandle, req: &TxnRequest) -> Result<(), StorageError> {
+        for &key in &req.keys {
+            match req.kind {
+                OpKind::Read => {
+                    txn.read(MICRO_TABLE_NAME, key)?
+                        .ok_or(StorageError::KeyNotFound(key))?;
+                }
+                OpKind::Update => {
+                    let mut row = txn
+                        .read(MICRO_TABLE_NAME, key)?
+                        .ok_or(StorageError::KeyNotFound(key))?;
+                    let v = u64::from_le_bytes(row[..8].try_into().expect("8 bytes")) + 1;
+                    row[..8].copy_from_slice(&v.to_le_bytes());
+                    txn.update(MICRO_TABLE_NAME, key, &row)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute a fully-local request to completion, retrying contention
+    /// aborts up to `retry_limit` times. `Err` only for requests this
+    /// partition can never satisfy (a key outside `[lo, hi)`).
+    pub fn submit_local(
+        &self,
+        req: &TxnRequest,
+        retry_limit: u32,
+    ) -> Result<SubmitOutcome, StorageError> {
+        self.check_keys(req)?;
+        let mut retries = 0u32;
+        loop {
+            let mut txn = self.inst.begin();
+            let attempt = self.run_ops(&mut txn, req).and_then(|()| txn.commit());
+            match attempt {
+                Ok(()) => {
+                    return Ok(SubmitOutcome {
+                        committed: true,
+                        distributed: false,
+                        retries,
+                    })
+                }
+                Err(StorageError::Deadlock(_))
+                | Err(StorageError::LockTimeout(_))
+                | Err(StorageError::MustAbort(_)) => {
+                    if retries >= retry_limit {
+                        return Ok(SubmitOutcome {
+                            committed: false,
+                            distributed: false,
+                            retries,
+                        });
+                    }
+                    retries += 1;
+                    std::thread::yield_now();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Execute one 2PC branch and run participant phase 1: force the prepare
+    /// record and vote. Contention failures abort the branch locally and
+    /// vote No (the coordinator retries the whole global transaction); `Err`
+    /// is reserved for misrouted branches (key outside this partition).
+    pub fn prepare_branch(
+        &self,
+        gtid: u64,
+        req: &TxnRequest,
+    ) -> Result<BranchOutcome, StorageError> {
+        self.check_keys(req)?;
+        let mut txn = self.inst.begin();
+        if self.run_ops(&mut txn, req).is_err() {
+            let _ = txn.abort();
+            return Ok(BranchOutcome::No);
+        }
+        match txn.prepare(gtid) {
+            Ok(PrepareVote::Yes) => Ok(BranchOutcome::Prepared(txn)),
+            Ok(PrepareVote::ReadOnly) => Ok(BranchOutcome::ReadOnly),
+            Err(_) => {
+                let _ = txn.abort();
+                Ok(BranchOutcome::No)
+            }
+        }
+    }
+
+    /// Sum of the audit counters across this partition's rows (equals the
+    /// number of committed row updates applied here).
+    pub fn audit_sum(&self) -> Result<u64, StorageError> {
+        let table = self.inst.table(MICRO_TABLE_NAME)?;
+        let mut sum = 0u64;
+        for (_, payload) in table.range(0, u64::MAX)? {
+            sum += u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        }
+        Ok(sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islands_workload::OpKind;
+
+    fn engine() -> PartitionEngine {
+        PartitionEngine::build(&PartitionConfig {
+            lo: 100,
+            hi: 200,
+            row_size: 16,
+            buffer_frames: 256,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    fn update(keys: &[u64]) -> TxnRequest {
+        TxnRequest {
+            kind: OpKind::Update,
+            keys: keys.to_vec(),
+            multisite: false,
+        }
+    }
+
+    #[test]
+    fn local_submit_commits_inside_the_range() {
+        let e = engine();
+        let out = e.submit_local(&update(&[100, 150, 199]), 4).unwrap();
+        assert!(out.committed);
+        assert!(!out.distributed);
+        assert_eq!(e.audit_sum().unwrap(), 3);
+    }
+
+    #[test]
+    fn keys_outside_the_range_are_errors_not_writes() {
+        let e = engine();
+        assert!(matches!(
+            e.submit_local(&update(&[99]), 4),
+            Err(StorageError::KeyNotFound(99))
+        ));
+        assert!(matches!(
+            e.prepare_branch(1, &update(&[200])),
+            Err(StorageError::KeyNotFound(200))
+        ));
+        assert_eq!(e.audit_sum().unwrap(), 0);
+    }
+
+    #[test]
+    fn prepared_branch_holds_locks_until_decision() {
+        let e = engine();
+        let BranchOutcome::Prepared(handle) = e.prepare_branch(7, &update(&[110])).unwrap() else {
+            panic!("writer branch must prepare");
+        };
+        // The prepared branch holds an X lock: a conflicting local submit
+        // exhausts its (zero) retry budget and reports not-committed.
+        let blocked = e.submit_local(&update(&[110]), 0).unwrap();
+        assert!(!blocked.committed);
+        handle.decide(true).unwrap();
+        assert_eq!(e.audit_sum().unwrap(), 1);
+        // Locks released: the same submit now commits.
+        assert!(e.submit_local(&update(&[110]), 0).unwrap().committed);
+    }
+
+    #[test]
+    fn abort_decision_undoes_the_branch() {
+        let e = engine();
+        let BranchOutcome::Prepared(handle) = e.prepare_branch(8, &update(&[120])).unwrap() else {
+            panic!("writer branch must prepare");
+        };
+        handle.decide(false).unwrap();
+        assert_eq!(e.audit_sum().unwrap(), 0);
+    }
+
+    #[test]
+    fn read_only_branch_skips_phase_two() {
+        let e = engine();
+        let req = TxnRequest {
+            kind: OpKind::Read,
+            keys: vec![150],
+            multisite: true,
+        };
+        assert!(matches!(
+            e.prepare_branch(9, &req).unwrap(),
+            BranchOutcome::ReadOnly
+        ));
+    }
+}

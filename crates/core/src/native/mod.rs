@@ -27,6 +27,10 @@ use islands_workload::TxnRequest;
 use crate::partition::{instance_of_site, RangeSites, SiteMap};
 use crate::plan::{plan_micro, OpType, TxnPlan, MICRO_TABLE};
 
+pub mod engine;
+
+pub use engine::{BranchOutcome, PartitionConfig, PartitionEngine};
+
 /// Configuration for a native micro-benchmark cluster.
 #[derive(Debug, Clone)]
 pub struct NativeClusterConfig {
@@ -553,6 +557,30 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, StorageError::KeyNotFound(999_999)));
+    }
+
+    #[test]
+    fn non_divisible_row_counts_route_boundary_keys_to_their_loader() {
+        // 403 rows over 4 instances: loading gives instance 0 keys 0..100
+        // and the last instance the remainder. Routing must agree with
+        // loading at every boundary, or boundary keys are "not found" on
+        // the instance they were routed to.
+        let c = NativeCluster::build_micro(&NativeClusterConfig {
+            n_instances: 4,
+            total_rows: 403,
+            row_size: 16,
+            workers_per_instance: 2,
+            buffer_frames: 512,
+            ..Default::default()
+        })
+        .unwrap();
+        for key in [0, 99, 100, 101, 199, 200, 300, 399, 400, 402] {
+            assert!(
+                !c.execute(&plan(&[key], OpType::Update)).unwrap(),
+                "single-key txn on {key} must be local"
+            );
+        }
+        assert_eq!(c.audit_sum().unwrap(), 10);
     }
 
     #[test]

@@ -30,7 +30,16 @@ impl SiteMap for RangeSites {
 
     fn site_of(&self, _table: u32, key: u64) -> usize {
         debug_assert!(key < self.total_rows);
-        ((key as u128 * self.n_sites as u128) / self.total_rows as u128) as usize
+        // Truncated-per with the remainder in the last site: the same
+        // ownership rule `NativeCluster::build_micro` loads rows by,
+        // `MicroGenerator` homes them by, and multi-process deployments
+        // partition by (`islands-server`'s deploy module), so a key has one
+        // owner across every layer even when rows % n_sites != 0. (The
+        // previous proportional mapping disagreed with all three at range
+        // boundaries for non-divisible row counts, routing boundary keys to
+        // instances that never loaded them.)
+        let per = (self.total_rows / self.n_sites as u64).max(1);
+        ((key / per) as usize).min(self.n_sites - 1)
     }
 }
 

@@ -75,12 +75,24 @@ impl Coordinator {
     }
 
     /// Feed a vote; returns follow-up actions.
+    ///
+    /// Votes may arrive **after an abort decision**: a wire driver collects
+    /// votes as in-order replies on per-participant connections, so one No
+    /// vote cannot stop the other participants' already-sent votes from
+    /// arriving. A late Yes gets an abort [`Action::SendDecision`] (and
+    /// re-enters `WaitAcks` if the abort had already finished); late No and
+    /// ReadOnly votes need nothing. Late votes after a *commit* decision are
+    /// impossible (commit requires every vote) and still panic, as do
+    /// duplicate votes.
     pub fn on_vote(&mut self, from: usize, vote: Vote) -> Vec<Action> {
-        assert_eq!(
-            self.state,
-            CoordinatorState::WaitVotes,
-            "vote after decision"
-        );
+        match self.state {
+            CoordinatorState::WaitVotes => {}
+            CoordinatorState::WaitAcks { commit: false }
+            | CoordinatorState::Finished { commit: false } => {
+                return self.on_late_vote(from, vote);
+            }
+            s => panic!("vote from {from} after commit decision ({s:?})"),
+        }
         let idx = self.index_of(from);
         assert!(self.votes[idx].is_none(), "duplicate vote from {from}");
         self.votes[idx] = Some(vote);
@@ -136,6 +148,58 @@ impl Coordinator {
                 .map(|to| Action::SendDecision { to, commit: true }),
         );
         actions
+    }
+
+    fn on_late_vote(&mut self, from: usize, vote: Vote) -> Vec<Action> {
+        let idx = self.index_of(from);
+        assert!(self.votes[idx].is_none(), "duplicate vote from {from}");
+        self.votes[idx] = Some(vote);
+        if vote != Vote::Yes {
+            return Vec::new();
+        }
+        // A prepared participant surfaced after the abort was decided: it
+        // holds locks until it hears the decision, so send the abort (no
+        // force; presumed abort). If the abort had already finished, the
+        // driver sees a second Finish once this ack lands — same outcome.
+        self.acks_pending.push(from);
+        self.state = CoordinatorState::WaitAcks { commit: false };
+        vec![Action::SendDecision {
+            to: from,
+            commit: false,
+        }]
+    }
+
+    /// The driver lost a participant (connection closed, vote or ack timed
+    /// out). Presumed abort turns absence into a No vote: a participant that
+    /// never voted counts as No; one that is owed a decision or an ack is
+    /// forgotten (it resolves itself on recovery — no decision record means
+    /// abort, a forced commit record means commit).
+    pub fn on_participant_failure(&mut self, from: usize) -> Vec<Action> {
+        let idx = self.index_of(from);
+        match self.state {
+            CoordinatorState::WaitVotes => {
+                if self.votes[idx].is_none() {
+                    self.on_vote(from, Vote::No)
+                } else {
+                    // Voted, then died: its decision send will fail too, and
+                    // the driver reports that failure separately.
+                    Vec::new()
+                }
+            }
+            CoordinatorState::WaitAcks { commit } => {
+                let Some(pos) = self.acks_pending.iter().position(|&p| p == from) else {
+                    return Vec::new();
+                };
+                self.acks_pending.swap_remove(pos);
+                if self.acks_pending.is_empty() {
+                    self.state = CoordinatorState::Finished { commit };
+                    vec![Action::Finish { commit }]
+                } else {
+                    Vec::new()
+                }
+            }
+            CoordinatorState::Finished { .. } => Vec::new(),
+        }
     }
 
     /// Feed a phase-2 ack.
@@ -236,6 +300,108 @@ mod tests {
             }]
         );
         assert_eq!(c.on_ack(3), vec![Action::Finish { commit: true }]);
+    }
+
+    #[test]
+    fn late_yes_vote_after_abort_decision_gets_abort_decision() {
+        // Wire drivers deliver votes as per-connection replies: participant
+        // 2's No decides abort while 3's Yes is still in flight.
+        let (mut c, _) = Coordinator::new(5, vec![1, 2, 3]);
+        assert!(c.on_vote(1, Vote::Yes).is_empty());
+        let actions = c.on_vote(2, Vote::No);
+        assert_eq!(
+            actions,
+            vec![Action::SendDecision {
+                to: 1,
+                commit: false
+            }]
+        );
+        let late = c.on_vote(3, Vote::Yes);
+        assert_eq!(
+            late,
+            vec![Action::SendDecision {
+                to: 3,
+                commit: false
+            }]
+        );
+        assert!(c.on_ack(1).is_empty());
+        assert_eq!(c.on_ack(3), vec![Action::Finish { commit: false }]);
+    }
+
+    #[test]
+    fn late_read_only_vote_after_finished_abort_needs_nothing() {
+        let (mut c, _) = Coordinator::new(5, vec![1, 2]);
+        assert_eq!(
+            c.on_vote(1, Vote::No),
+            vec![Action::Finish { commit: false }]
+        );
+        assert_eq!(c.state(), CoordinatorState::Finished { commit: false });
+        assert!(c.on_vote(2, Vote::ReadOnly).is_empty());
+        assert_eq!(c.state(), CoordinatorState::Finished { commit: false });
+    }
+
+    #[test]
+    fn late_yes_vote_after_finished_abort_reopens_for_its_ack() {
+        let (mut c, _) = Coordinator::new(5, vec![1, 2]);
+        assert_eq!(
+            c.on_vote(1, Vote::No),
+            vec![Action::Finish { commit: false }]
+        );
+        let late = c.on_vote(2, Vote::Yes);
+        assert_eq!(
+            late,
+            vec![Action::SendDecision {
+                to: 2,
+                commit: false
+            }]
+        );
+        assert_eq!(c.state(), CoordinatorState::WaitAcks { commit: false });
+        assert_eq!(c.on_ack(2), vec![Action::Finish { commit: false }]);
+    }
+
+    #[test]
+    fn participant_failure_before_voting_counts_as_no() {
+        let (mut c, _) = Coordinator::new(5, vec![1, 2]);
+        assert!(c.on_vote(1, Vote::Yes).is_empty());
+        let actions = c.on_participant_failure(2);
+        assert_eq!(
+            actions,
+            vec![Action::SendDecision {
+                to: 1,
+                commit: false
+            }]
+        );
+        assert!(actions
+            .iter()
+            .all(|a| !matches!(a, Action::ForceCommitDecision { .. })));
+    }
+
+    #[test]
+    fn participant_failure_while_awaiting_its_ack_finishes() {
+        let (mut c, _) = Coordinator::new(5, vec![1, 2]);
+        assert!(c.on_vote(1, Vote::Yes).is_empty());
+        let actions = c.on_vote(2, Vote::Yes);
+        assert!(matches!(actions[0], Action::ForceCommitDecision { .. }));
+        assert!(c.on_ack(1).is_empty());
+        // Participant 2 died after the commit decision was forced: the
+        // global outcome is still commit; 2 recovers from the decision log.
+        assert_eq!(
+            c.on_participant_failure(2),
+            vec![Action::Finish { commit: true }]
+        );
+        assert_eq!(c.state(), CoordinatorState::Finished { commit: true });
+        // Repeated failure reports are idempotent.
+        assert!(c.on_participant_failure(2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "after commit decision")]
+    fn vote_after_commit_decision_still_panics() {
+        let (mut c, _) = Coordinator::new(5, vec![1]);
+        c.on_vote(1, Vote::Yes);
+        // All votes are in (state WaitAcks{commit: true}); another vote is
+        // impossible in a correct driver.
+        c.on_vote(1, Vote::Yes);
     }
 
     #[test]

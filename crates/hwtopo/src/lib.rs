@@ -24,7 +24,7 @@ pub mod placement;
 pub use calib::Calib;
 pub use ids::{CoreId, SocketId};
 pub use islands::{island_configs, NislConfig, PlacementStyle};
-pub use machine::{ActiveSet, Distance, Machine};
+pub use machine::{ActiveSet, Distance, HostTopology, Machine};
 pub use placement::{
     assign_threads, place_instances, InstancePlacement, IslandOrSpread, ThreadPlacement,
 };

@@ -137,6 +137,116 @@ pub struct ActiveSet {
     pub cores: Vec<CoreId>,
 }
 
+/// The machine this process is actually running on, with the mapping from
+/// the model's dense socket-major [`CoreId`]s back to OS cpu ids.
+///
+/// The paper's experiments pin instances to real cores; a deployment
+/// orchestrator needs the host's socket/core structure to do the same. The
+/// [`Machine`] model numbers cores densely socket-major, but hosts number
+/// cpus however the firmware pleases (hyperthread siblings interleaved,
+/// offline holes), so [`detect`](Self::detect) keeps the OS cpu id per
+/// modeled core and [`os_cpu`](Self::os_cpu) translates. Cache sizes and
+/// calibration are topology placeholders (placement only needs the
+/// socket/core shape), not measurements of the host.
+#[derive(Debug, Clone)]
+pub struct HostTopology {
+    pub machine: Machine,
+    /// OS cpu id for each [`CoreId`] index, socket-major like the model.
+    os_cpus: Vec<usize>,
+}
+
+impl HostTopology {
+    /// Detect the host topology from sysfs, falling back to a single-socket
+    /// machine of `available_parallelism` cores when sysfs is unreadable
+    /// (non-Linux, restricted container).
+    pub fn detect() -> HostTopology {
+        read_sysfs_cpu_packages()
+            .and_then(HostTopology::from_cpu_packages)
+            .unwrap_or_else(HostTopology::fallback)
+    }
+
+    /// Build from `(os_cpu, package)` pairs. Packages with unequal core
+    /// counts collapse to one socket (the [`Machine`] model is uniform);
+    /// placement then still chunks contiguously, it just cannot respect
+    /// socket boundaries it cannot express.
+    pub fn from_cpu_packages(mut pairs: Vec<(usize, usize)>) -> Option<HostTopology> {
+        if pairs.is_empty() {
+            return None;
+        }
+        pairs.sort_unstable_by_key(|&(cpu, pkg)| (pkg, cpu));
+        let mut packages: Vec<usize> = pairs.iter().map(|&(_, pkg)| pkg).collect();
+        packages.dedup();
+        let per: usize = pairs.len() / packages.len();
+        let uniform = per >= 1
+            && packages
+                .iter()
+                .all(|&p| pairs.iter().filter(|&&(_, pkg)| pkg == p).count() == per);
+        let (sockets, cores_per_socket) = if uniform {
+            (packages.len(), per)
+        } else {
+            (1, pairs.len())
+        };
+        if sockets > u8::MAX as usize + 1 || pairs.len() > u16::MAX as usize {
+            return None;
+        }
+        let mut machine = Machine::quad_socket();
+        machine.name = "detected".to_owned();
+        machine.sockets = sockets as u32;
+        machine.cores_per_socket = cores_per_socket as u32;
+        Some(HostTopology {
+            machine,
+            os_cpus: pairs.into_iter().map(|(cpu, _)| cpu).collect(),
+        })
+    }
+
+    fn fallback() -> HostTopology {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        HostTopology::from_cpu_packages((0..n).map(|cpu| (cpu, 0)).collect())
+            .expect("nonempty fallback topology")
+    }
+
+    /// The OS cpu id behind a modeled core.
+    pub fn os_cpu(&self, core: CoreId) -> usize {
+        self.os_cpus[core.0 as usize]
+    }
+
+    /// A taskset-style cpu list ("3,4,5") for an instance placement.
+    pub fn cpu_list(&self, placement: &crate::placement::InstancePlacement) -> String {
+        placement
+            .cores
+            .iter()
+            .map(|&c| self.os_cpu(c).to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// `(os_cpu, physical_package_id)` for every online cpu, from sysfs.
+fn read_sysfs_cpu_packages() -> Option<Vec<(usize, usize)>> {
+    let mut pairs = Vec::new();
+    for entry in std::fs::read_dir("/sys/devices/system/cpu").ok()? {
+        let entry = entry.ok()?;
+        let name = entry.file_name();
+        let name = name.to_str()?;
+        let Some(n) = name
+            .strip_prefix("cpu")
+            .and_then(|d| d.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        // Offline cpus have no topology directory; skip them.
+        let pkg_path = entry.path().join("topology/physical_package_id");
+        let Ok(raw) = std::fs::read_to_string(pkg_path) else {
+            continue;
+        };
+        let pkg = raw.trim().parse::<usize>().ok()?;
+        pairs.push((n, pkg));
+    }
+    (!pairs.is_empty()).then_some(pairs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +284,52 @@ mod tests {
         assert_eq!(cores.first(), Some(&CoreId(20)));
         assert_eq!(cores.len(), 10);
         assert_eq!(cores.last(), Some(&CoreId(29)));
+    }
+
+    #[test]
+    fn host_topology_maps_cores_socket_major() {
+        // Interleaved numbering: even cpus on package 0, odd on package 1.
+        let pairs = vec![(0, 0), (1, 1), (2, 0), (3, 1)];
+        let t = HostTopology::from_cpu_packages(pairs).unwrap();
+        assert_eq!(t.machine.sockets, 2);
+        assert_eq!(t.machine.cores_per_socket, 2);
+        // CoreIds 0,1 are package 0 (os cpus 0,2); 2,3 are package 1.
+        assert_eq!(t.os_cpu(CoreId(0)), 0);
+        assert_eq!(t.os_cpu(CoreId(1)), 2);
+        assert_eq!(t.os_cpu(CoreId(2)), 1);
+        assert_eq!(t.os_cpu(CoreId(3)), 3);
+    }
+
+    #[test]
+    fn asymmetric_packages_collapse_to_one_socket() {
+        let pairs = vec![(0, 0), (1, 0), (2, 0), (3, 1)];
+        let t = HostTopology::from_cpu_packages(pairs).unwrap();
+        assert_eq!(t.machine.sockets, 1);
+        assert_eq!(t.machine.cores_per_socket, 4);
+    }
+
+    #[test]
+    fn cpu_list_translates_placements_to_os_ids() {
+        let pairs = vec![(0, 0), (1, 1), (2, 0), (3, 1)];
+        let t = HostTopology::from_cpu_packages(pairs).unwrap();
+        let p = crate::placement::InstancePlacement {
+            cores: vec![CoreId(0), CoreId(1)],
+        };
+        assert_eq!(t.cpu_list(&p), "0,2");
+    }
+
+    #[test]
+    fn detect_finds_at_least_one_core() {
+        let t = HostTopology::detect();
+        assert!(t.machine.total_cores() >= 1);
+        assert_eq!(
+            t.machine.total_cores() as usize,
+            (0..t.machine.total_cores())
+                .map(|c| t.os_cpu(CoreId(c as u16)))
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            "os cpu mapping must be distinct"
+        );
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! One shared-nothing instance process.
+//!
+//! Serves a [`PartitionEngine`](islands_core::native::PartitionEngine) over
+//! the wire protocol: local submissions commit here, 2PC `Prepare`/
+//! `Decision` frames drive participant-side distributed commit. Normally
+//! spawned by `islands_server::deploy::Deployment` (which passes
+//! `--instance-child` plus the partition/endpoint flags and reads the
+//! `READY`/`STATS` lines off stdout), but it can be started by hand:
+//!
+//! ```sh
+//! islands-instance --instance-child \
+//!     --endpoint uds:/tmp/inst0.sock --lo 0 --hi 10000 --row-size 64
+//! ```
+
+use std::process::ExitCode;
+
+use islands_server::deploy::{instance_child_main, INSTANCE_CHILD_FLAG};
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Tolerate the flag's absence when invoked directly: the orchestrator
+    // always passes it (one arg parser for self-exec and dedicated-binary
+    // spawns), a human needn't bother.
+    if args.first().map(String::as_str) == Some(INSTANCE_CHILD_FLAG) {
+        args.remove(0);
+    }
+    ExitCode::from(instance_child_main(args) as u8)
+}

@@ -85,6 +85,25 @@ impl Client {
         self.read_reply()
     }
 
+    /// Ship one raw request without waiting for the reply. Lower-level than
+    /// [`submit`](Self::submit): a 2PC coordinator uses this to fan a
+    /// `Prepare` out to every participant before collecting any votes.
+    pub fn send_request(&mut self, request: &Request) -> io::Result<()> {
+        self.send(std::slice::from_ref(request))
+    }
+
+    /// Read the next reply frame (replies arrive in request order).
+    pub fn recv_reply(&mut self) -> io::Result<Reply> {
+        self.read_reply()
+    }
+
+    /// Bound how long [`recv_reply`](Self::recv_reply) blocks. `None` waits
+    /// forever. A timed-out read surfaces as `WouldBlock`/`TimedOut`; the
+    /// coordinator treats that as a participant failure (presumed abort).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.conn.set_read_timeout(timeout)
+    }
+
     /// Pipeline many transactions in one write; replies come back in
     /// submission order.
     pub fn submit_pipelined(&mut self, txns: &[TxnRequest]) -> io::Result<Vec<Reply>> {

@@ -1,0 +1,1098 @@
+//! Multi-process shared-nothing deployments.
+//!
+//! The paper's central comparison is between deployments of *separate OS
+//! processes*: shared-everything (one instance spanning the machine),
+//! island-sized shared-nothing, and fine-grained shared-nothing, where
+//! multisite transactions pay real distributed-commit and IPC costs
+//! (Porobic et al., §3, Figs. 9–12). [`Deployment::spawn`] stands such a
+//! topology up for real:
+//!
+//! * **One process per instance.** Each child runs a
+//!   [`PartitionEngine`](islands_core::native::PartitionEngine) owning a
+//!   contiguous key range, served over the wire protocol
+//!   ([`Backend::Partition`]). Children are re-executions of the host
+//!   binary ([`SpawnMode::SelfExec`]) or a dedicated `islands-instance`
+//!   binary ([`SpawnMode::Binary`]).
+//! * **Topology-pinned.** Instance `i` is pinned (via `taskset`, when
+//!   available) to the cores `hwtopo`'s island placement assigns it on the
+//!   *detected host* topology — the paper's "N islands" layout, not a
+//!   simulated one.
+//! * **Wire-level 2PC.** Single-site requests go straight to the owning
+//!   instance as `Submit` frames. Multisite requests run presumed-abort
+//!   two-phase commit: the [`DeployClient`] coordinator splits the request
+//!   into per-instance branches, fans out `Prepare` frames, collects
+//!   `Vote`s, forces commit decisions to the coordinator log, delivers
+//!   `Decision`s, and collects `Ack`s — driving the pure
+//!   [`islands_dtxn::Coordinator`] state machine with bytes on sockets
+//!   instead of function calls.
+//! * **Presumed abort under failure.** A participant that cannot be
+//!   reached (connection refused/reset, vote or ack timeout) is reported
+//!   to the state machine as a failure: an undecided transaction aborts,
+//!   and surviving participants receive abort decisions. On the instance
+//!   side, a coordinator connection that dies leaving prepared branches
+//!   behind triggers the same rule (see `server.rs`): the branches roll
+//!   back, locks release, and the instance stays serviceable.
+//!
+//! The coordinator's forced decision log lives in the coordinator process
+//! ([`Deployment::decided`]); `islands_dtxn::recovery` holds the rule a
+//! restarted participant applies against it, tested in that crate. What
+//! this module adds is the *live* half: no process exits with in-doubt
+//! transactions still holding locks, which the instance processes verify
+//! themselves at drain (nonzero exit + `in_doubt` count in their final
+//! stats line).
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use islands_core::native::{PartitionConfig, PartitionEngine};
+use islands_dtxn::{Action, Coordinator, Vote};
+use islands_hwtopo::{place_instances, CoreId, HostTopology, IslandOrSpread};
+use islands_workload::{TxnBranch, TxnRequest};
+
+use crate::client::Client;
+use crate::server::{Backend, Endpoint, Server, ServerConfig};
+use crate::wire::{Reply, Request};
+
+/// First argument that turns a host binary into an instance child (see
+/// [`run_instance_child_if_requested`]).
+pub const INSTANCE_CHILD_FLAG: &str = "--instance-child";
+
+/// How instance processes are started.
+#[derive(Debug, Clone)]
+pub enum SpawnMode {
+    /// Re-execute the current binary with [`INSTANCE_CHILD_FLAG`]; the host
+    /// binary must call [`run_instance_child_if_requested`] first thing in
+    /// `main`. One binary, zero path discovery.
+    SelfExec,
+    /// Run this binary (e.g. a built `islands-instance`). It is passed
+    /// [`INSTANCE_CHILD_FLAG`] too, so the same arg parser serves both.
+    Binary(PathBuf),
+}
+
+/// Where the deployment's endpoints live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Unix domain sockets in [`DeployConfig::socket_dir`].
+    Uds,
+    /// Loopback TCP on ephemeral ports.
+    Tcp,
+}
+
+/// Configuration for a multi-process deployment.
+#[derive(Debug, Clone)]
+pub struct DeployConfig {
+    /// Number of instance processes (1 = "1ISL", machine-count = islands,
+    /// core-count = fine-grained).
+    pub instances: usize,
+    pub transport: Transport,
+    /// Total rows, range-partitioned evenly across instances.
+    pub total_rows: u64,
+    /// Payload bytes per row.
+    pub row_size: usize,
+    /// Server-side retry budget for local submissions, and the
+    /// coordinator's retry budget for multisite 2PC aborts.
+    pub retry_limit: u32,
+    /// Per-instance lock wait budget (also breaks distributed deadlocks).
+    pub lock_timeout: Duration,
+    /// Run instances without locking (only sound for one client).
+    pub single_threaded: bool,
+    /// Pin instance processes to island core sets via `taskset`.
+    pub pin: bool,
+    pub spawn: SpawnMode,
+    /// How long the coordinator waits for a vote or ack before presuming
+    /// the participant failed. Must comfortably exceed `lock_timeout`.
+    pub vote_timeout: Duration,
+    /// Directory for UDS socket files (default: the OS temp dir).
+    pub socket_dir: Option<PathBuf>,
+}
+
+impl Default for DeployConfig {
+    fn default() -> Self {
+        DeployConfig {
+            instances: 4,
+            transport: Transport::Uds,
+            total_rows: 40_000,
+            row_size: 64,
+            retry_limit: 64,
+            lock_timeout: Duration::from_millis(200),
+            single_threaded: false,
+            pin: true,
+            spawn: SpawnMode::SelfExec,
+            vote_timeout: Duration::from_secs(5),
+            socket_dir: None,
+        }
+    }
+}
+
+/// Key range `[lo, hi)` of instance `i` among `n` over `rows` (the same
+/// arithmetic as the generator's logical sites).
+fn range_of(i: usize, n: usize, rows: u64) -> (u64, u64) {
+    let per = rows / n as u64;
+    let lo = i as u64 * per;
+    let hi = if i + 1 == n { rows } else { lo + per };
+    (lo, hi)
+}
+
+/// The instance owning `key` under the even range partitioning of
+/// [`range_of`] (single source of truth for ownership arithmetic).
+fn owner_of(key: u64, instances: usize, total_rows: u64) -> usize {
+    let per = (total_rows / instances as u64).max(1);
+    ((key / per) as usize).min(instances - 1)
+}
+
+/// Split a multisite request into per-instance branches, preserving key
+/// order within each branch. Returns `(participants-in-first-touch-order,
+/// branch-per-participant)`.
+pub fn split_by_owner(
+    req: &TxnRequest,
+    instances: usize,
+    total_rows: u64,
+) -> (Vec<usize>, HashMap<usize, TxnRequest>) {
+    let mut order = Vec::new();
+    let mut branches: HashMap<usize, TxnRequest> = HashMap::new();
+    for &key in &req.keys {
+        let owner = owner_of(key, instances, total_rows);
+        let branch = branches.entry(owner).or_insert_with(|| {
+            order.push(owner);
+            TxnRequest {
+                kind: req.kind,
+                keys: Vec::new(),
+                multisite: true,
+            }
+        });
+        branch.keys.push(key);
+    }
+    (order, branches)
+}
+
+/// Final counters one instance printed at drain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstanceStats {
+    pub commits: u64,
+    pub aborts: u64,
+    pub errors: u64,
+    pub prepares: u64,
+    pub decisions: u64,
+    pub presumed_aborts: u64,
+    pub in_doubt: u64,
+}
+
+fn parse_stats(line: &str) -> Option<InstanceStats> {
+    let rest = line.strip_prefix("STATS ")?;
+    let mut s = InstanceStats::default();
+    for pair in rest.split_whitespace() {
+        let (k, v) = pair.split_once('=')?;
+        let v: u64 = v.parse().ok()?;
+        match k {
+            "commits" => s.commits = v,
+            "aborts" => s.aborts = v,
+            "errors" => s.errors = v,
+            "prepares" => s.prepares = v,
+            "decisions" => s.decisions = v,
+            "presumed_aborts" => s.presumed_aborts = v,
+            "in_doubt" => s.in_doubt = v,
+            _ => return None,
+        }
+    }
+    Some(s)
+}
+
+fn format_stats(s: &crate::server::ServerStats) -> String {
+    format!(
+        "STATS commits={} aborts={} errors={} prepares={} decisions={} \
+         presumed_aborts={} in_doubt={}",
+        s.commits, s.aborts, s.errors, s.prepares, s.decisions, s.presumed_aborts, s.in_doubt,
+    )
+}
+
+/// How one instance process ended.
+#[derive(Debug)]
+pub struct InstanceExit {
+    pub index: usize,
+    /// Drained on request, exited zero, and reported zero in-doubt
+    /// transactions.
+    pub clean: bool,
+    /// Final counters, when the instance lived long enough to print them.
+    pub stats: Option<InstanceStats>,
+    /// Human-readable detail for unclean exits.
+    pub detail: String,
+}
+
+struct Member {
+    endpoint: Endpoint,
+    range: (u64, u64),
+    cpus: Option<String>,
+    child: Mutex<Child>,
+    stdout: Mutex<BufReader<ChildStdout>>,
+}
+
+/// A running multi-process deployment. Dropping it kills every child that
+/// [`shutdown`](Self::shutdown) has not already reaped.
+pub struct Deployment {
+    members: Vec<Member>,
+    total_rows: u64,
+    retry_limit: u32,
+    vote_timeout: Duration,
+    /// Reply deadline for plain submissions: unlike a vote (one execution
+    /// attempt), a submit may legitimately burn the instance's whole
+    /// retry × lock-wait budget before answering, so "wedged" starts after
+    /// that budget plus the vote timeout.
+    submit_timeout: Duration,
+    pinned: bool,
+    next_gtid: AtomicU64,
+    /// Coordinator-observed presumed aborts (participant unreachable or
+    /// timed out mid-protocol).
+    presumed_aborts: AtomicU64,
+    /// The coordinator's forced decision log: gtid → commit. Presumed abort
+    /// forces commits only, so this holds every committed gtid and nothing
+    /// else (an in-memory stand-in for the coordinator's log device;
+    /// `islands_dtxn::recovery::resolve_in_doubt` is the rule participants
+    /// apply against it).
+    decided: Mutex<HashMap<u64, bool>>,
+}
+
+impl Deployment {
+    /// Spawn `cfg.instances` pinned instance processes and wait for each to
+    /// report readiness. On any failure the already-spawned children are
+    /// killed before the error returns.
+    pub fn spawn(cfg: &DeployConfig) -> io::Result<Deployment> {
+        assert!(cfg.instances >= 1, "a deployment needs instances");
+        assert!(
+            cfg.total_rows >= cfg.instances as u64,
+            "fewer rows than instances"
+        );
+        let exe = match &cfg.spawn {
+            SpawnMode::SelfExec => std::env::current_exe()?,
+            SpawnMode::Binary(p) => p.clone(),
+        };
+        // Pinning needs both the request and the tool; when either is
+        // missing, report no cpu sets at all rather than a plan that was
+        // never applied.
+        let taskset = cfg.pin && taskset_available();
+        let pins = if taskset {
+            island_pin_sets(cfg.instances)
+        } else {
+            vec![None; cfg.instances]
+        };
+        let socket_dir = cfg.socket_dir.clone().unwrap_or_else(std::env::temp_dir);
+        // Socket names carry a per-process sequence number on top of the
+        // pid: concurrent Deployments in one process (parallel tests) must
+        // not race for the same paths.
+        static DEPLOY_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = DEPLOY_SEQ.fetch_add(1, Ordering::Relaxed);
+
+        let mut spawned: Vec<Member> = Vec::new();
+        let spawn_one = |i: usize| -> io::Result<Member> {
+            let range = range_of(i, cfg.instances, cfg.total_rows);
+            let endpoint_spec = match cfg.transport {
+                Transport::Uds => format!(
+                    "uds:{}",
+                    socket_dir
+                        .join(format!(
+                            "islands-inst-{}-{seq}-{i}.sock",
+                            std::process::id()
+                        ))
+                        .display()
+                ),
+                Transport::Tcp => "tcp:127.0.0.1:0".to_string(),
+            };
+            let mut cmd = match (taskset, &pins[i]) {
+                (true, Some(cpus)) => {
+                    let mut c = Command::new("taskset");
+                    c.arg("-c").arg(cpus).arg(&exe);
+                    c
+                }
+                _ => Command::new(&exe),
+            };
+            cmd.arg(INSTANCE_CHILD_FLAG)
+                .args(["--endpoint", &endpoint_spec])
+                .args(["--lo", &range.0.to_string()])
+                .args(["--hi", &range.1.to_string()])
+                .args(["--row-size", &cfg.row_size.to_string()])
+                .args(["--retry-limit", &cfg.retry_limit.to_string()])
+                .args(["--lock-ms", &cfg.lock_timeout.as_millis().to_string()])
+                .stdin(Stdio::null())
+                .stdout(Stdio::piped());
+            if cfg.single_threaded {
+                cmd.arg("--single-threaded");
+            }
+            let mut child = cmd.spawn()?;
+            let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+            Ok(Member {
+                endpoint: Endpoint::Uds(PathBuf::new()), // patched after READY
+                range,
+                cpus: pins[i].clone(),
+                child: Mutex::new(child),
+                stdout: Mutex::new(stdout),
+            })
+        };
+
+        for i in 0..cfg.instances {
+            match spawn_one(i) {
+                Ok(m) => spawned.push(m),
+                Err(e) => {
+                    for m in &spawned {
+                        let mut c = m.child.lock().expect("child lock");
+                        let _ = c.kill();
+                        let _ = c.wait();
+                    }
+                    return Err(io::Error::other(format!("spawn instance {i}: {e}")));
+                }
+            }
+        }
+
+        // Collect READY lines (children bind and load in parallel above).
+        let mut members = Vec::with_capacity(spawned.len());
+        let mut failure: Option<String> = None;
+        for (i, mut member) in spawned.drain(..).enumerate() {
+            if failure.is_none() {
+                match read_ready_line(&member) {
+                    Ok(endpoint) => {
+                        member.endpoint = endpoint;
+                        members.push(member);
+                        continue;
+                    }
+                    Err(e) => failure = Some(format!("instance {i} never became ready: {e}")),
+                }
+            }
+            let mut c = member.child.lock().expect("child lock");
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        if let Some(msg) = failure {
+            for m in &members {
+                let mut c = m.child.lock().expect("child lock");
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+            return Err(io::Error::other(msg));
+        }
+        Ok(Deployment {
+            members,
+            total_rows: cfg.total_rows,
+            retry_limit: cfg.retry_limit,
+            vote_timeout: cfg.vote_timeout,
+            submit_timeout: cfg.vote_timeout + cfg.lock_timeout * (cfg.retry_limit + 1),
+            pinned: taskset,
+            next_gtid: AtomicU64::new(1),
+            presumed_aborts: AtomicU64::new(0),
+            decided: Mutex::new(HashMap::new()),
+        })
+    }
+
+    pub fn instances(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn total_rows(&self) -> u64 {
+        self.total_rows
+    }
+
+    /// Whether children were actually wrapped in `taskset`.
+    pub fn pinned(&self) -> bool {
+        self.pinned
+    }
+
+    /// The cpu list instance `i` was pinned to, if any.
+    pub fn cpus_of(&self, i: usize) -> Option<&str> {
+        self.members[i].cpus.as_deref()
+    }
+
+    /// The endpoint instance `i` listens on.
+    pub fn endpoint(&self, i: usize) -> &Endpoint {
+        &self.members[i].endpoint
+    }
+
+    /// The key range instance `i` owns.
+    pub fn range(&self, i: usize) -> (u64, u64) {
+        self.members[i].range
+    }
+
+    /// The instance owning `key`.
+    pub fn owner_of(&self, key: u64) -> usize {
+        owner_of(key, self.members.len(), self.total_rows)
+    }
+
+    fn next_gtid(&self) -> u64 {
+        self.next_gtid.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Coordinator-observed presumed aborts so far.
+    pub fn presumed_aborts(&self) -> u64 {
+        self.presumed_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Number of commit decisions forced to the coordinator log.
+    pub fn decided_commits(&self) -> u64 {
+        self.decided.lock().expect("decision log lock").len() as u64
+    }
+
+    /// Open one coordinator connection set (one socket per instance).
+    /// Each client thread should hold its own.
+    pub fn client(self: &Arc<Self>) -> io::Result<DeployClient> {
+        let mut conns = Vec::with_capacity(self.members.len());
+        for m in &self.members {
+            conns.push(Some(Client::connect_with_retry(
+                &m.endpoint,
+                Duration::from_secs(2),
+            )?));
+        }
+        Ok(DeployClient {
+            deploy: Arc::clone(self),
+            conns,
+        })
+    }
+
+    /// Test hook: SIGKILL instance `i` (no drain, no cleanup) to exercise
+    /// the presumed-abort paths.
+    pub fn kill_instance(&self, i: usize) -> io::Result<()> {
+        let mut child = self.members[i].child.lock().expect("child lock");
+        child.kill()?;
+        child.wait()?;
+        Ok(())
+    }
+
+    /// Drain every instance, wait for the processes to exit, and report how
+    /// each ended. An instance is `clean` iff it acknowledged the drain,
+    /// exited zero, and reported zero in-doubt transactions.
+    pub fn shutdown(mut self) -> Vec<InstanceExit> {
+        let members = std::mem::take(&mut self.members);
+        let mut reports = Vec::with_capacity(members.len());
+        for (i, member) in members.into_iter().enumerate() {
+            let mut detail = String::new();
+            let drained = match Client::connect(&member.endpoint).and_then(|mut c| c.drain_server())
+            {
+                Ok(()) => true,
+                Err(e) => {
+                    detail = format!("drain failed: {e}");
+                    false
+                }
+            };
+            let mut child = member.child.into_inner().expect("child lock");
+            let status = match wait_with_timeout(&mut child, Duration::from_secs(10)) {
+                Ok(status) => Some(status),
+                Err(e) => {
+                    detail = format!("{detail}; wait failed: {e}");
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    None
+                }
+            };
+            // The child has exited (or been killed): its stdout is at EOF,
+            // so scan the remaining lines for the final STATS record.
+            let mut stats = None;
+            let mut stdout = member.stdout.into_inner().expect("stdout lock");
+            let mut line = String::new();
+            while let Ok(n) = stdout.read_line(&mut line) {
+                if n == 0 {
+                    break;
+                }
+                if let Some(s) = parse_stats(line.trim_end()) {
+                    stats = Some(s);
+                }
+                line.clear();
+            }
+            let exited_zero = status.map(|s| s.success()).unwrap_or(false);
+            let no_leak = stats.map(|s| s.in_doubt == 0).unwrap_or(false);
+            if !exited_zero {
+                detail = format!("{detail}; exit status {status:?}");
+            }
+            if stats.is_none() {
+                detail = format!("{detail}; no final STATS line");
+            } else if !no_leak {
+                detail = format!("{detail}; leaked in-doubt transactions");
+            }
+            // A cleanly drained child unlinks its own socket file; a killed
+            // one cannot, so the parent (which chose the path) sweeps up.
+            remove_uds_file(&member.endpoint);
+            reports.push(InstanceExit {
+                index: i,
+                clean: drained && exited_zero && no_leak,
+                stats,
+                detail: detail.trim_start_matches("; ").to_string(),
+            });
+        }
+        reports
+    }
+}
+
+impl Drop for Deployment {
+    fn drop(&mut self) {
+        // Anything shutdown() did not reap dies here: no orphan processes,
+        // no stale socket files.
+        for m in &self.members {
+            let mut c = m.child.lock().expect("child lock");
+            let _ = c.kill();
+            let _ = c.wait();
+            remove_uds_file(&m.endpoint);
+        }
+    }
+}
+
+fn remove_uds_file(endpoint: &Endpoint) {
+    if let Endpoint::Uds(path) = endpoint {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+fn wait_with_timeout(child: &mut Child, timeout: Duration) -> io::Result<std::process::ExitStatus> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(status) = child.try_wait()? {
+            return Ok(status);
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "instance did not exit after drain",
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn read_ready_line(member: &Member) -> io::Result<Endpoint> {
+    let mut stdout = member.stdout.lock().expect("stdout lock");
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if stdout.read_line(&mut line)? == 0 {
+            let status = member
+                .child
+                .lock()
+                .expect("child lock")
+                .try_wait()?
+                .map(|s| format!("exited {s}"))
+                .unwrap_or_else(|| "stdout closed".into());
+            return Err(io::Error::other(status));
+        }
+        if let Some(spec) = line.trim_end().strip_prefix("READY ") {
+            return Endpoint::parse(spec).map_err(io::Error::other);
+        }
+    }
+}
+
+fn taskset_available() -> bool {
+    Command::new("taskset")
+        .arg("-V")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false)
+}
+
+/// Island-style cpu lists for `n` instances on the detected host: with at
+/// least one core per instance, contiguous socket-major chunks (the paper's
+/// island placement); with more instances than cores (fine-grained on a
+/// small box), instances share cores round-robin.
+fn island_pin_sets(n: usize) -> Vec<Option<String>> {
+    let topo = HostTopology::detect();
+    let cores = topo.machine.total_cores() as usize;
+    if cores >= n {
+        let per = cores / n;
+        let active: Vec<CoreId> = (0..(per * n) as u16).map(CoreId).collect();
+        place_instances(&topo.machine, &active, n, IslandOrSpread::Islands)
+            .iter()
+            .map(|p| Some(topo.cpu_list(p)))
+            .collect()
+    } else {
+        (0..n)
+            .map(|i| Some(topo.os_cpu(CoreId((i % cores) as u16)).to_string()))
+            .collect()
+    }
+}
+
+/// Outcome of one request submitted through a [`DeployClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeployOutcome {
+    pub committed: bool,
+    /// Whether the request ran wire-level 2PC across instances.
+    pub distributed: bool,
+    /// Coordinator-side retry rounds (2PC aborts re-attempted).
+    pub retries: u32,
+    /// The abort was presumed after a participant failure rather than
+    /// decided by votes.
+    pub presumed_abort: bool,
+}
+
+/// What came back for one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployReply {
+    Outcome(DeployOutcome),
+    /// A participant rejected the request as malformed/unsatisfiable.
+    ServerError(String),
+    /// The single owning instance is unreachable.
+    InstanceDown(usize),
+}
+
+enum TwoPc {
+    Commit,
+    Abort,
+    PresumedAbort,
+    Error(String),
+}
+
+/// One coordinator: a connection to every instance plus the 2PC driver.
+pub struct DeployClient {
+    deploy: Arc<Deployment>,
+    conns: Vec<Option<Client>>,
+}
+
+impl DeployClient {
+    fn conn(&mut self, i: usize) -> io::Result<&mut Client> {
+        if self.conns[i].is_none() {
+            // One reconnect attempt; a dead instance fails fast here.
+            self.conns[i] = Some(Client::connect(self.deploy.endpoint(i))?);
+        }
+        Ok(self.conns[i].as_mut().expect("just connected"))
+    }
+
+    fn mark_dead(&mut self, i: usize) {
+        self.conns[i] = None;
+    }
+
+    /// Route one request: single-site requests go straight to the owner,
+    /// multisite requests run wire-level 2PC with this client as
+    /// coordinator.
+    pub fn submit(&mut self, req: &TxnRequest) -> io::Result<DeployReply> {
+        let n = self.deploy.instances();
+        let (order, branches) = split_by_owner(req, n, self.deploy.total_rows());
+        if order.len() <= 1 {
+            let target = order.first().copied().unwrap_or(0);
+            return self.submit_single(target, req);
+        }
+
+        let mut retries = 0u32;
+        loop {
+            match self.try_2pc(&order, &branches)? {
+                TwoPc::Commit => {
+                    return Ok(DeployReply::Outcome(DeployOutcome {
+                        committed: true,
+                        distributed: true,
+                        retries,
+                        presumed_abort: false,
+                    }))
+                }
+                TwoPc::Abort => {
+                    if retries >= self.deploy.retry_limit {
+                        return Ok(DeployReply::Outcome(DeployOutcome {
+                            committed: false,
+                            distributed: true,
+                            retries,
+                            presumed_abort: false,
+                        }));
+                    }
+                    retries += 1;
+                    std::thread::yield_now();
+                }
+                TwoPc::PresumedAbort => {
+                    self.deploy.presumed_aborts.fetch_add(1, Ordering::Relaxed);
+                    return Ok(DeployReply::Outcome(DeployOutcome {
+                        committed: false,
+                        distributed: true,
+                        retries,
+                        presumed_abort: true,
+                    }));
+                }
+                TwoPc::Error(message) => return Ok(DeployReply::ServerError(message)),
+            }
+        }
+    }
+
+    fn submit_single(&mut self, target: usize, req: &TxnRequest) -> io::Result<DeployReply> {
+        let Ok(conn) = self.conn(target) else {
+            return Ok(DeployReply::InstanceDown(target));
+        };
+        if conn.send_request(&Request::Submit(req.clone())).is_err() {
+            self.mark_dead(target);
+            return Ok(DeployReply::InstanceDown(target));
+        }
+        let deadline = self.deploy.submit_timeout;
+        match self.recv_deadline(target, deadline) {
+            Ok(Reply::Committed {
+                distributed,
+                retries,
+                ..
+            }) => Ok(DeployReply::Outcome(DeployOutcome {
+                committed: true,
+                distributed,
+                retries,
+                presumed_abort: false,
+            })),
+            Ok(Reply::Aborted { retries }) => Ok(DeployReply::Outcome(DeployOutcome {
+                committed: false,
+                distributed: false,
+                retries,
+                presumed_abort: false,
+            })),
+            Ok(Reply::Error { message }) => Ok(DeployReply::ServerError(message)),
+            Ok(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply to submit: {other:?}"),
+            )),
+            Err(_) => {
+                self.mark_dead(target);
+                Ok(DeployReply::InstanceDown(target))
+            }
+        }
+    }
+
+    /// Read a reply with the vote/ack deadline armed; any failure poisons
+    /// the connection (a timed-out reply would desynchronize the stream).
+    fn recv_timed(&mut self, i: usize) -> io::Result<Reply> {
+        self.recv_deadline(i, self.deploy.vote_timeout)
+    }
+
+    fn recv_deadline(&mut self, i: usize, timeout: Duration) -> io::Result<Reply> {
+        let conn = self.conns[i]
+            .as_mut()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "participant dead"))?;
+        conn.set_read_timeout(Some(timeout))?;
+        let reply = conn.recv_reply();
+        if reply.is_ok() {
+            conn.set_read_timeout(None)?;
+        }
+        reply
+    }
+
+    /// One round of wire-level 2PC for `gtid`'s branches.
+    fn try_2pc(
+        &mut self,
+        parts: &[usize],
+        branches: &HashMap<usize, TxnRequest>,
+    ) -> io::Result<TwoPc> {
+        let gtid = self.deploy.next_gtid();
+        let (mut coord, prepares) = Coordinator::new(gtid, parts.to_vec());
+
+        // Phase 1 fan-out, exactly as the state machine instructs.
+        let mut sent: Vec<usize> = Vec::new();
+        let mut unreachable: Vec<usize> = Vec::new();
+        for action in prepares {
+            let Action::SendPrepare { to } = action else {
+                unreachable!("prepare fan-out yields only SendPrepare");
+            };
+            if unreachable.is_empty() {
+                let frame = Request::Prepare(TxnBranch {
+                    gtid,
+                    req: branches[&to].clone(),
+                });
+                match self.conn(to).and_then(|c| c.send_request(&frame)) {
+                    Ok(()) => {
+                        sent.push(to);
+                        continue;
+                    }
+                    Err(_) => self.mark_dead(to),
+                }
+            }
+            // After the first unreachable participant the transaction is
+            // doomed; don't spend prepares on the rest.
+            unreachable.push(to);
+        }
+
+        // Collect votes from everyone actually prepared.
+        let mut votes: Vec<(usize, Vote)> = Vec::new();
+        let mut failed: Vec<usize> = unreachable;
+        let mut server_error: Option<String> = None;
+        for &p in &sent {
+            match self.recv_timed(p) {
+                Ok(Reply::Vote { gtid: g, vote }) if g == gtid => votes.push((p, vote)),
+                Ok(Reply::Error { message }) => {
+                    // Misrouted/malformed branch: the participant rolled
+                    // nothing back and holds nothing; treat as a No vote and
+                    // surface the message.
+                    server_error.get_or_insert(message);
+                    votes.push((p, Vote::No));
+                }
+                Ok(_) | Err(_) => {
+                    self.mark_dead(p);
+                    failed.push(p);
+                }
+            }
+        }
+
+        // Drive the state machine: votes first, then failures; carry out
+        // every action it emits. Decisions are sent immediately; their acks
+        // are collected afterwards (phase 2 is pipelined like phase 1).
+        let mut ack_wait: Vec<usize> = Vec::new();
+        let mut outcome: Option<bool> = None;
+        let process = |client: &mut Self,
+                       coord: &mut Coordinator,
+                       actions: Vec<Action>,
+                       ack_wait: &mut Vec<usize>,
+                       outcome: &mut Option<bool>| {
+            // FIFO: ForceCommitDecision must hit the log before any
+            // decision message leaves.
+            let mut queue: std::collections::VecDeque<Action> = actions.into();
+            while let Some(action) = queue.pop_front() {
+                match action {
+                    Action::SendPrepare { .. } => unreachable!("prepares already sent"),
+                    Action::ForceCommitDecision { gtid } => {
+                        client
+                            .deploy
+                            .decided
+                            .lock()
+                            .expect("decision log lock")
+                            .insert(gtid, true);
+                    }
+                    Action::SendDecision { to, commit } => {
+                        let frame = Request::Decision { gtid, commit };
+                        match client.conn(to).and_then(|c| c.send_request(&frame)) {
+                            Ok(()) => ack_wait.push(to),
+                            Err(_) => {
+                                client.mark_dead(to);
+                                queue.extend(coord.on_participant_failure(to));
+                            }
+                        }
+                    }
+                    Action::Finish { commit } => *outcome = Some(commit),
+                }
+            }
+        };
+        for (p, vote) in votes {
+            let actions = coord.on_vote(p, vote);
+            process(self, &mut coord, actions, &mut ack_wait, &mut outcome);
+        }
+        let any_failure = !failed.is_empty();
+        for p in failed {
+            let actions = coord.on_participant_failure(p);
+            process(self, &mut coord, actions, &mut ack_wait, &mut outcome);
+        }
+
+        // Phase 2 ack collection.
+        let mut ack_failure = false;
+        for to in ack_wait.clone() {
+            match self.recv_timed(to) {
+                Ok(Reply::Ack { gtid: g }) if g == gtid => {
+                    let actions = coord.on_ack(to);
+                    process(self, &mut coord, actions, &mut Vec::new(), &mut outcome);
+                }
+                _ => {
+                    self.mark_dead(to);
+                    ack_failure = true;
+                    let actions = coord.on_participant_failure(to);
+                    process(self, &mut coord, actions, &mut Vec::new(), &mut outcome);
+                }
+            }
+        }
+
+        match outcome {
+            // A forced commit stays a commit even if an ack never arrived:
+            // the decision record is what counts (the participant resolves
+            // itself from it on recovery).
+            Some(true) => Ok(TwoPc::Commit),
+            Some(false) => {
+                if let Some(message) = server_error {
+                    Ok(TwoPc::Error(message))
+                } else if any_failure || ack_failure {
+                    Ok(TwoPc::PresumedAbort)
+                } else {
+                    Ok(TwoPc::Abort)
+                }
+            }
+            None => Err(io::Error::other("2PC finished without an outcome")),
+        }
+    }
+}
+
+/// Instance-child entry point: call this first thing in any binary that may
+/// serve as a [`SpawnMode::SelfExec`] host. When the process was started
+/// with [`INSTANCE_CHILD_FLAG`], it runs the instance server to completion
+/// and exits; otherwise it returns immediately.
+pub fn run_instance_child_if_requested() {
+    let mut args = std::env::args().skip(1);
+    if args.next().as_deref() == Some(INSTANCE_CHILD_FLAG) {
+        std::process::exit(instance_child_main(args.collect()));
+    }
+}
+
+/// Run one instance process from parsed-out child arguments; returns the
+/// process exit code (0 clean, 2 = in-doubt leak, 1 = setup failure).
+pub fn instance_child_main(args: Vec<String>) -> i32 {
+    match run_instance(&args) {
+        Ok(false) => 0,
+        Ok(true) => {
+            eprintln!("islands-instance: drained with in-doubt transactions leaked");
+            2
+        }
+        Err(e) => {
+            eprintln!("islands-instance: {e}");
+            1
+        }
+    }
+}
+
+fn run_instance(args: &[String]) -> io::Result<bool> {
+    let mut endpoint: Option<Endpoint> = None;
+    let mut lo = 0u64;
+    let mut hi = 0u64;
+    let mut row_size = 64usize;
+    let mut retry_limit = 64u32;
+    let mut lock_ms = 200u64;
+    let mut single_threaded = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| io::Error::other(format!("{name} requires a value")))
+        };
+        let parse_err = |name: &str, v: &str| io::Error::other(format!("bad {name}: {v}"));
+        match flag.as_str() {
+            "--endpoint" => {
+                let v = value("--endpoint")?;
+                endpoint = Some(Endpoint::parse(v).map_err(io::Error::other)?);
+            }
+            "--lo" => {
+                let v = value("--lo")?;
+                lo = v.parse().map_err(|_| parse_err("--lo", v))?;
+            }
+            "--hi" => {
+                let v = value("--hi")?;
+                hi = v.parse().map_err(|_| parse_err("--hi", v))?;
+            }
+            "--row-size" => {
+                let v = value("--row-size")?;
+                row_size = v.parse().map_err(|_| parse_err("--row-size", v))?;
+            }
+            "--retry-limit" => {
+                let v = value("--retry-limit")?;
+                retry_limit = v.parse().map_err(|_| parse_err("--retry-limit", v))?;
+            }
+            "--lock-ms" => {
+                let v = value("--lock-ms")?;
+                lock_ms = v.parse().map_err(|_| parse_err("--lock-ms", v))?;
+            }
+            "--single-threaded" => single_threaded = true,
+            other => return Err(io::Error::other(format!("unknown instance flag {other}"))),
+        }
+    }
+    let endpoint = endpoint.ok_or_else(|| io::Error::other("--endpoint is required"))?;
+
+    let engine = PartitionEngine::build(&PartitionConfig {
+        lo,
+        hi,
+        row_size,
+        lock_timeout: Duration::from_millis(lock_ms),
+        single_threaded,
+        ..Default::default()
+    })
+    .map_err(|e| io::Error::other(format!("partition build failed: {e}")))?;
+    let handle = Server::spawn_backend(
+        Backend::Partition(Arc::new(engine)),
+        endpoint,
+        ServerConfig {
+            retry_limit,
+            ..Default::default()
+        },
+    )?;
+
+    // Readiness handshake: the parent parses this for the resolved endpoint
+    // (TCP port 0 becomes a real port here).
+    {
+        let mut out = io::stdout().lock();
+        writeln!(out, "READY {}", handle.endpoint())?;
+        out.flush()?;
+    }
+    let stats = handle.join()?;
+    let mut out = io::stdout().lock();
+    writeln!(out, "{}", format_stats(&stats))?;
+    out.flush()?;
+    Ok(stats.in_doubt != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islands_workload::OpKind;
+
+    #[test]
+    fn ranges_tile_the_keyspace() {
+        let n = 4;
+        let rows = 403; // deliberately not divisible
+        let mut covered = 0u64;
+        for i in 0..n {
+            let (lo, hi) = range_of(i, n, rows);
+            assert_eq!(lo, covered);
+            covered = hi;
+        }
+        assert_eq!(covered, rows);
+    }
+
+    #[test]
+    fn owner_of_agrees_with_range_of_for_every_key() {
+        for (n, rows) in [(1usize, 10u64), (4, 403), (7, 100), (3, 3)] {
+            for i in 0..n {
+                let (lo, hi) = range_of(i, n, rows);
+                for key in lo..hi {
+                    assert_eq!(
+                        owner_of(key, n, rows),
+                        i,
+                        "key {key} with {n} instances over {rows} rows"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_preserves_first_touch_order_and_key_order() {
+        let req = TxnRequest {
+            kind: OpKind::Update,
+            keys: vec![350, 10, 360, 120],
+            multisite: true,
+        };
+        let (order, branches) = split_by_owner(&req, 4, 400);
+        assert_eq!(order, vec![3, 0, 1]);
+        assert_eq!(branches[&3].keys, vec![350, 360]);
+        assert_eq!(branches[&0].keys, vec![10]);
+        assert_eq!(branches[&1].keys, vec![120]);
+        assert!(branches.values().all(|b| b.multisite));
+        assert!(branches.values().all(|b| b.kind == OpKind::Update));
+    }
+
+    #[test]
+    fn stats_line_round_trips() {
+        let stats = crate::server::ServerStats {
+            connections: 0,
+            requests: 0,
+            commits: 10,
+            aborts: 2,
+            errors: 1,
+            prepares: 7,
+            decisions: 6,
+            presumed_aborts: 1,
+            in_doubt: 0,
+        };
+        let parsed = parse_stats(&format_stats(&stats)).unwrap();
+        assert_eq!(
+            parsed,
+            InstanceStats {
+                commits: 10,
+                aborts: 2,
+                errors: 1,
+                prepares: 7,
+                decisions: 6,
+                presumed_aborts: 1,
+                in_doubt: 0,
+            }
+        );
+        assert_eq!(parse_stats("STATS commits=nope"), None);
+        assert_eq!(parse_stats("nonsense"), None);
+    }
+
+    #[test]
+    fn pin_sets_cover_every_instance() {
+        for n in [1, 2, 3, 8, 64] {
+            let pins = island_pin_sets(n);
+            assert_eq!(pins.len(), n);
+            assert!(pins
+                .iter()
+                .all(|p| p.as_deref().is_some_and(|s| !s.is_empty())));
+        }
+    }
+}

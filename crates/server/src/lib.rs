@@ -20,6 +20,12 @@
 //! * [`client`] — the blocking client library: single connections
 //!   ([`Client`](client::Client)), one-write pipelining, and a
 //!   checkout/checkin [`ClientPool`](client::ClientPool).
+//! * [`deploy`] — multi-process deployments: spawn one topology-pinned
+//!   server process per shared-nothing instance
+//!   ([`Deployment`](deploy::Deployment)), route single-site traffic to the
+//!   owner, and run presumed-abort two-phase commit across processes with
+//!   `Prepare`/`Vote`/`Decision`/`Ack` wire frames
+//!   ([`DeployClient`](deploy::DeployClient)).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -46,9 +52,14 @@
 //! ```
 
 pub mod client;
+pub mod deploy;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientPool, PooledClient};
-pub use server::{Endpoint, Server, ServerConfig, ServerHandle, ServerStats};
+pub use deploy::{
+    DeployClient, DeployConfig, DeployOutcome, DeployReply, Deployment, InstanceExit,
+    InstanceStats, SpawnMode, Transport,
+};
+pub use server::{Backend, Endpoint, Server, ServerConfig, ServerHandle, ServerStats};
 pub use wire::{FrameReader, Reply, Request, WireError, WireMessage, MAX_FRAME};

@@ -21,6 +21,7 @@
 //! [`ServerHandle::join`] returns the final counters once every thread is
 //! gone.
 
+use std::collections::HashMap;
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -29,7 +30,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use islands_core::native::NativeCluster;
+use islands_core::native::{BranchOutcome, NativeCluster, PartitionEngine, SubmitOutcome};
+use islands_dtxn::{Participant, ParticipantEvent, Vote};
+use islands_storage::{StorageError, TxnHandle};
+use islands_workload::TxnBranch;
 
 use crate::wire::{FrameReader, Reply, Request, WireMessage};
 
@@ -48,6 +52,24 @@ impl std::fmt::Display for Endpoint {
         match self {
             Endpoint::Uds(p) => write!(f, "uds:{}", p.display()),
             Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+impl Endpoint {
+    /// Parse the [`Display`](std::fmt::Display) form back: `uds:PATH` or
+    /// `tcp:HOST:PORT`. Deployment orchestrators round-trip endpoints
+    /// through child process command lines and `READY` hand-shake lines.
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(path) = s.strip_prefix("uds:") {
+            Ok(Endpoint::Uds(path.into()))
+        } else if let Some(addr) = s.strip_prefix("tcp:") {
+            Ok(Endpoint::Tcp(
+                addr.parse()
+                    .map_err(|e| format!("bad address {addr}: {e}"))?,
+            ))
+        } else {
+            Err(format!("endpoint must be uds:PATH or tcp:ADDR, got {s}"))
         }
     }
 }
@@ -78,6 +100,19 @@ impl Default for ServerConfig {
     }
 }
 
+/// What a server fronts: a whole in-process cluster, or one partition of a
+/// multi-process shared-nothing deployment.
+#[derive(Clone)]
+pub enum Backend {
+    /// The embeddable deployment: routing and 2PC happen inside this
+    /// process; the wire carries only submissions.
+    Cluster(Arc<NativeCluster>),
+    /// One shared-nothing instance. Local submissions commit here;
+    /// [`Request::Prepare`]/[`Request::Decision`] frames drive participant-
+    /// side 2PC, with presumed abort when a coordinator connection dies.
+    Partition(Arc<PartitionEngine>),
+}
+
 /// Monotonic counters, updated by sessions, readable any time.
 #[derive(Debug, Default)]
 struct Counters {
@@ -86,6 +121,11 @@ struct Counters {
     commits: AtomicU64,
     aborts: AtomicU64,
     errors: AtomicU64,
+    prepares: AtomicU64,
+    decisions: AtomicU64,
+    presumed_aborts: AtomicU64,
+    /// Gauge: prepared branches currently awaiting a decision.
+    in_doubt: AtomicU64,
 }
 
 /// Snapshot of a server's counters.
@@ -101,6 +141,17 @@ pub struct ServerStats {
     pub aborts: u64,
     /// Malformed or unsatisfiable requests answered with an error reply.
     pub errors: u64,
+    /// 2PC prepare frames processed (partition backends).
+    pub prepares: u64,
+    /// 2PC decision frames processed (partition backends).
+    pub decisions: u64,
+    /// In-doubt branches rolled back because their coordinator's connection
+    /// died without a decision (the presumed-abort rule, applied live).
+    pub presumed_aborts: u64,
+    /// Gauge: branches currently prepared and awaiting a decision. Must be
+    /// zero after a clean drain — anything else is a leaked in-doubt
+    /// transaction still holding locks.
+    pub in_doubt: u64,
 }
 
 enum Listener {
@@ -239,6 +290,15 @@ impl Server {
         endpoint: Endpoint,
         config: ServerConfig,
     ) -> io::Result<ServerHandle> {
+        Self::spawn_backend(Backend::Cluster(cluster), endpoint, config)
+    }
+
+    /// Bind `endpoint` and serve `backend` until drained.
+    pub fn spawn_backend(
+        backend: Backend,
+        endpoint: Endpoint,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
         let listener = Listener::bind(&endpoint)?;
         let resolved = listener.local_endpoint()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -249,7 +309,7 @@ impl Server {
             let config = config.clone();
             std::thread::Builder::new()
                 .name("islands-acceptor".into())
-                .spawn(move || accept_loop(listener, cluster, config, shutdown, counters))?
+                .spawn(move || accept_loop(listener, backend, config, shutdown, counters))?
         };
         Ok(ServerHandle {
             endpoint: resolved,
@@ -274,6 +334,10 @@ impl ServerHandle {
             commits: self.counters.commits.load(Ordering::Relaxed),
             aborts: self.counters.aborts.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
+            prepares: self.counters.prepares.load(Ordering::Relaxed),
+            decisions: self.counters.decisions.load(Ordering::Relaxed),
+            presumed_aborts: self.counters.presumed_aborts.load(Ordering::Relaxed),
+            in_doubt: self.counters.in_doubt.load(Ordering::Relaxed),
         }
     }
 
@@ -302,7 +366,7 @@ impl ServerHandle {
 
 fn accept_loop(
     listener: Listener,
-    cluster: Arc<NativeCluster>,
+    backend: Backend,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
     counters: Arc<Counters>,
@@ -312,7 +376,7 @@ fn accept_loop(
         match listener.accept() {
             Ok(conn) => {
                 counters.connections.fetch_add(1, Ordering::Relaxed);
-                let cluster = Arc::clone(&cluster);
+                let backend = backend.clone();
                 let config = config.clone();
                 let shutdown = Arc::clone(&shutdown);
                 let counters = Arc::clone(&counters);
@@ -321,7 +385,7 @@ fn accept_loop(
                         .name("islands-session".into())
                         .spawn(move || {
                             // Per-connection errors end that session only.
-                            let _ = session(conn, cluster, config, shutdown, counters);
+                            let _ = session(conn, backend, config, shutdown, counters);
                         })?,
                 );
             }
@@ -340,13 +404,44 @@ fn accept_loop(
     Ok(())
 }
 
+/// Prepared 2PC branches held by one session, keyed by gtid.
+///
+/// A branch's coordinator speaks on this session's connection, so the map is
+/// session-local: no cross-session locking, and the presumed-abort rule has
+/// a precise trigger — when the session ends (clean close, protocol error,
+/// drain) every branch still here is in-doubt with its coordinator gone,
+/// and is rolled back.
+type InDoubtBranches = HashMap<u64, (Participant, TxnHandle)>;
+
 /// Serve one connection until it closes, errors fatally, or a drain lands.
 fn session(
-    mut conn: Conn,
-    cluster: Arc<NativeCluster>,
+    conn: Conn,
+    backend: Backend,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
     counters: Arc<Counters>,
+) -> io::Result<()> {
+    let mut in_doubt = InDoubtBranches::new();
+    let result = session_loop(conn, &backend, &config, &shutdown, &counters, &mut in_doubt);
+    // Presumed abort: the coordinator's connection is gone without a
+    // decision, so absence of evidence is evidence of abort. Rolling the
+    // branches back releases their locks and keeps this instance
+    // serviceable for everyone else.
+    for (_, (_, handle)) in in_doubt.drain() {
+        let _ = handle.decide(false);
+        counters.presumed_aborts.fetch_add(1, Ordering::Relaxed);
+        counters.in_doubt.fetch_sub(1, Ordering::Relaxed);
+    }
+    result
+}
+
+fn session_loop(
+    mut conn: Conn,
+    backend: &Backend,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+    counters: &Counters,
+    in_doubt: &mut InDoubtBranches,
 ) -> io::Result<()> {
     let mut reader = FrameReader::new();
     let mut batch: Vec<Request> = Vec::new();
@@ -448,9 +543,29 @@ fn session(
                     drain_after_flush = true;
                     Reply::Draining.encode_frame(&mut out);
                 }
+                Request::Prepare(branch) => {
+                    counters.prepares.fetch_add(1, Ordering::Relaxed);
+                    let reply = handle_prepare(backend, branch, in_doubt, counters);
+                    if matches!(reply, Reply::Error { .. }) {
+                        counters.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    reply.encode_frame(&mut out);
+                }
+                Request::Decision { gtid, commit } => {
+                    counters.decisions.fetch_add(1, Ordering::Relaxed);
+                    let reply = handle_decision(backend, *gtid, *commit, in_doubt, counters);
+                    if matches!(reply, Reply::Error { .. }) {
+                        counters.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    reply.encode_frame(&mut out);
+                }
                 Request::Submit(txn) => {
                     let started = Instant::now();
-                    match cluster.submit(txn, config.retry_limit) {
+                    let outcome: Result<SubmitOutcome, StorageError> = match backend {
+                        Backend::Cluster(cluster) => cluster.submit(txn, config.retry_limit),
+                        Backend::Partition(engine) => engine.submit_local(txn, config.retry_limit),
+                    };
+                    match outcome {
                         Ok(outcome) => {
                             let reply = if outcome.committed {
                                 counters.commits.fetch_add(1, Ordering::Relaxed);
@@ -503,4 +618,120 @@ fn session(
         }
     }
     Ok(())
+}
+
+/// 2PC phase 1: execute the branch, force the prepare record, vote. The
+/// storage layer does the work; the [`Participant`] state machine enforces
+/// protocol order and rides along in the in-doubt map so phase 2 can only
+/// happen on a genuinely prepared branch.
+fn handle_prepare(
+    backend: &Backend,
+    branch: &TxnBranch,
+    in_doubt: &mut InDoubtBranches,
+    counters: &Counters,
+) -> Reply {
+    let Backend::Partition(engine) = backend else {
+        return Reply::Error {
+            message: "2PC prepare requires a partition instance backend".into(),
+        };
+    };
+    if in_doubt.contains_key(&branch.gtid) {
+        return Reply::Error {
+            message: format!(
+                "gtid {} is already prepared on this connection",
+                branch.gtid
+            ),
+        };
+    }
+    let mut participant = Participant::new(branch.gtid);
+    match engine.prepare_branch(branch.gtid, &branch.req) {
+        Ok(BranchOutcome::Prepared(handle)) => {
+            let ev = participant.on_prepare(true, true);
+            debug_assert!(matches!(
+                ev,
+                ParticipantEvent::ForcePrepareAndVote {
+                    vote: Vote::Yes,
+                    ..
+                }
+            ));
+            in_doubt.insert(branch.gtid, (participant, handle));
+            counters.in_doubt.fetch_add(1, Ordering::Relaxed);
+            Reply::Vote {
+                gtid: branch.gtid,
+                vote: Vote::Yes,
+            }
+        }
+        Ok(BranchOutcome::ReadOnly) => {
+            let ev = participant.on_prepare(false, true);
+            debug_assert!(matches!(
+                ev,
+                ParticipantEvent::SendVote {
+                    vote: Vote::ReadOnly,
+                    ..
+                }
+            ));
+            Reply::Vote {
+                gtid: branch.gtid,
+                vote: Vote::ReadOnly,
+            }
+        }
+        Ok(BranchOutcome::No) => {
+            let ev = participant.on_prepare(true, false);
+            debug_assert!(matches!(
+                ev,
+                ParticipantEvent::SendVote { vote: Vote::No, .. }
+            ));
+            Reply::Vote {
+                gtid: branch.gtid,
+                vote: Vote::No,
+            }
+        }
+        // Misrouted branch (key outside this partition): the coordinator
+        // has a routing bug; answer with the typed error instead of a vote.
+        Err(e) => Reply::Error {
+            message: e.to_string(),
+        },
+    }
+}
+
+/// 2PC phase 2: apply the coordinator's decision to the in-doubt branch.
+/// Abort decisions for unknown gtids are acknowledged — under presumed
+/// abort the branch may already have been rolled back (or never prepared
+/// here at all), and aborting nothing is the decreed outcome.
+fn handle_decision(
+    backend: &Backend,
+    gtid: u64,
+    commit: bool,
+    in_doubt: &mut InDoubtBranches,
+    counters: &Counters,
+) -> Reply {
+    if !matches!(backend, Backend::Partition(_)) {
+        return Reply::Error {
+            message: "2PC decision requires a partition instance backend".into(),
+        };
+    }
+    match in_doubt.remove(&gtid) {
+        Some((mut participant, handle)) => {
+            counters.in_doubt.fetch_sub(1, Ordering::Relaxed);
+            let ev = participant.on_decision(commit);
+            debug_assert!(matches!(ev, ParticipantEvent::ApplyDecisionAndAck { .. }));
+            match handle.decide(commit) {
+                Ok(()) => {
+                    if commit {
+                        counters.commits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        counters.aborts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Reply::Ack { gtid }
+                }
+                Err(e) => Reply::Error {
+                    message: format!("decision for gtid {gtid} failed: {e}"),
+                },
+            }
+        }
+        None if !commit => Reply::Ack { gtid },
+        None => Reply::Error {
+            message: format!("commit decision for unknown gtid {gtid}"),
+        },
+    }
 }

@@ -21,7 +21,8 @@
 
 use std::io::{self, Read};
 
-use islands_workload::{CodecError, TxnRequest};
+use islands_dtxn::Vote;
+use islands_workload::{CodecError, TxnBranch, TxnRequest};
 
 /// Largest accepted frame payload. Large enough for a request touching
 /// [`islands_workload::MAX_KEYS_PER_REQUEST`] rows with room to spare,
@@ -31,16 +32,44 @@ pub const MAX_FRAME: usize = 64 * 1024;
 /// Bytes in the frame length prefix.
 pub const FRAME_HEADER: usize = 4;
 
-// Request tags (client -> server).
+// Request tags (client -> server). 0x04/0x05 are the coordinator->participant
+// half of wire-level 2PC.
 const TAG_SUBMIT: u8 = 0x01;
 const TAG_PING: u8 = 0x02;
 const TAG_DRAIN: u8 = 0x03;
-// Reply tags (server -> client) have the high bit set.
+const TAG_PREPARE: u8 = 0x04;
+const TAG_DECISION: u8 = 0x05;
+// Reply tags (server -> client) have the high bit set. 0x86/0x87 are the
+// participant->coordinator half of wire-level 2PC.
 const TAG_COMMITTED: u8 = 0x81;
 const TAG_ABORTED: u8 = 0x82;
 const TAG_ERROR: u8 = 0x83;
 const TAG_PONG: u8 = 0x84;
 const TAG_DRAINING: u8 = 0x85;
+const TAG_VOTE: u8 = 0x86;
+const TAG_ACK: u8 = 0x87;
+
+// Vote bytes inside a TAG_VOTE body.
+const VOTE_YES: u8 = 0;
+const VOTE_NO: u8 = 1;
+const VOTE_READ_ONLY: u8 = 2;
+
+fn vote_to_byte(v: Vote) -> u8 {
+    match v {
+        Vote::Yes => VOTE_YES,
+        Vote::No => VOTE_NO,
+        Vote::ReadOnly => VOTE_READ_ONLY,
+    }
+}
+
+fn vote_from_byte(b: u8) -> Option<Vote> {
+    match b {
+        VOTE_YES => Some(Vote::Yes),
+        VOTE_NO => Some(Vote::No),
+        VOTE_READ_ONLY => Some(Vote::ReadOnly),
+        _ => None,
+    }
+}
 
 /// Everything that can go wrong between bytes and messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,7 +120,9 @@ impl From<WireError> for io::Error {
     }
 }
 
-/// Client → server message.
+/// Client → server message. `Prepare` and `Decision` are spoken by a 2PC
+/// coordinator to a participant instance; a server fronting a whole cluster
+/// answers them with [`Reply::Error`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Run this transaction to completion and report the outcome.
@@ -101,6 +132,21 @@ pub enum Request {
     /// Ask the server to stop accepting connections and shut down once
     /// in-flight work has drained.
     Drain,
+    /// 2PC phase 1: execute this branch, force the prepare record, and
+    /// answer with [`Reply::Vote`]. A Yes-voting participant holds the
+    /// branch in-doubt (locks included) until the decision arrives or the
+    /// connection dies (presumed abort).
+    Prepare(TxnBranch),
+    /// 2PC phase 2: apply the coordinator's decision to the in-doubt branch
+    /// and answer with [`Reply::Ack`]. An abort for an unknown gtid is
+    /// acknowledged silently (presumed abort made it a no-op); a commit for
+    /// an unknown gtid is a protocol error.
+    Decision {
+        /// Global transaction id the decision is for.
+        gtid: u64,
+        /// True to commit the prepared branch, false to roll it back.
+        commit: bool,
+    },
 }
 
 /// Server → client message.
@@ -123,6 +169,20 @@ pub enum Reply {
     Pong,
     /// Answer to [`Request::Drain`]: shutdown is underway.
     Draining,
+    /// Answer to [`Request::Prepare`]: the participant's phase-1 vote.
+    Vote {
+        /// Global transaction id the vote is for.
+        gtid: u64,
+        /// Yes (prepared, in-doubt), No (rolled back), or ReadOnly
+        /// (released, skip phase 2).
+        vote: Vote,
+    },
+    /// Answer to [`Request::Decision`]: the decision was applied (or was a
+    /// presumed-abort no-op).
+    Ack {
+        /// Global transaction id the ack is for.
+        gtid: u64,
+    },
 }
 
 /// Messages that can be framed and unframed.
@@ -174,6 +234,15 @@ impl WireMessage for Request {
             }
             Request::Ping => buf.push(TAG_PING),
             Request::Drain => buf.push(TAG_DRAIN),
+            Request::Prepare(branch) => {
+                buf.push(TAG_PREPARE);
+                branch.encode_into(buf);
+            }
+            Request::Decision { gtid, commit } => {
+                buf.push(TAG_DECISION);
+                buf.extend_from_slice(&gtid.to_le_bytes());
+                buf.push(*commit as u8);
+            }
         }
     }
 
@@ -192,6 +261,29 @@ impl WireMessage for Request {
             TAG_DRAIN => {
                 exactly(tag, body, 0)?;
                 Ok(Request::Drain)
+            }
+            TAG_PREPARE => {
+                let (branch, used) = TxnBranch::decode_from(body)?;
+                exactly(tag, body, used)?;
+                Ok(Request::Prepare(branch))
+            }
+            TAG_DECISION => {
+                exactly(tag, body, 9)?;
+                let commit = match body[8] {
+                    0 => false,
+                    1 => true,
+                    _ => {
+                        return Err(WireError::BadBody {
+                            tag,
+                            needed: 9,
+                            had: body.len(),
+                        })
+                    }
+                };
+                Ok(Request::Decision {
+                    gtid: u64::from_le_bytes(body[..8].try_into().expect("8")),
+                    commit,
+                })
             }
             other => Err(WireError::UnknownTag(other)),
         }
@@ -230,6 +322,15 @@ impl WireMessage for Reply {
             }
             Reply::Pong => buf.push(TAG_PONG),
             Reply::Draining => buf.push(TAG_DRAINING),
+            Reply::Vote { gtid, vote } => {
+                buf.push(TAG_VOTE);
+                buf.extend_from_slice(&gtid.to_le_bytes());
+                buf.push(vote_to_byte(*vote));
+            }
+            Reply::Ack { gtid } => {
+                buf.push(TAG_ACK);
+                buf.extend_from_slice(&gtid.to_le_bytes());
+            }
         }
     }
 
@@ -276,6 +377,24 @@ impl WireMessage for Reply {
             TAG_DRAINING => {
                 exactly(tag, body, 0)?;
                 Ok(Reply::Draining)
+            }
+            TAG_VOTE => {
+                exactly(tag, body, 9)?;
+                let vote = vote_from_byte(body[8]).ok_or(WireError::BadBody {
+                    tag,
+                    needed: 9,
+                    had: body.len(),
+                })?;
+                Ok(Reply::Vote {
+                    gtid: u64::from_le_bytes(body[..8].try_into().expect("8")),
+                    vote,
+                })
+            }
+            TAG_ACK => {
+                exactly(tag, body, 8)?;
+                Ok(Reply::Ack {
+                    gtid: u64::from_le_bytes(body.try_into().expect("8")),
+                })
             }
             other => Err(WireError::UnknownTag(other)),
         }
@@ -390,7 +509,27 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
-        for r in [submit(&[1, 2, 3]), Request::Ping, Request::Drain] {
+        for r in [
+            submit(&[1, 2, 3]),
+            Request::Ping,
+            Request::Drain,
+            Request::Prepare(TxnBranch {
+                gtid: 42,
+                req: TxnRequest {
+                    kind: OpKind::Update,
+                    keys: vec![9, 10],
+                    multisite: true,
+                },
+            }),
+            Request::Decision {
+                gtid: u64::MAX,
+                commit: true,
+            },
+            Request::Decision {
+                gtid: 7,
+                commit: false,
+            },
+        ] {
             let mut frame = Vec::new();
             r.encode_frame(&mut frame);
             let mut rd = FrameReader::new();
@@ -414,12 +553,54 @@ mod tests {
             },
             Reply::Pong,
             Reply::Draining,
+            Reply::Vote {
+                gtid: 99,
+                vote: Vote::Yes,
+            },
+            Reply::Vote {
+                gtid: 1,
+                vote: Vote::No,
+            },
+            Reply::Vote {
+                gtid: 2,
+                vote: Vote::ReadOnly,
+            },
+            Reply::Ack { gtid: 1 << 60 },
         ] {
             let mut frame = Vec::new();
             r.encode_frame(&mut frame);
             let payload = &frame[FRAME_HEADER..];
             assert_eq!(Reply::decode_payload(payload).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn bad_vote_and_decision_bytes_are_rejected() {
+        let mut frame = Vec::new();
+        Reply::Vote {
+            gtid: 5,
+            vote: Vote::Yes,
+        }
+        .encode_frame(&mut frame);
+        let mut payload = frame[FRAME_HEADER..].to_vec();
+        *payload.last_mut().unwrap() = 9; // not a vote byte
+        assert!(matches!(
+            Reply::decode_payload(&payload),
+            Err(WireError::BadBody { .. })
+        ));
+
+        let mut frame = Vec::new();
+        Request::Decision {
+            gtid: 5,
+            commit: true,
+        }
+        .encode_frame(&mut frame);
+        let mut payload = frame[FRAME_HEADER..].to_vec();
+        *payload.last_mut().unwrap() = 2; // not a bool
+        assert!(matches!(
+            Request::decode_payload(&payload),
+            Err(WireError::BadBody { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! End-to-end tests for multi-process deployments: real instance processes
+//! (the `islands-instance` binary), wire-level 2PC between them, and the
+//! presumed-abort rule when a participant is killed mid-protocol.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use islands_server::deploy::{DeployConfig, DeployReply, Deployment, SpawnMode, Transport};
+use islands_server::{Client, Request};
+use islands_workload::{OpKind, TxnBranch, TxnRequest};
+
+fn config(instances: usize, transport: Transport) -> DeployConfig {
+    DeployConfig {
+        instances,
+        transport,
+        total_rows: 400,
+        row_size: 16,
+        // Tests must not depend on the host having taskset / enough cores.
+        pin: false,
+        spawn: SpawnMode::Binary(PathBuf::from(env!("CARGO_BIN_EXE_islands-instance"))),
+        // Kill-based tests should not wait the full default on a dead peer.
+        vote_timeout: Duration::from_secs(2),
+        ..Default::default()
+    }
+}
+
+fn update(keys: &[u64]) -> TxnRequest {
+    TxnRequest {
+        kind: OpKind::Update,
+        keys: keys.to_vec(),
+        multisite: keys.len() > 1,
+    }
+}
+
+fn outcome(reply: DeployReply) -> islands_server::DeployOutcome {
+    match reply {
+        DeployReply::Outcome(o) => o,
+        other => panic!("expected an outcome, got {other:?}"),
+    }
+}
+
+#[test]
+fn four_process_uds_deployment_commits_local_and_multisite() {
+    let deploy = Arc::new(Deployment::spawn(&config(4, Transport::Uds)).unwrap());
+    assert_eq!(deploy.instances(), 4);
+    let mut client = deploy.client().unwrap();
+
+    // Local: keys 0..100 live in instance 0.
+    let local = outcome(client.submit(&update(&[1, 2])).unwrap());
+    assert!(local.committed);
+    assert!(!local.distributed);
+
+    // Multisite: instances 0, 1, 3 — wire-level 2PC.
+    let multi = outcome(client.submit(&update(&[10, 150, 390])).unwrap());
+    assert!(multi.committed, "multisite 2PC must commit: {multi:?}");
+    assert!(multi.distributed);
+    assert_eq!(deploy.decided_commits(), 1, "one forced commit decision");
+    assert_eq!(deploy.presumed_aborts(), 0);
+
+    // Distributed read-only: commits without forcing a decision.
+    let ro = outcome(
+        client
+            .submit(&TxnRequest {
+                kind: OpKind::Read,
+                keys: vec![20, 250],
+                multisite: true,
+            })
+            .unwrap(),
+    );
+    assert!(ro.committed);
+    assert!(ro.distributed);
+    assert_eq!(
+        deploy.decided_commits(),
+        1,
+        "read-only 2PC must not force a decision"
+    );
+
+    drop(client);
+    let reports = Arc::try_unwrap(deploy)
+        .ok()
+        .expect("no other refs")
+        .shutdown();
+    let mut commits = 0;
+    let mut prepares = 0;
+    for r in &reports {
+        assert!(r.clean, "instance {} unclean: {}", r.index, r.detail);
+        let stats = r.stats.expect("stats parsed");
+        assert_eq!(stats.in_doubt, 0);
+        assert_eq!(stats.presumed_aborts, 0);
+        commits += stats.commits;
+        prepares += stats.prepares;
+    }
+    // 1 local commit + 3 committed update branches; the read-only branches
+    // commit nothing. Prepares: 3 update branches + 2 read-only branches.
+    assert_eq!(commits, 4);
+    assert_eq!(prepares, 5);
+}
+
+#[test]
+fn tcp_deployment_round_trips() {
+    let deploy = Arc::new(Deployment::spawn(&config(2, Transport::Tcp)).unwrap());
+    let mut client = deploy.client().unwrap();
+    let multi = outcome(client.submit(&update(&[10, 350])).unwrap());
+    assert!(multi.committed);
+    assert!(multi.distributed);
+    drop(client);
+    let reports = Arc::try_unwrap(deploy)
+        .ok()
+        .expect("no other refs")
+        .shutdown();
+    assert!(reports.iter().all(|r| r.clean), "{reports:?}");
+}
+
+#[test]
+fn killed_participant_mid_prepare_presumes_abort_and_survivors_serve() {
+    let deploy = Arc::new(Deployment::spawn(&config(2, Transport::Uds)).unwrap());
+    let mut client = deploy.client().unwrap();
+
+    // Sanity: both instances answer before the kill.
+    assert!(outcome(client.submit(&update(&[10, 350])).unwrap()).committed);
+
+    // Kill instance 1 (SIGKILL: no drain, no goodbye). The next multisite
+    // transaction's prepare cannot reach it; the coordinator must presume
+    // abort — and instance 0, which may have voted Yes already, must get an
+    // abort decision so nothing stays in doubt.
+    deploy.kill_instance(1).unwrap();
+    let dead = outcome(client.submit(&update(&[20, 360])).unwrap());
+    assert!(!dead.committed);
+    assert!(dead.presumed_abort, "abort must be presumed: {dead:?}");
+    assert!(deploy.presumed_aborts() >= 1);
+
+    // The surviving instance stays serviceable: the very keys the aborted
+    // branch touched are unlocked and writable.
+    let local = outcome(client.submit(&update(&[20, 30])).unwrap());
+    assert!(local.committed, "survivor must serve: {local:?}");
+
+    // Single-site traffic to the dead instance reports it down rather than
+    // hanging or corrupting anything.
+    match client.submit(&update(&[350])).unwrap() {
+        DeployReply::InstanceDown(1) => {}
+        other => panic!("expected InstanceDown(1), got {other:?}"),
+    }
+
+    drop(client);
+    let reports = Arc::try_unwrap(deploy)
+        .ok()
+        .expect("no other refs")
+        .shutdown();
+    let survivor = &reports[0];
+    assert!(survivor.clean, "survivor unclean: {}", survivor.detail);
+    let stats = survivor.stats.expect("stats parsed");
+    assert_eq!(stats.in_doubt, 0, "no in-doubt leak on the survivor");
+    // The killed instance is reported, not hidden.
+    assert!(!reports[1].clean);
+}
+
+#[test]
+fn coordinator_crash_between_prepare_and_decision_leaves_no_leak() {
+    let deploy = Arc::new(Deployment::spawn(&config(1, Transport::Uds)).unwrap());
+
+    // A raw wire client plays a coordinator that prepares and then crashes.
+    {
+        let mut coord = Client::connect(deploy.endpoint(0)).unwrap();
+        coord
+            .send_request(&Request::Prepare(TxnBranch {
+                gtid: 77,
+                req: update(&[5]),
+            }))
+            .unwrap();
+        match coord.recv_reply().unwrap() {
+            islands_server::Reply::Vote { gtid: 77, .. } => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+    } // coordinator "crashes": connection drops with the branch in doubt
+
+    // The instance applies presumed abort on connection loss: a normal
+    // client can immediately lock and update the same key.
+    let mut client = deploy.client().unwrap();
+    let again = outcome(client.submit(&update(&[5])).unwrap());
+    assert!(again.committed);
+
+    drop(client);
+    let reports = Arc::try_unwrap(deploy)
+        .ok()
+        .expect("no other refs")
+        .shutdown();
+    let r = &reports[0];
+    assert!(r.clean, "instance unclean: {}", r.detail);
+    let stats = r.stats.expect("stats parsed");
+    assert_eq!(stats.presumed_aborts, 1);
+    assert_eq!(stats.in_doubt, 0);
+}

@@ -6,9 +6,11 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use islands_core::native::{NativeCluster, NativeClusterConfig};
-use islands_server::{Client, ClientPool, Endpoint, Reply, Server, ServerConfig, ServerHandle};
-use islands_workload::{OpKind, TxnRequest};
+use islands_core::native::{NativeCluster, NativeClusterConfig, PartitionConfig, PartitionEngine};
+use islands_server::{
+    Backend, Client, ClientPool, Endpoint, Reply, Request, Server, ServerConfig, ServerHandle,
+};
+use islands_workload::{OpKind, TxnBranch, TxnRequest};
 
 static NEXT_SOCK: AtomicU32 = AtomicU32::new(0);
 
@@ -256,6 +258,160 @@ fn bad_frame_mid_pipeline_gets_prior_replies_then_error() {
     }
     assert_eq!(cluster.audit_sum().unwrap(), 1);
     handle.initiate_shutdown();
+    handle.join().unwrap();
+}
+
+fn spawn_partition(lo: u64, hi: u64) -> (std::sync::Arc<PartitionEngine>, ServerHandle) {
+    let engine = std::sync::Arc::new(
+        PartitionEngine::build(&PartitionConfig {
+            lo,
+            hi,
+            row_size: 16,
+            buffer_frames: 512,
+            ..Default::default()
+        })
+        .unwrap(),
+    );
+    let handle = Server::spawn_backend(
+        Backend::Partition(std::sync::Arc::clone(&engine)),
+        uds_endpoint(),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    (engine, handle)
+}
+
+fn prepare(gtid: u64, keys: &[u64]) -> Request {
+    Request::Prepare(TxnBranch {
+        gtid,
+        req: TxnRequest {
+            kind: OpKind::Update,
+            keys: keys.to_vec(),
+            multisite: true,
+        },
+    })
+}
+
+#[test]
+fn partition_backend_runs_wire_level_2pc_phase_by_phase() {
+    use islands_dtxn::Vote;
+    let (engine, handle) = spawn_partition(0, 100);
+    let mut coord = Client::connect(handle.endpoint()).unwrap();
+
+    // Phase 1: prepare a writer branch — Yes vote, branch held in-doubt.
+    coord.send_request(&prepare(7, &[1, 2])).unwrap();
+    match coord.recv_reply().unwrap() {
+        Reply::Vote { gtid: 7, vote } => assert_eq!(vote, Vote::Yes),
+        other => panic!("unexpected reply {other:?}"),
+    }
+    assert_eq!(handle.stats().in_doubt, 1);
+    // Updates are applied in place under X locks (undo images roll them
+    // back on abort), so the raw audit scan already sees them — what the
+    // prepare guarantees is that the *decision* picks keep-or-undo.
+    assert_eq!(engine.audit_sum().unwrap(), 2);
+
+    // Phase 2: commit decision applies the branch and acks.
+    coord
+        .send_request(&Request::Decision {
+            gtid: 7,
+            commit: true,
+        })
+        .unwrap();
+    match coord.recv_reply().unwrap() {
+        Reply::Ack { gtid: 7 } => {}
+        other => panic!("unexpected reply {other:?}"),
+    }
+    assert_eq!(engine.audit_sum().unwrap(), 2);
+    assert_eq!(handle.stats().in_doubt, 0);
+
+    // Read-only branch: ReadOnly vote, no phase 2 required.
+    coord
+        .send_request(&Request::Prepare(TxnBranch {
+            gtid: 8,
+            req: TxnRequest {
+                kind: OpKind::Read,
+                keys: vec![5],
+                multisite: true,
+            },
+        }))
+        .unwrap();
+    match coord.recv_reply().unwrap() {
+        Reply::Vote { gtid: 8, vote } => assert_eq!(vote, Vote::ReadOnly),
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    // Abort decision for an unknown gtid is a presumed-abort no-op: acked.
+    coord
+        .send_request(&Request::Decision {
+            gtid: 999,
+            commit: false,
+        })
+        .unwrap();
+    assert!(matches!(
+        coord.recv_reply().unwrap(),
+        Reply::Ack { gtid: 999 }
+    ));
+    // Commit for an unknown gtid is a protocol error.
+    coord
+        .send_request(&Request::Decision {
+            gtid: 999,
+            commit: true,
+        })
+        .unwrap();
+    assert!(matches!(coord.recv_reply().unwrap(), Reply::Error { .. }));
+
+    coord.drain_server().unwrap();
+    let stats = handle.join().unwrap();
+    assert_eq!(stats.prepares, 2);
+    assert_eq!(stats.in_doubt, 0);
+    assert_eq!(stats.presumed_aborts, 0);
+}
+
+#[test]
+fn dropped_coordinator_connection_presumes_abort_and_releases_locks() {
+    let (engine, handle) = spawn_partition(0, 100);
+
+    // Coordinator prepares a branch on key 9... and vanishes.
+    {
+        let mut coord = Client::connect(handle.endpoint()).unwrap();
+        coord.send_request(&prepare(11, &[9])).unwrap();
+        match coord.recv_reply().unwrap() {
+            Reply::Vote { gtid: 11, .. } => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(handle.stats().in_doubt, 1);
+    } // connection dropped here, decision never sent
+
+    // The session notices the hangup, presumes abort, and releases the X
+    // lock: an ordinary client can now update the same key.
+    let mut client = Client::connect(handle.endpoint()).unwrap();
+    match client.submit(&update(&[9])).unwrap() {
+        Reply::Committed { .. } => {}
+        other => panic!("unexpected reply {other:?}"),
+    }
+    // The prepared update was rolled back; only the new one is visible.
+    assert_eq!(engine.audit_sum().unwrap(), 1);
+
+    client.drain_server().unwrap();
+    let stats = handle.join().unwrap();
+    assert_eq!(stats.presumed_aborts, 1);
+    assert_eq!(stats.in_doubt, 0);
+}
+
+#[test]
+fn cluster_backend_rejects_2pc_frames() {
+    let (_cluster, handle) = spawn(uds_endpoint());
+    let mut client = Client::connect(handle.endpoint()).unwrap();
+    client.send_request(&prepare(1, &[1])).unwrap();
+    assert!(matches!(client.recv_reply().unwrap(), Reply::Error { .. }));
+    client
+        .send_request(&Request::Decision {
+            gtid: 1,
+            commit: false,
+        })
+        .unwrap();
+    assert!(matches!(client.recv_reply().unwrap(), Reply::Error { .. }));
+    client.drain_server().unwrap();
     handle.join().unwrap();
 }
 

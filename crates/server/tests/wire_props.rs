@@ -3,9 +3,10 @@
 //! "wait for more bytes" or a typed error (never a panic, never a wrong
 //! message), and hostile length fields are rejected.
 
+use islands_dtxn::Vote;
 use islands_server::wire::{FrameReader, Reply, Request, WireError, WireMessage, FRAME_HEADER};
 use islands_server::MAX_FRAME;
-use islands_workload::{OpKind, TxnRequest};
+use islands_workload::{OpKind, TxnBranch, TxnRequest};
 use proptest::prelude::*;
 
 fn txn_request() -> impl Strategy<Value = TxnRequest> {
@@ -26,7 +27,14 @@ fn request() -> impl Strategy<Value = Request> {
         txn_request().prop_map(Request::Submit),
         Just(Request::Ping),
         Just(Request::Drain),
+        (any::<u64>(), txn_request())
+            .prop_map(|(gtid, req)| Request::Prepare(TxnBranch { gtid, req })),
+        (any::<u64>(), any::<bool>()).prop_map(|(gtid, commit)| Request::Decision { gtid, commit }),
     ]
+}
+
+fn vote() -> impl Strategy<Value = Vote> {
+    prop_oneof![Just(Vote::Yes), Just(Vote::No), Just(Vote::ReadOnly)]
 }
 
 fn reply() -> impl Strategy<Value = Reply> {
@@ -42,6 +50,8 @@ fn reply() -> impl Strategy<Value = Reply> {
         }),
         Just(Reply::Pong),
         Just(Reply::Draining),
+        (any::<u64>(), vote()).prop_map(|(gtid, vote)| Reply::Vote { gtid, vote }),
+        any::<u64>().prop_map(|gtid| Reply::Ack { gtid }),
     ]
 }
 

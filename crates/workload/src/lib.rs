@@ -19,7 +19,7 @@ pub mod spec;
 pub mod tpcc;
 pub mod zipf;
 
-pub use codec::{CodecError, MAX_KEYS_PER_REQUEST};
+pub use codec::{CodecError, TxnBranch, MAX_KEYS_PER_REQUEST};
 pub use spec::{MicroGenerator, MicroSpec, OpKind, TxnRequest};
 pub use zipf::Zipf;
 
