@@ -18,12 +18,10 @@
 //!     --instances 4 --multisite 20 --clients 8 --secs 2 --json BENCH_loadgen.json
 //! ```
 //!
-//! Closed loop (default): each client submits its next transaction the
-//! moment the previous reply arrives — offered load tracks capacity.
-//! Open loop (`--open RATE`): clients submit on a fixed schedule of RATE
-//! transactions/second in aggregate, and latency is measured from the
-//! *scheduled* send time, so queueing delay when the server falls behind is
-//! charged to the server (no coordinated omission).
+//! The driving engine itself (closed/open loop, per-class tallies, teardown
+//! verification) lives in `islands_bench::drive`, shared with the
+//! `islands-sweep` experiment driver; this binary adds the CLI, the
+//! single-configuration reporting, and the `islands-loadgen/1` JSON shape.
 //!
 //! Statistics are reported **per transaction class** (local vs multisite),
 //! because the paper's served-deployment comparisons (Fig. 9 style) hinge
@@ -32,16 +30,16 @@
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use islands_core::native::{NativeCluster, NativeClusterConfig};
-use islands_server::deploy::{self, DeployConfig, DeployReply, Deployment, SpawnMode, Transport};
-use islands_server::{
-    Client, DeployClient, Endpoint, InstanceExit, Reply, Server, ServerConfig, ServerHandle,
+use islands_bench::drive::{
+    class_json, drive, instance_json, percentile, shutdown_deployment, ClassTally, DriveConfig,
+    DriveTarget,
 };
-use islands_workload::{MicroGenerator, MicroSpec, OpKind, TxnRequest};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use islands_core::native::{NativeCluster, NativeClusterConfig};
+use islands_server::deploy::{self, DeployConfig, Deployment, SpawnMode, Transport};
+use islands_server::{Client, Endpoint, InstanceExit, Server, ServerConfig, ServerHandle};
+use islands_workload::{MicroSpec, OpKind};
 
 const USAGE: &str = "loadgen - drive a served islands deployment
 
@@ -56,8 +54,9 @@ OPTIONS:
   --uds-path PATH       socket path for inproc uds (default: temp dir)
   --connect EP          drive an existing single server instead of spawning;
                         EP is uds:/path/to.sock or tcp:HOST:PORT
-                        (requires matching --rows; the external server is
-                        NOT drained afterwards)
+                        (requires --rows and --instances matching the
+                        external server's dataset and partition count; the
+                        server is NOT drained afterwards)
   --clients N           concurrent client connections (default 8)
   --secs S              measured duration in seconds (default 2)
   --open RATE           open-loop arrival rate, txn/s aggregate
@@ -65,6 +64,9 @@ OPTIONS:
   --kind read|update    transaction kind (default update)
   --rows-per-txn N      rows touched per transaction (default 4)
   --multisite PCT       multisite transaction percentage 0-100 (default 20)
+  --sites K             spread each multisite txn across exactly K distinct
+                        logical sites (Fig. 9's transaction size; default:
+                        unconstrained draw over the whole range)
   --skew Z              Zipfian skew for row selection (default 0)
   --rows N              total rows loaded/partitioned (default 40000)
   --instances N         shared-nothing instances: processes under proc,
@@ -89,6 +91,7 @@ struct Args {
     kind: OpKind,
     rows_per_txn: usize,
     multisite_pct: f64,
+    sites: Option<usize>,
     skew: f64,
     rows: u64,
     instances: usize,
@@ -110,12 +113,29 @@ impl Default for Args {
             kind: OpKind::Update,
             rows_per_txn: 4,
             multisite_pct: 20.0,
+            sites: None,
             skew: 0.0,
             rows: 40_000,
             instances: 4,
             retry_limit: 64,
             pin: true,
             json: None,
+        }
+    }
+}
+
+impl Args {
+    /// The workload these arguments describe (one construction point, so
+    /// validation and the drive loop cannot diverge).
+    fn spec(&self) -> MicroSpec {
+        MicroSpec {
+            kind: self.kind,
+            rows_per_txn: self.rows_per_txn,
+            multisite_pct: self.multisite_pct / 100.0,
+            skew: self.skew,
+            multisite_sites: self.sites,
+            total_rows: self.rows,
+            row_size: 64,
         }
     }
 }
@@ -142,6 +162,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--rows-per-txn" => args.rows_per_txn = num(&value("--rows-per-txn")?)?,
             "--multisite" => args.multisite_pct = num(&value("--multisite")?)?,
+            "--sites" => args.sites = Some(num(&value("--sites")?)?),
             "--skew" => args.skew = num(&value("--skew")?)?,
             "--rows" => args.rows = num(&value("--rows")?)?,
             "--instances" => args.instances = num(&value("--instances")?)?,
@@ -179,6 +200,27 @@ fn parse_args() -> Result<Args, String> {
     if !(0.0..=100.0).contains(&args.multisite_pct) {
         return Err("--multisite must be 0-100".into());
     }
+    if let Some(k) = args.sites {
+        if k < 2 {
+            return Err("--sites must be >= 2 (a multisite txn spans sites)".into());
+        }
+        if k > args.instances {
+            return Err(format!(
+                "--sites {k} exceeds --instances {} (a txn cannot touch more \
+                 sites than exist; with --connect, set --instances to the \
+                 external server's partition count)",
+                args.instances
+            ));
+        }
+    }
+    // The generator's logical-site count is --instances (for --connect too:
+    // it must describe the external server's partition count, like --rows
+    // must match its dataset). MicroSpec::check is the single source of
+    // truth for whether each site's range holds enough distinct keys;
+    // failing here keeps it a clean CLI error instead of a worker panic.
+    args.spec()
+        .check(args.instances.max(1) as u64)
+        .map_err(|e| format!("workload shape: {e}"))?;
     if !args.secs.is_finite() || args.secs < 0.0 {
         return Err("--secs must be a nonnegative number".into());
     }
@@ -198,180 +240,6 @@ where
     T::Err: std::fmt::Display,
 {
     s.parse().map_err(|e| format!("bad number {s:?}: {e}"))
-}
-
-/// Tallies for one transaction class (local or multisite).
-#[derive(Debug, Default, Clone)]
-struct ClassTally {
-    committed: u64,
-    aborted: u64,
-    errors: u64,
-    distributed: u64,
-    presumed_aborts: u64,
-    /// End-to-end latency per completed request, microseconds.
-    latencies_us: Vec<u64>,
-}
-
-impl ClassTally {
-    fn absorb(&mut self, other: ClassTally) {
-        self.committed += other.committed;
-        self.aborted += other.aborted;
-        self.errors += other.errors;
-        self.distributed += other.distributed;
-        self.presumed_aborts += other.presumed_aborts;
-        self.latencies_us.extend(other.latencies_us);
-    }
-}
-
-/// Per-client tallies, split by class.
-#[derive(Debug, Default)]
-struct ClientResult {
-    local: ClassTally,
-    multi: ClassTally,
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
-}
-
-/// The two ways a client submits one request.
-enum Submitter {
-    /// One wire connection to a single server (inproc / --connect).
-    Wire(Client),
-    /// Coordinator over a multi-process deployment.
-    Proc(DeployClient),
-}
-
-/// Unified per-request outcome across submitters.
-struct Done {
-    committed: bool,
-    error: Option<String>,
-    distributed: bool,
-    presumed_abort: bool,
-}
-
-impl Submitter {
-    fn submit(&mut self, req: &TxnRequest) -> std::io::Result<Done> {
-        match self {
-            Submitter::Wire(client) => match client.submit(req)? {
-                Reply::Committed { distributed, .. } => Ok(Done {
-                    committed: true,
-                    error: None,
-                    distributed,
-                    presumed_abort: false,
-                }),
-                Reply::Aborted { .. } => Ok(Done {
-                    committed: false,
-                    error: None,
-                    distributed: false,
-                    presumed_abort: false,
-                }),
-                Reply::Error { message } => Ok(Done {
-                    committed: false,
-                    error: Some(message),
-                    distributed: false,
-                    presumed_abort: false,
-                }),
-                other => Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("unexpected reply {other:?}"),
-                )),
-            },
-            Submitter::Proc(client) => match client.submit(req)? {
-                DeployReply::Outcome(o) => Ok(Done {
-                    committed: o.committed,
-                    error: None,
-                    distributed: o.distributed,
-                    presumed_abort: o.presumed_abort,
-                }),
-                DeployReply::ServerError(message) => Ok(Done {
-                    committed: false,
-                    error: Some(message),
-                    distributed: false,
-                    presumed_abort: false,
-                }),
-                DeployReply::InstanceDown(i) => Ok(Done {
-                    committed: false,
-                    error: Some(format!("instance {i} unreachable")),
-                    distributed: false,
-                    presumed_abort: false,
-                }),
-            },
-        }
-    }
-}
-
-fn drive_client(
-    id: usize,
-    mut submitter: Submitter,
-    args: &Args,
-    deadline: Instant,
-) -> std::io::Result<ClientResult> {
-    let spec = MicroSpec {
-        kind: args.kind,
-        rows_per_txn: args.rows_per_txn,
-        multisite_pct: args.multisite_pct / 100.0,
-        skew: args.skew,
-        total_rows: args.rows,
-        row_size: 64,
-    };
-    let gen = MicroGenerator::new(spec, args.instances.max(1) as u64);
-    let mut rng = SmallRng::seed_from_u64(0x1517_ab1e ^ (id as u64) << 17);
-    let mut result = ClientResult::default();
-
-    // Open loop: this client owns a 1/clients share of the aggregate rate.
-    let interval = args
-        .open_rate
-        .map(|rate| Duration::from_secs_f64(args.clients as f64 / rate));
-    let mut next_due = Instant::now();
-
-    loop {
-        let now = Instant::now();
-        if now >= deadline {
-            break;
-        }
-        let measured_from = match interval {
-            None => now, // closed loop: service time is the latency
-            Some(gap) => {
-                // Open loop: wait for the schedule, then charge latency from
-                // the scheduled instant even if we are running behind.
-                if next_due > now {
-                    std::thread::sleep(next_due - now);
-                }
-                let due = next_due;
-                next_due += gap;
-                if due >= deadline {
-                    break;
-                }
-                due
-            }
-        };
-        let req = gen.next(&mut rng);
-        let done = submitter.submit(&req)?;
-        let tally = if req.multisite {
-            &mut result.multi
-        } else {
-            &mut result.local
-        };
-        if done.committed {
-            tally.committed += 1;
-            tally.distributed += done.distributed as u64;
-        } else if let Some(message) = done.error {
-            tally.errors += 1;
-            eprintln!("client {id}: server error: {message}");
-        } else {
-            tally.aborted += 1;
-            tally.presumed_aborts += done.presumed_abort as u64;
-        }
-        tally
-            .latencies_us
-            .push(measured_from.elapsed().as_micros() as u64);
-    }
-    Ok(result)
 }
 
 fn spawn_inproc_server(args: &Args) -> std::io::Result<(ServerHandle, Endpoint)> {
@@ -442,57 +310,6 @@ fn class_report(name: &str, tally: &mut ClassTally, elapsed: Duration) {
     }
 }
 
-fn class_json(tally: &ClassTally, elapsed: Duration) -> String {
-    // Sort locally: correctness here must not depend on class_report
-    // having run (and sorted in place) first.
-    let mut sorted = tally.latencies_us.clone();
-    sorted.sort_unstable();
-    let tally = ClassTally {
-        latencies_us: sorted,
-        ..tally.clone()
-    };
-    let n = tally.latencies_us.len();
-    let mean = if n > 0 {
-        tally.latencies_us.iter().sum::<u64>() as f64 / n as f64
-    } else {
-        0.0
-    };
-    format!(
-        "{{\"committed\":{},\"aborted\":{},\"errors\":{},\"distributed\":{},\
-         \"presumed_aborts\":{},\"throughput_tps\":{:.1},\"p50_us\":{},\"p95_us\":{},\
-         \"p99_us\":{},\"max_us\":{},\"mean_us\":{:.1},\"samples\":{}}}",
-        tally.committed,
-        tally.aborted,
-        tally.errors,
-        tally.distributed,
-        tally.presumed_aborts,
-        tally.committed as f64 / elapsed.as_secs_f64(),
-        percentile(&tally.latencies_us, 50.0),
-        percentile(&tally.latencies_us, 95.0),
-        percentile(&tally.latencies_us, 99.0),
-        tally.latencies_us.last().copied().unwrap_or(0),
-        mean,
-        n,
-    )
-}
-
-fn instance_json(r: &InstanceExit) -> String {
-    let s = r.stats.unwrap_or_default();
-    format!(
-        "{{\"index\":{},\"clean\":{},\"commits\":{},\"aborts\":{},\"errors\":{},\
-         \"prepares\":{},\"decisions\":{},\"presumed_aborts\":{},\"in_doubt\":{}}}",
-        r.index,
-        r.clean,
-        s.commits,
-        s.aborts,
-        s.errors,
-        s.prepares,
-        s.decisions,
-        s.presumed_aborts,
-        s.in_doubt,
-    )
-}
-
 #[allow(clippy::too_many_arguments)]
 fn write_json(
     path: &str,
@@ -509,13 +326,17 @@ fn write_json(
         Some(rate) => format!("\"open@{rate:.0}\""),
         None => "\"closed\"".to_string(),
     };
+    let sites = match args.sites {
+        Some(k) => k.to_string(),
+        None => "null".to_string(),
+    };
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"islands-loadgen/1\",\n");
     out.push_str(&format!(
         "  \"config\": {{\"deploy\":\"{}\",\"transport\":\"{}\",\"instances\":{},\
          \"clients\":{},\"secs\":{},\"mode\":{mode},\"kind\":\"{}\",\"rows_per_txn\":{},\
-         \"multisite_pct\":{},\"skew\":{},\"rows\":{},\"pinned\":{}}},\n",
+         \"multisite_pct\":{},\"sites\":{sites},\"skew\":{},\"rows\":{},\"pinned\":{}}},\n",
         args.deploy,
         args.transport,
         args.instances,
@@ -600,12 +421,15 @@ fn run() -> Result<bool, String> {
     };
     println!(
         "loadgen: {where_} clients={} secs={} mode={mode} kind={} rows/txn={} \
-         multisite={}% skew={} rows={} instances={}",
+         multisite={}% sites={} skew={} rows={} instances={}",
         args.clients,
         args.secs,
         args.kind.label(),
         args.rows_per_txn,
         args.multisite_pct,
+        args.sites
+            .map(|k| k.to_string())
+            .unwrap_or_else(|| "any".into()),
         args.skew,
         args.rows,
         args.instances,
@@ -623,58 +447,20 @@ fn run() -> Result<bool, String> {
         }
     }
 
-    // Connect every client before spawning any worker thread: an error here
-    // propagates with `?` while nothing else holds the deployment, so the
-    // Drop impl still reaps every instance process (a `?` after threads are
-    // running would exit the process with worker threads — and their
-    // `Arc<Deployment>` clones — still alive, orphaning the children).
-    let mut submitters = Vec::with_capacity(args.clients);
-    for id in 0..args.clients {
-        submitters.push(match &target {
-            Target::Deployment(d) => Submitter::Proc(
-                d.client()
-                    .map_err(|e| format!("connect client {id}: {e}"))?,
-            ),
-            Target::Inproc(_, ep) | Target::External(ep) => Submitter::Wire(
-                Client::connect_with_retry(ep, Duration::from_secs(2))
-                    .map_err(|e| format!("connect client {id}: {e}"))?,
-            ),
-        });
-    }
-
-    // Drive.
-    let started = Instant::now();
-    let deadline = started + Duration::from_secs_f64(args.secs);
-    let workers: Vec<_> = submitters
-        .into_iter()
-        .enumerate()
-        .map(|(id, submitter)| {
-            let args = args.clone();
-            std::thread::spawn(move || drive_client(id, submitter, &args, deadline))
-        })
-        .collect();
-    let mut local = ClassTally::default();
-    let mut multi = ClassTally::default();
-    let mut client_failures = 0u64;
-    for w in workers {
-        // A panicked worker is a failure to report, not a reason to unwind
-        // past the live deployment handle.
-        match w.join() {
-            Ok(Ok(r)) => {
-                local.absorb(r.local);
-                multi.absorb(r.multi);
-            }
-            Ok(Err(e)) => {
-                client_failures += 1;
-                eprintln!("client connection failed: {e}");
-            }
-            Err(_) => {
-                client_failures += 1;
-                eprintln!("client thread panicked");
-            }
-        }
-    }
-    let elapsed = started.elapsed();
+    let cfg = DriveConfig {
+        open_rate: args.open_rate,
+        ..DriveConfig::closed(
+            args.clients,
+            args.secs,
+            args.spec(),
+            args.instances.max(1) as u64,
+        )
+    };
+    let result = match &target {
+        Target::Deployment(d) => drive(&DriveTarget::Deployment(d), &cfg)?,
+        Target::Inproc(_, ep) | Target::External(ep) => drive(&DriveTarget::Endpoint(ep), &cfg)?,
+    };
+    let (mut local, mut multi, elapsed) = (result.local, result.multi, result.elapsed);
 
     // Report.
     let committed = local.committed + multi.committed;
@@ -726,10 +512,8 @@ fn run() -> Result<bool, String> {
             let deployment = Arc::try_unwrap(deployment)
                 .ok()
                 .expect("all clients joined");
-            instance_reports = deployment.shutdown();
-            let mut unclean = 0u64;
-            let mut leaks = 0u64;
-            for r in &instance_reports {
+            let teardown = shutdown_deployment(deployment);
+            for r in &teardown.instances {
                 let s = r.stats.unwrap_or_default();
                 println!(
                     "  instance {} {}: commits={} aborts={} errors={} prepares={} \
@@ -749,19 +533,21 @@ fn run() -> Result<bool, String> {
                         format!(" ({})", r.detail)
                     },
                 );
-                unclean += (!r.clean) as u64;
-                leaks += s.in_doubt;
             }
-            if unclean > 0 {
-                return Err(format!("{unclean} instance(s) exited unclean"));
+            if teardown.unclean > 0 {
+                return Err(format!("{} instance(s) exited unclean", teardown.unclean));
             }
-            if leaks > 0 {
-                return Err(format!("{leaks} in-doubt transaction(s) leaked"));
+            if teardown.in_doubt_leaks > 0 {
+                return Err(format!(
+                    "{} in-doubt transaction(s) leaked",
+                    teardown.in_doubt_leaks
+                ));
             }
             println!(
                 "deployment drained cleanly: instances={} in_doubt_leaks=0",
-                instance_reports.len()
+                teardown.instances.len()
             );
+            instance_reports = teardown.instances;
         }
     }
 
@@ -780,8 +566,8 @@ fn run() -> Result<bool, String> {
         println!("wrote {path}");
     }
 
-    if client_failures > 0 {
-        return Err(format!("{client_failures} client(s) failed"));
+    if result.client_failures > 0 {
+        return Err(format!("{} client(s) failed", result.client_failures));
     }
     Ok(committed > 0)
 }

@@ -5,6 +5,9 @@
 //! Absolute numbers are the simulator's; EXPERIMENTS.md records them next
 //! to the paper's and discusses the shapes.
 
+pub mod drive;
+pub mod jsonscan;
+
 use islands_core::metrics::RunResult;
 use islands_core::simrt::{run, SimClusterConfig, SimWorkload};
 use islands_hwtopo::Machine;

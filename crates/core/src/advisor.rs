@@ -63,6 +63,7 @@ pub fn recommend(machine: &Machine, profile: &WorkloadProfile, measure_ms: u64) 
                 rows_per_txn: profile.rows_per_txn,
                 multisite_pct: multisite.clamp(0.0, 1.0),
                 skew,
+                multisite_sites: None,
                 total_rows: profile.total_rows,
                 row_size: islands_workload::DEFAULT_ROW_SIZE,
             };

@@ -1,0 +1,173 @@
+//! Deployment granularities: the host topology mapped to the paper's three
+//! partitioning configurations.
+//!
+//! The paper's central comparison is not any single deployment but the
+//! sweep across **granularities** (§4, Figs. 6–10, 13): shared-everything
+//! (one instance spanning the machine), island-sized shared-nothing (one
+//! instance per socket/island), and fine-grained shared-nothing (one
+//! instance per core). [`granularity_configs`] derives all three from a
+//! detected [`HostTopology`], including the `taskset`-style cpu list each
+//! instance should be pinned to, so an experiment driver can stand up the
+//! whole comparison without hand-picking instance counts per machine.
+
+use crate::machine::HostTopology;
+use crate::placement::{place_instances, IslandOrSpread};
+use crate::CoreId;
+
+/// One deployment granularity on a concrete host: how many shared-nothing
+/// instances to spawn. The pin sets are derived on demand via
+/// [`Granularity::cpu_lists`] — the deployment layer computes the identical
+/// lists itself through [`island_cpu_lists`] when it spawns, so storing
+/// them here would only invite drift.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Granularity {
+    /// Stable label for reports ("shared-everything" / "island" /
+    /// "fine-grained").
+    pub label: &'static str,
+    /// Instance process count.
+    pub instances: usize,
+}
+
+impl Granularity {
+    /// Per-instance `taskset`-style cpu lists (OS cpu ids), island-placed —
+    /// what a pinned deployment of this granularity runs on.
+    pub fn cpu_lists(&self, topo: &HostTopology) -> Vec<String> {
+        island_cpu_lists(topo, self.instances)
+    }
+}
+
+/// Island-style cpu lists for `n` instances on `topo`: with at least one
+/// core per instance, contiguous socket-major chunks (the paper's island
+/// placement); with more instances than cores (fine-grained on a small
+/// box), instances share cores round-robin.
+pub fn island_cpu_lists(topo: &HostTopology, n: usize) -> Vec<String> {
+    assert!(n >= 1, "at least one instance");
+    let cores = topo.machine.total_cores() as usize;
+    if cores >= n {
+        let per = cores / n;
+        let active: Vec<CoreId> = (0..(per * n) as u16).map(CoreId).collect();
+        place_instances(&topo.machine, &active, n, IslandOrSpread::Islands)
+            .iter()
+            .map(|p| topo.cpu_list(p))
+            .collect()
+    } else {
+        (0..n)
+            .map(|i| topo.os_cpu(CoreId((i % cores) as u16)).to_string())
+            .collect()
+    }
+}
+
+/// The paper's three deployment granularities on this host, coarse to fine:
+///
+/// 1. **shared-everything** — one instance spanning the machine (the "1ISL"
+///    baseline).
+/// 2. **island** — one instance per socket (the paper's hardware islands).
+/// 3. **fine-grained** — one instance per core.
+///
+/// On small hosts the counts may coincide (a single-core container yields
+/// `1 / 1 / 1`); the three entries are still reported separately so sweep
+/// output always carries all three labels and the host shape that produced
+/// them.
+pub fn granularity_configs(topo: &HostTopology) -> Vec<Granularity> {
+    let sockets = topo.machine.sockets as usize;
+    let cores = topo.machine.total_cores() as usize;
+    vec![
+        Granularity {
+            label: "shared-everything",
+            instances: 1,
+        },
+        Granularity {
+            label: "island",
+            instances: sockets,
+        },
+        Granularity {
+            label: "fine-grained",
+            instances: cores,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic quad-socket, 6-cores-per-socket host with interleaved OS
+    /// cpu numbering (even cpus on low packages), like real firmware does.
+    fn quad_host() -> HostTopology {
+        let pairs: Vec<(usize, usize)> = (0..24).map(|cpu| (cpu, cpu % 4)).collect();
+        HostTopology::from_cpu_packages(pairs).unwrap()
+    }
+
+    #[test]
+    fn three_granularities_match_the_host_shape() {
+        let topo = quad_host();
+        let configs = granularity_configs(&topo);
+        assert_eq!(configs.len(), 3);
+        assert_eq!(configs[0].label, "shared-everything");
+        assert_eq!(configs[0].instances, 1);
+        assert_eq!(configs[1].label, "island");
+        assert_eq!(configs[1].instances, 4);
+        assert_eq!(configs[2].label, "fine-grained");
+        assert_eq!(configs[2].instances, 24);
+        for g in &configs {
+            let lists = g.cpu_lists(&topo);
+            assert_eq!(lists.len(), g.instances);
+            assert!(lists.iter().all(|l| !l.is_empty()));
+        }
+    }
+
+    #[test]
+    fn island_lists_partition_the_cpus_without_overlap() {
+        let topo = quad_host();
+        for n in [1usize, 2, 4, 6, 24] {
+            let lists = island_cpu_lists(&topo, n);
+            assert_eq!(lists.len(), n);
+            let mut cpus: Vec<usize> = lists
+                .iter()
+                .flat_map(|l| l.split(',').map(|c| c.parse::<usize>().unwrap()))
+                .collect();
+            cpus.sort_unstable();
+            let total = cpus.len();
+            cpus.dedup();
+            assert_eq!(cpus.len(), total, "{n} instances: cpu lists overlap");
+            // Evenly divisible counts cover the whole machine.
+            if 24 % n == 0 {
+                assert_eq!(total, 24, "{n} instances must cover all cores");
+            }
+        }
+    }
+
+    #[test]
+    fn island_instances_stay_on_their_socket() {
+        let topo = quad_host();
+        // 4 instances on 4 sockets: each instance's cpus share one package.
+        let lists = island_cpu_lists(&topo, 4);
+        for list in &lists {
+            let packages: std::collections::HashSet<usize> = list
+                .split(',')
+                .map(|c| c.parse::<usize>().unwrap() % 4) // cpu -> package
+                .collect();
+            assert_eq!(packages.len(), 1, "instance spans packages: {list}");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_instances_share_cores_round_robin() {
+        let topo = HostTopology::from_cpu_packages(vec![(0, 0), (1, 0)]).unwrap();
+        let lists = island_cpu_lists(&topo, 5);
+        assert_eq!(lists.len(), 5);
+        assert!(lists.iter().all(|l| !l.is_empty()));
+        // Single-core-per-instance lists cycling over both cpus.
+        assert_eq!(lists[0], lists[2]);
+        assert_ne!(lists[0], lists[1]);
+    }
+
+    #[test]
+    fn detected_host_yields_spawnable_configs() {
+        let topo = HostTopology::detect();
+        for g in granularity_configs(&topo) {
+            assert!(g.instances >= 1);
+            assert_eq!(g.cpu_lists(&topo).len(), g.instances);
+        }
+    }
+}

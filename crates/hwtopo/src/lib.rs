@@ -16,12 +16,14 @@
 //! of the discrete-event simulator in `islands-sim`.
 
 pub mod calib;
+pub mod granularity;
 pub mod ids;
 pub mod islands;
 pub mod machine;
 pub mod placement;
 
 pub use calib::Calib;
+pub use granularity::{granularity_configs, island_cpu_lists, Granularity};
 pub use ids::{CoreId, SocketId};
 pub use islands::{island_configs, NislConfig, PlacementStyle};
 pub use machine::{ActiveSet, Distance, HostTopology, Machine};

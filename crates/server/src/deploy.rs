@@ -51,7 +51,7 @@ use std::time::{Duration, Instant};
 
 use islands_core::native::{PartitionConfig, PartitionEngine};
 use islands_dtxn::{Action, Coordinator, Vote};
-use islands_hwtopo::{place_instances, CoreId, HostTopology, IslandOrSpread};
+use islands_hwtopo::{island_cpu_lists, HostTopology};
 use islands_workload::{TxnBranch, TxnRequest};
 
 use crate::client::Client;
@@ -111,6 +111,37 @@ pub struct DeployConfig {
     pub socket_dir: Option<PathBuf>,
 }
 
+impl DeployConfig {
+    /// Check that the configuration describes a spawnable deployment.
+    ///
+    /// In particular `total_rows >= instances`: with fewer rows than
+    /// instances the even range partitioning degenerates (instances whose
+    /// range is empty), which is exactly the shape under which ownership
+    /// arithmetic divergence bugs hide. Reject it before any process spawns.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.instances == 0 {
+            return Err("a deployment needs at least one instance".into());
+        }
+        if self.total_rows < self.instances as u64 {
+            return Err(format!(
+                "{} rows cannot partition across {} instances (need rows >= instances)",
+                self.total_rows, self.instances
+            ));
+        }
+        if self.row_size == 0 {
+            return Err("row_size must be nonzero".into());
+        }
+        if self.vote_timeout <= self.lock_timeout {
+            return Err(format!(
+                "vote_timeout ({:?}) must exceed lock_timeout ({:?}) or every \
+                 lock-contended vote is presumed dead",
+                self.vote_timeout, self.lock_timeout
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl Default for DeployConfig {
     fn default() -> Self {
         DeployConfig {
@@ -129,19 +160,34 @@ impl Default for DeployConfig {
     }
 }
 
+/// Rows per instance under the even range partitioning — the **single**
+/// source of truth both [`range_of`] and [`owner_of`] divide by. The two
+/// used to clamp differently (`owner_of` had a `.max(1)` that `range_of`
+/// lacked), so with `rows < instances` keys routed to instances whose
+/// loaded range was the empty `[0, 0)`; [`DeployConfig::validate`] now
+/// rejects that shape outright and the clamp is gone.
+fn rows_per_instance(rows: u64, instances: usize) -> u64 {
+    debug_assert!(instances >= 1);
+    debug_assert!(
+        rows >= instances as u64,
+        "{rows} rows cannot partition across {instances} instances"
+    );
+    rows / instances as u64
+}
+
 /// Key range `[lo, hi)` of instance `i` among `n` over `rows` (the same
 /// arithmetic as the generator's logical sites).
 fn range_of(i: usize, n: usize, rows: u64) -> (u64, u64) {
-    let per = rows / n as u64;
+    let per = rows_per_instance(rows, n);
     let lo = i as u64 * per;
     let hi = if i + 1 == n { rows } else { lo + per };
     (lo, hi)
 }
 
 /// The instance owning `key` under the even range partitioning of
-/// [`range_of`] (single source of truth for ownership arithmetic).
+/// [`range_of`].
 fn owner_of(key: u64, instances: usize, total_rows: u64) -> usize {
-    let per = (total_rows / instances as u64).max(1);
+    let per = rows_per_instance(total_rows, instances);
     ((key / per) as usize).min(instances - 1)
 }
 
@@ -261,11 +307,8 @@ impl Deployment {
     /// report readiness. On any failure the already-spawned children are
     /// killed before the error returns.
     pub fn spawn(cfg: &DeployConfig) -> io::Result<Deployment> {
-        assert!(cfg.instances >= 1, "a deployment needs instances");
-        assert!(
-            cfg.total_rows >= cfg.instances as u64,
-            "fewer rows than instances"
-        );
+        cfg.validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let exe = match &cfg.spawn {
             SpawnMode::SelfExec => std::env::current_exe()?,
             SpawnMode::Binary(p) => p.clone(),
@@ -587,25 +630,11 @@ fn taskset_available() -> bool {
         .unwrap_or(false)
 }
 
-/// Island-style cpu lists for `n` instances on the detected host: with at
-/// least one core per instance, contiguous socket-major chunks (the paper's
-/// island placement); with more instances than cores (fine-grained on a
-/// small box), instances share cores round-robin.
+/// Island-style cpu lists for `n` instances on the detected host (see
+/// [`islands_hwtopo::island_cpu_lists`], which the granularity sweep shares).
 fn island_pin_sets(n: usize) -> Vec<Option<String>> {
     let topo = HostTopology::detect();
-    let cores = topo.machine.total_cores() as usize;
-    if cores >= n {
-        let per = cores / n;
-        let active: Vec<CoreId> = (0..(per * n) as u16).map(CoreId).collect();
-        place_instances(&topo.machine, &active, n, IslandOrSpread::Islands)
-            .iter()
-            .map(|p| Some(topo.cpu_list(p)))
-            .collect()
-    } else {
-        (0..n)
-            .map(|i| Some(topo.os_cpu(CoreId((i % cores) as u16)).to_string()))
-            .collect()
-    }
+    island_cpu_lists(&topo, n).into_iter().map(Some).collect()
 }
 
 /// Outcome of one request submitted through a [`DeployClient`].
@@ -768,135 +797,205 @@ impl DeployClient {
         branches: &HashMap<usize, TxnRequest>,
     ) -> io::Result<TwoPc> {
         let gtid = self.deploy.next_gtid();
-        let (mut coord, prepares) = Coordinator::new(gtid, parts.to_vec());
+        drive_2pc(self, gtid, parts, branches)
+    }
+}
 
-        // Phase 1 fan-out, exactly as the state machine instructs.
-        let mut sent: Vec<usize> = Vec::new();
-        let mut unreachable: Vec<usize> = Vec::new();
-        for action in prepares {
-            let Action::SendPrepare { to } = action else {
-                unreachable!("prepare fan-out yields only SendPrepare");
-            };
-            if unreachable.is_empty() {
-                let frame = Request::Prepare(TxnBranch {
-                    gtid,
-                    req: branches[&to].clone(),
-                });
-                match self.conn(to).and_then(|c| c.send_request(&frame)) {
-                    Ok(()) => {
-                        sent.push(to);
-                        continue;
+/// The transport seam the 2PC driver runs against. The live implementation
+/// is [`DeployClient`]'s per-instance connections; tests substitute a
+/// scripted mock to pin driver invariants that need injected failures (a
+/// decision written without its ack read leaves a stale frame that
+/// desynchronizes the connection for the next round).
+trait TwoPcLink {
+    /// Ship one frame to participant `to`.
+    fn send(&mut self, to: usize, frame: &Request) -> io::Result<()>;
+    /// Read the next reply from `to` with the vote/ack deadline armed.
+    fn recv(&mut self, from: usize) -> io::Result<Reply>;
+    /// Poison `to`'s connection (unreachable or desynchronized).
+    fn mark_dead(&mut self, to: usize);
+    /// Force a commit decision record for `gtid` to the coordinator log.
+    fn force_commit(&mut self, gtid: u64);
+}
+
+impl TwoPcLink for DeployClient {
+    fn send(&mut self, to: usize, frame: &Request) -> io::Result<()> {
+        self.conn(to).and_then(|c| c.send_request(frame))
+    }
+
+    fn recv(&mut self, from: usize) -> io::Result<Reply> {
+        self.recv_timed(from)
+    }
+
+    fn mark_dead(&mut self, to: usize) {
+        DeployClient::mark_dead(self, to);
+    }
+
+    fn force_commit(&mut self, gtid: u64) {
+        self.deploy
+            .decided
+            .lock()
+            .expect("decision log lock")
+            .insert(gtid, true);
+    }
+}
+
+/// Carry out coordinator actions in FIFO order (`ForceCommitDecision` must
+/// hit the log before any decision message leaves). Every decision sent
+/// pushes its participant onto `ack_wait` — **always** the live wait list,
+/// so acks owed for follow-up decisions are collected no matter which phase
+/// emitted them.
+fn process_actions<L: TwoPcLink>(
+    link: &mut L,
+    coord: &mut Coordinator,
+    gtid: u64,
+    actions: Vec<Action>,
+    ack_wait: &mut Vec<usize>,
+    outcome: &mut Option<bool>,
+) {
+    let mut queue: std::collections::VecDeque<Action> = actions.into();
+    while let Some(action) = queue.pop_front() {
+        match action {
+            Action::SendPrepare { .. } => unreachable!("prepares already sent"),
+            Action::ForceCommitDecision { gtid } => link.force_commit(gtid),
+            Action::SendDecision { to, commit } => {
+                let frame = Request::Decision { gtid, commit };
+                match link.send(to, &frame) {
+                    Ok(()) => ack_wait.push(to),
+                    Err(_) => {
+                        link.mark_dead(to);
+                        queue.extend(coord.on_participant_failure(to));
                     }
-                    Err(_) => self.mark_dead(to),
                 }
             }
-            // After the first unreachable participant the transaction is
-            // doomed; don't spend prepares on the rest.
-            unreachable.push(to);
+            Action::Finish { commit } => *outcome = Some(commit),
         }
+    }
+}
 
-        // Collect votes from everyone actually prepared.
-        let mut votes: Vec<(usize, Vote)> = Vec::new();
-        let mut failed: Vec<usize> = unreachable;
-        let mut server_error: Option<String> = None;
-        for &p in &sent {
-            match self.recv_timed(p) {
-                Ok(Reply::Vote { gtid: g, vote }) if g == gtid => votes.push((p, vote)),
-                Ok(Reply::Error { message }) => {
-                    // Misrouted/malformed branch: the participant rolled
-                    // nothing back and holds nothing; treat as a No vote and
-                    // surface the message.
-                    server_error.get_or_insert(message);
-                    votes.push((p, Vote::No));
-                }
-                Ok(_) | Err(_) => {
-                    self.mark_dead(p);
-                    failed.push(p);
-                }
+/// Phase 2: collect an ack for every decision sent. `ack_wait` is a live
+/// worklist, not a snapshot — handling one participant's failure can emit a
+/// follow-up decision, and that decision's ack must be read too (it used to
+/// be pushed into a throwaway `Vec`, leaving the ack unread: the stale frame
+/// desynchronized the connection and the next 2PC round misread it as a
+/// vote, turning into a spurious presumed abort). Returns whether any
+/// participant failed during the phase.
+fn collect_acks<L: TwoPcLink>(
+    link: &mut L,
+    coord: &mut Coordinator,
+    gtid: u64,
+    ack_wait: &mut Vec<usize>,
+    outcome: &mut Option<bool>,
+) -> bool {
+    let mut ack_failure = false;
+    let mut next = 0;
+    while next < ack_wait.len() {
+        let to = ack_wait[next];
+        next += 1;
+        match link.recv(to) {
+            Ok(Reply::Ack { gtid: g }) if g == gtid => {
+                let actions = coord.on_ack(to);
+                process_actions(link, coord, gtid, actions, ack_wait, outcome);
+            }
+            _ => {
+                link.mark_dead(to);
+                ack_failure = true;
+                let actions = coord.on_participant_failure(to);
+                process_actions(link, coord, gtid, actions, ack_wait, outcome);
             }
         }
+    }
+    ack_failure
+}
 
-        // Drive the state machine: votes first, then failures; carry out
-        // every action it emits. Decisions are sent immediately; their acks
-        // are collected afterwards (phase 2 is pipelined like phase 1).
-        let mut ack_wait: Vec<usize> = Vec::new();
-        let mut outcome: Option<bool> = None;
-        let process = |client: &mut Self,
-                       coord: &mut Coordinator,
-                       actions: Vec<Action>,
-                       ack_wait: &mut Vec<usize>,
-                       outcome: &mut Option<bool>| {
-            // FIFO: ForceCommitDecision must hit the log before any
-            // decision message leaves.
-            let mut queue: std::collections::VecDeque<Action> = actions.into();
-            while let Some(action) = queue.pop_front() {
-                match action {
-                    Action::SendPrepare { .. } => unreachable!("prepares already sent"),
-                    Action::ForceCommitDecision { gtid } => {
-                        client
-                            .deploy
-                            .decided
-                            .lock()
-                            .expect("decision log lock")
-                            .insert(gtid, true);
-                    }
-                    Action::SendDecision { to, commit } => {
-                        let frame = Request::Decision { gtid, commit };
-                        match client.conn(to).and_then(|c| c.send_request(&frame)) {
-                            Ok(()) => ack_wait.push(to),
-                            Err(_) => {
-                                client.mark_dead(to);
-                                queue.extend(coord.on_participant_failure(to));
-                            }
-                        }
-                    }
-                    Action::Finish { commit } => *outcome = Some(commit),
-                }
-            }
+/// One full round of 2PC over `link`: prepare fan-out, vote collection,
+/// decision fan-out, ack collection, with participant failures reported to
+/// the [`Coordinator`] state machine as they surface.
+fn drive_2pc<L: TwoPcLink>(
+    link: &mut L,
+    gtid: u64,
+    parts: &[usize],
+    branches: &HashMap<usize, TxnRequest>,
+) -> io::Result<TwoPc> {
+    let (mut coord, prepares) = Coordinator::new(gtid, parts.to_vec());
+
+    // Phase 1 fan-out, exactly as the state machine instructs.
+    let mut sent: Vec<usize> = Vec::new();
+    let mut unreachable: Vec<usize> = Vec::new();
+    for action in prepares {
+        let Action::SendPrepare { to } = action else {
+            unreachable!("prepare fan-out yields only SendPrepare");
         };
-        for (p, vote) in votes {
-            let actions = coord.on_vote(p, vote);
-            process(self, &mut coord, actions, &mut ack_wait, &mut outcome);
-        }
-        let any_failure = !failed.is_empty();
-        for p in failed {
-            let actions = coord.on_participant_failure(p);
-            process(self, &mut coord, actions, &mut ack_wait, &mut outcome);
-        }
-
-        // Phase 2 ack collection.
-        let mut ack_failure = false;
-        for to in ack_wait.clone() {
-            match self.recv_timed(to) {
-                Ok(Reply::Ack { gtid: g }) if g == gtid => {
-                    let actions = coord.on_ack(to);
-                    process(self, &mut coord, actions, &mut Vec::new(), &mut outcome);
+        if unreachable.is_empty() {
+            let frame = Request::Prepare(TxnBranch {
+                gtid,
+                req: branches[&to].clone(),
+            });
+            match link.send(to, &frame) {
+                Ok(()) => {
+                    sent.push(to);
+                    continue;
                 }
-                _ => {
-                    self.mark_dead(to);
-                    ack_failure = true;
-                    let actions = coord.on_participant_failure(to);
-                    process(self, &mut coord, actions, &mut Vec::new(), &mut outcome);
-                }
+                Err(_) => link.mark_dead(to),
             }
         }
+        // After the first unreachable participant the transaction is
+        // doomed; don't spend prepares on the rest.
+        unreachable.push(to);
+    }
 
-        match outcome {
-            // A forced commit stays a commit even if an ack never arrived:
-            // the decision record is what counts (the participant resolves
-            // itself from it on recovery).
-            Some(true) => Ok(TwoPc::Commit),
-            Some(false) => {
-                if let Some(message) = server_error {
-                    Ok(TwoPc::Error(message))
-                } else if any_failure || ack_failure {
-                    Ok(TwoPc::PresumedAbort)
-                } else {
-                    Ok(TwoPc::Abort)
-                }
+    // Collect votes from everyone actually prepared.
+    let mut votes: Vec<(usize, Vote)> = Vec::new();
+    let mut failed: Vec<usize> = unreachable;
+    let mut server_error: Option<String> = None;
+    for &p in &sent {
+        match link.recv(p) {
+            Ok(Reply::Vote { gtid: g, vote }) if g == gtid => votes.push((p, vote)),
+            Ok(Reply::Error { message }) => {
+                // Misrouted/malformed branch: the participant rolled
+                // nothing back and holds nothing; treat as a No vote and
+                // surface the message.
+                server_error.get_or_insert(message);
+                votes.push((p, Vote::No));
             }
-            None => Err(io::Error::other("2PC finished without an outcome")),
+            Ok(_) | Err(_) => {
+                link.mark_dead(p);
+                failed.push(p);
+            }
         }
+    }
+
+    // Drive the state machine: votes first, then failures; carry out every
+    // action it emits. Decisions are sent immediately; their acks are
+    // collected afterwards (phase 2 is pipelined like phase 1).
+    let mut ack_wait: Vec<usize> = Vec::new();
+    let mut outcome: Option<bool> = None;
+    for (p, vote) in votes {
+        let actions = coord.on_vote(p, vote);
+        process_actions(link, &mut coord, gtid, actions, &mut ack_wait, &mut outcome);
+    }
+    let any_failure = !failed.is_empty();
+    for p in failed {
+        let actions = coord.on_participant_failure(p);
+        process_actions(link, &mut coord, gtid, actions, &mut ack_wait, &mut outcome);
+    }
+
+    let ack_failure = collect_acks(link, &mut coord, gtid, &mut ack_wait, &mut outcome);
+
+    match outcome {
+        // A forced commit stays a commit even if an ack never arrived:
+        // the decision record is what counts (the participant resolves
+        // itself from it on recovery).
+        Some(true) => Ok(TwoPc::Commit),
+        Some(false) => {
+            if let Some(message) = server_error {
+                Ok(TwoPc::Error(message))
+            } else if any_failure || ack_failure {
+                Ok(TwoPc::PresumedAbort)
+            } else {
+                Ok(TwoPc::Abort)
+            }
+        }
+        None => Err(io::Error::other("2PC finished without an outcome")),
     }
 }
 
@@ -1011,6 +1110,71 @@ mod tests {
     use islands_workload::OpKind;
 
     #[test]
+    fn rows_fewer_than_instances_is_rejected_not_misrouted() {
+        // Regression: owner_of used to clamp `per` with `.max(1)` while
+        // range_of did not, so rows < instances routed keys to instances
+        // whose loaded range was empty. The shape is now rejected up front.
+        let cfg = DeployConfig {
+            instances: 8,
+            total_rows: 4,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let err = match Deployment::spawn(&cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("spawn must reject rows < instances"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn validate_accepts_the_default_and_rejects_degenerate_shapes() {
+        assert!(DeployConfig::default().validate().is_ok());
+        for cfg in [
+            DeployConfig {
+                instances: 0,
+                ..Default::default()
+            },
+            DeployConfig {
+                row_size: 0,
+                ..Default::default()
+            },
+            DeployConfig {
+                vote_timeout: Duration::from_millis(1),
+                ..Default::default()
+            },
+        ] {
+            assert!(cfg.validate().is_err(), "{cfg:?} must not validate");
+        }
+    }
+
+    proptest::proptest! {
+        /// For every partitionable shape (rows >= instances), the range map
+        /// and the ownership map are the same function: every key of
+        /// instance i's loaded range is owned by i, and the ranges tile the
+        /// keyspace with no instance left empty.
+        #[test]
+        fn range_of_and_owner_of_agree(n in 1usize..24, extra in 0u64..2_000) {
+            let rows = n as u64 + extra; // rows >= n by construction
+            let mut covered = 0u64;
+            for i in 0..n {
+                let (lo, hi) = range_of(i, n, rows);
+                proptest::prop_assert_eq!(lo, covered, "ranges must tile");
+                proptest::prop_assert!(hi > lo, "instance {} loads an empty range", i);
+                // Endpoints and a sample of interior keys all route home.
+                for key in [lo, (lo + hi) / 2, hi - 1] {
+                    proptest::prop_assert_eq!(
+                        owner_of(key, n, rows), i,
+                        "key {} with {} instances over {} rows", key, n, rows
+                    );
+                }
+                covered = hi;
+            }
+            proptest::prop_assert_eq!(covered, rows);
+        }
+    }
+
+    #[test]
     fn ranges_tile_the_keyspace() {
         let n = 4;
         let rows = 403; // deliberately not divisible
@@ -1083,6 +1247,179 @@ mod tests {
         );
         assert_eq!(parse_stats("STATS commits=nope"), None);
         assert_eq!(parse_stats("nonsense"), None);
+    }
+
+    /// Scripted [`TwoPcLink`]: per-participant reply queues plus a full log
+    /// of sends/recvs, for driving [`drive_2pc`]/[`collect_acks`] through
+    /// failure interleavings a live deployment cannot produce on demand.
+    struct ScriptedLink {
+        replies: Vec<std::collections::VecDeque<io::Result<Reply>>>,
+        sent: Vec<Vec<Request>>,
+        recvs: Vec<usize>,
+        dead: Vec<bool>,
+        forced: Vec<u64>,
+    }
+
+    impl ScriptedLink {
+        fn new(participants: usize) -> Self {
+            ScriptedLink {
+                replies: (0..participants).map(|_| Default::default()).collect(),
+                sent: vec![Vec::new(); participants],
+                recvs: vec![0; participants],
+                dead: vec![false; participants],
+                forced: Vec::new(),
+            }
+        }
+
+        fn script(&mut self, from: usize, reply: io::Result<Reply>) {
+            self.replies[from].push_back(reply);
+        }
+
+        fn timeout() -> io::Error {
+            io::Error::new(io::ErrorKind::TimedOut, "scripted timeout")
+        }
+    }
+
+    impl TwoPcLink for ScriptedLink {
+        fn send(&mut self, to: usize, frame: &Request) -> io::Result<()> {
+            if self.dead[to] {
+                return Err(io::Error::new(io::ErrorKind::NotConnected, "dead"));
+            }
+            self.sent[to].push(frame.clone());
+            Ok(())
+        }
+
+        fn recv(&mut self, from: usize) -> io::Result<Reply> {
+            if self.dead[from] {
+                return Err(io::Error::new(io::ErrorKind::NotConnected, "dead"));
+            }
+            self.recvs[from] += 1;
+            self.replies[from].pop_front().unwrap_or_else(|| {
+                panic!("recv from {from} with nothing scripted");
+            })
+        }
+
+        fn mark_dead(&mut self, to: usize) {
+            self.dead[to] = true;
+        }
+
+        fn force_commit(&mut self, gtid: u64) {
+            self.forced.push(gtid);
+        }
+    }
+
+    fn branch_map(parts: &[usize]) -> HashMap<usize, TxnRequest> {
+        parts
+            .iter()
+            .map(|&p| {
+                (
+                    p,
+                    TxnRequest {
+                        kind: OpKind::Update,
+                        keys: vec![p as u64],
+                        multisite: true,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ack_phase_follow_up_decision_gets_its_ack_collected() {
+        // Regression: the ack loop used to hand `process` a throwaway
+        // `&mut Vec::new()`, so a decision emitted while handling an
+        // ack-phase participant failure was written but its ack never read,
+        // leaving a stale frame on that connection. The wait list is now a
+        // live worklist.
+        //
+        // Construct the coordinator mid-flight: participant 1 voted Yes;
+        // participant 0 is still owed a reply the driver is waiting on.
+        let gtid = 7;
+        let (mut coord, _) = Coordinator::new(gtid, vec![0, 1]);
+        assert!(coord.on_vote(1, Vote::Yes).is_empty());
+        let mut link = ScriptedLink::new(2);
+        // Participant 0 times out during ack collection -> its failure
+        // counts as a No vote -> the coordinator emits the abort decision
+        // for participant 1 *inside the ack phase*.
+        link.script(0, Err(ScriptedLink::timeout()));
+        link.script(1, Ok(Reply::Ack { gtid }));
+
+        let mut ack_wait = vec![0];
+        let mut outcome = None;
+        let failed = collect_acks(&mut link, &mut coord, gtid, &mut ack_wait, &mut outcome);
+
+        assert!(failed, "participant 0's timeout must be reported");
+        assert_eq!(
+            link.sent[1],
+            vec![Request::Decision {
+                gtid,
+                commit: false
+            }],
+            "the follow-up abort decision must reach participant 1"
+        );
+        // The heart of the regression: participant 1's ack must be *read*,
+        // not left rotting on the connection for the next round to misread.
+        assert_eq!(
+            link.recvs[1], 1,
+            "the follow-up decision's ack was never collected"
+        );
+        assert!(!link.dead[1], "participant 1 stays healthy");
+        assert_eq!(outcome, Some(false));
+        assert_eq!(ack_wait, vec![0, 1], "wait list is live, not a snapshot");
+    }
+
+    #[test]
+    fn scripted_unanimous_yes_commits_and_reads_every_ack() {
+        let gtid = 11;
+        let parts = [0usize, 1, 2];
+        let mut link = ScriptedLink::new(3);
+        for p in parts {
+            link.script(
+                p,
+                Ok(Reply::Vote {
+                    gtid,
+                    vote: Vote::Yes,
+                }),
+            );
+            link.script(p, Ok(Reply::Ack { gtid }));
+        }
+        let out = drive_2pc(&mut link, gtid, &parts, &branch_map(&parts)).unwrap();
+        assert!(matches!(out, TwoPc::Commit));
+        assert_eq!(link.forced, vec![gtid], "commit decision must be forced");
+        for p in parts {
+            assert_eq!(link.recvs[p], 2, "vote + ack read from {p}");
+            assert_eq!(link.sent[p].len(), 2, "prepare + decision sent to {p}");
+            assert!(!link.dead[p]);
+        }
+    }
+
+    #[test]
+    fn scripted_vote_timeout_presumes_abort_and_settles_survivors() {
+        let gtid = 13;
+        let parts = [0usize, 1];
+        let mut link = ScriptedLink::new(2);
+        link.script(
+            0,
+            Ok(Reply::Vote {
+                gtid,
+                vote: Vote::Yes,
+            }),
+        );
+        link.script(0, Ok(Reply::Ack { gtid }));
+        link.script(1, Err(ScriptedLink::timeout()));
+        let out = drive_2pc(&mut link, gtid, &parts, &branch_map(&parts)).unwrap();
+        assert!(matches!(out, TwoPc::PresumedAbort));
+        assert!(link.forced.is_empty(), "presumed abort forces nothing");
+        assert_eq!(
+            link.sent[0].last(),
+            Some(&Request::Decision {
+                gtid,
+                commit: false
+            }),
+            "survivor must receive the abort decision"
+        );
+        assert_eq!(link.recvs[0], 2, "survivor's abort ack must be read");
+        assert!(link.dead[1]);
     }
 
     #[test]

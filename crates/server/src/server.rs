@@ -364,6 +364,52 @@ impl ServerHandle {
     }
 }
 
+/// How many session handles may accumulate before a push forces a prune.
+/// Small enough that the handle list stays O(live sessions), large enough
+/// that a busy accept loop is not scanning the list on every connection.
+const SESSION_PRUNE_WATERMARK: usize = 64;
+
+/// Bookkeeping for spawned session threads.
+///
+/// Finished handles are pruned whenever a push finds the list at the
+/// watermark — not only on the accept loop's idle tick. Under sustained
+/// connection churn `accept` may never return `WouldBlock`, and the old
+/// idle-tick-only pruning let the list grow by one `JoinHandle` per
+/// connection ever accepted, without bound.
+struct SessionSet {
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SessionSet {
+    fn new() -> Self {
+        SessionSet {
+            handles: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, handle: std::thread::JoinHandle<()>) {
+        if self.handles.len() >= SESSION_PRUNE_WATERMARK {
+            self.prune();
+        }
+        self.handles.push(handle);
+    }
+
+    fn prune(&mut self) {
+        self.handles.retain(|h| !h.is_finished());
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    fn join_all(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
 fn accept_loop(
     listener: Listener,
     backend: Backend,
@@ -371,7 +417,7 @@ fn accept_loop(
     shutdown: Arc<AtomicBool>,
     counters: Arc<Counters>,
 ) -> io::Result<()> {
-    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut sessions = SessionSet::new();
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok(conn) => {
@@ -391,16 +437,14 @@ fn accept_loop(
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(config.poll_interval.min(Duration::from_millis(5)));
-                sessions.retain(|h| !h.is_finished());
+                sessions.prune();
             }
             Err(e) => return Err(e),
         }
     }
     // Drain: stop accepting (listener drops below), let sessions finish.
     drop(listener);
-    for h in sessions {
-        let _ = h.join();
-    }
+    sessions.join_all();
     Ok(())
 }
 
@@ -733,5 +777,37 @@ fn handle_decision(
         None => Reply::Error {
             message: format!("commit decision for unknown gtid {gtid}"),
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_set_stays_bounded_under_sustained_churn() {
+        // Regression: handles used to be pruned only on the accept loop's
+        // WouldBlock idle tick, so a server accepting connections
+        // back-to-back accumulated one JoinHandle per connection forever.
+        // Pushing past the watermark must prune finished handles itself.
+        let mut set = SessionSet::new();
+        for i in 0..1_000 {
+            let h = std::thread::Builder::new()
+                .spawn(|| {})
+                .expect("spawn trivial session");
+            // The session "finishes" before the next accept, as in
+            // connect/close churn; wait so the prune sees it finished.
+            while !h.is_finished() {
+                std::thread::yield_now();
+            }
+            set.push(h);
+            assert!(
+                set.len() <= SESSION_PRUNE_WATERMARK + 1,
+                "handle list grew to {} after {} churned sessions",
+                set.len(),
+                i + 1,
+            );
+        }
+        set.join_all();
     }
 }

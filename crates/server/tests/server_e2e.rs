@@ -431,3 +431,25 @@ fn drain_while_other_clients_are_connected() {
     // The drained server is gone; new submissions fail.
     assert!(idle_client.submit(&update(&[6])).is_err());
 }
+
+#[test]
+fn connection_churn_is_survived_and_counted() {
+    // Companion to the SessionSet unit regression: a server under rapid
+    // connect/use/disconnect churn keeps accepting, serves every
+    // connection, and drains cleanly afterwards.
+    let (_cluster, handle) = spawn(uds_endpoint());
+    const CHURN: u64 = 150;
+    for i in 0..CHURN {
+        let mut c = Client::connect(handle.endpoint()).unwrap();
+        match c.submit(&update(&[i % 400])).unwrap() {
+            Reply::Committed { .. } | Reply::Aborted { .. } => {}
+            other => panic!("churn connection {i}: unexpected reply {other:?}"),
+        }
+        // Dropping c closes the connection; the session thread exits.
+    }
+    let mut closer = Client::connect(handle.endpoint()).unwrap();
+    closer.drain_server().unwrap();
+    let stats = handle.join().unwrap();
+    assert_eq!(stats.connections, CHURN + 1);
+    assert_eq!(stats.requests, CHURN + 1); // one submit each + drain
+}

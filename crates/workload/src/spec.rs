@@ -30,6 +30,13 @@ pub struct MicroSpec {
     pub multisite_pct: f64,
     /// Zipfian skew factor for row selection (0 = uniform; Figure 13).
     pub skew: f64,
+    /// How many **distinct logical sites** a multisite transaction touches
+    /// (Figure 9's x-axis). `None` is the legacy model: remaining rows drawn
+    /// uniformly from the whole range, so the touched-site count is whatever
+    /// the draw produces. `Some(k)` spreads the transaction across exactly
+    /// `k` sites — the home site plus `k - 1` distinct remotes, remaining
+    /// rows assigned round-robin and drawn inside each site's range.
+    pub multisite_sites: Option<usize>,
     /// Total rows in the database.
     pub total_rows: u64,
     /// Payload bytes per row.
@@ -46,6 +53,7 @@ impl MicroSpec {
             rows_per_txn,
             multisite_pct,
             skew: 0.0,
+            multisite_sites: None,
             total_rows: crate::DEFAULT_ROWS,
             row_size: crate::DEFAULT_ROW_SIZE,
         }
@@ -54,6 +62,74 @@ impl MicroSpec {
     pub fn with_skew(mut self, skew: f64) -> Self {
         self.skew = skew;
         self
+    }
+
+    /// Pin multisite transactions to exactly `sites` distinct logical sites
+    /// (Figure 9's transaction-size axis). Requires `2 <= sites` and, at
+    /// generator construction, `sites <= n_sites` and
+    /// `sites <= rows_per_txn`.
+    pub fn with_sites(mut self, sites: usize) -> Self {
+        assert!(sites >= 2, "a multisite transaction spans at least 2 sites");
+        self.multisite_sites = Some(sites);
+        self
+    }
+
+    /// Whether this spec can generate against `n_sites` logical sites —
+    /// the **single source of truth** for the generation bounds.
+    /// [`MicroGenerator::new`] asserts exactly this; CLIs call it up front
+    /// to fail with a clean error instead of a worker panic.
+    ///
+    /// Every generation path rejects duplicate keys, so each range it
+    /// draws from must hold enough *distinct* keys or the draw loop would
+    /// spin forever. The smallest site has `total_rows / n_sites` keys
+    /// (the last site only ever gets the remainder on top): local
+    /// transactions put all `rows_per_txn` keys in one site; a `Some(k)`
+    /// multisite spread round-robins at most `ceil(rows_per_txn / k)` keys
+    /// into one site.
+    pub fn check(&self, n_sites: u64) -> Result<(), String> {
+        if n_sites < 1 || n_sites > self.total_rows {
+            return Err(format!(
+                "n_sites {n_sites} must be in 1..={} (total rows)",
+                self.total_rows
+            ));
+        }
+        if self.total_rows < self.rows_per_txn as u64 {
+            return Err(format!(
+                "{} rows per txn exceed the {}-row dataset",
+                self.rows_per_txn, self.total_rows
+            ));
+        }
+        let per = (self.total_rows / n_sites) as usize;
+        if self.multisite_pct < 1.0 && per < self.rows_per_txn {
+            return Err(format!(
+                "a local transaction's {} rows exceed the smallest site's {per} keys \
+                 ({} rows over {n_sites} sites)",
+                self.rows_per_txn, self.total_rows
+            ));
+        }
+        if let Some(k) = self.multisite_sites {
+            if k < 2 {
+                return Err("a multisite transaction spans at least 2 sites".into());
+            }
+            if k as u64 > n_sites {
+                return Err(format!("cannot touch {k} distinct sites out of {n_sites}"));
+            }
+            if k > self.rows_per_txn {
+                return Err(format!(
+                    "{} rows cannot cover {k} distinct sites",
+                    self.rows_per_txn
+                ));
+            }
+            if per < self.rows_per_txn.div_ceil(k) {
+                return Err(format!(
+                    "spreading {} rows over {k} sites needs {} distinct keys per site \
+                     but the smallest site has {per}",
+                    self.rows_per_txn,
+                    self.rows_per_txn.div_ceil(k)
+                ));
+            }
+        }
+        Ok(())
     }
 
     pub fn with_rows(mut self, total_rows: u64) -> Self {
@@ -91,7 +167,9 @@ impl MicroGenerator {
     /// partitioning used by any deployment under comparison; the paper uses
     /// one logical site per core).
     pub fn new(spec: MicroSpec, n_sites: u64) -> Self {
-        assert!(n_sites >= 1 && n_sites <= spec.total_rows);
+        if let Err(e) = spec.check(n_sites) {
+            panic!("{e}");
+        }
         let zipf = Zipf::new(spec.total_rows, spec.skew);
         MicroGenerator {
             spec,
@@ -130,12 +208,36 @@ impl MicroGenerator {
         let first = self.zipf.sample(rng);
         keys.push(first);
         if multisite {
-            // One local row + N-1 rows "chosen uniformly from the whole
-            // data range" (skewed when the experiment says so).
-            while keys.len() < n {
-                let k = self.zipf.sample(rng);
-                if !keys.contains(&k) {
-                    keys.push(k);
+            if let Some(sites) = self.spec.multisite_sites {
+                // Figure 9: exactly `sites` distinct sites — the home site
+                // plus `sites - 1` distinct remotes chosen uniformly;
+                // remaining rows round-robin over the site list, each drawn
+                // inside its site's range with the distribution folded in.
+                let home = self.site_of(first);
+                let mut chosen = Vec::with_capacity(sites);
+                chosen.push(home);
+                while chosen.len() < sites {
+                    let s = rng.gen_range(0..self.n_sites);
+                    if !chosen.contains(&s) {
+                        chosen.push(s);
+                    }
+                }
+                while keys.len() < n {
+                    let (lo, hi) = self.site_range(chosen[keys.len() % sites]);
+                    let z = self.zipf.sample(rng);
+                    let k = lo + z % (hi - lo);
+                    if !keys.contains(&k) {
+                        keys.push(k);
+                    }
+                }
+            } else {
+                // One local row + N-1 rows "chosen uniformly from the whole
+                // data range" (skewed when the experiment says so).
+                while keys.len() < n {
+                    let k = self.zipf.sample(rng);
+                    if !keys.contains(&k) {
+                        keys.push(k);
+                    }
                 }
             }
         } else {
@@ -172,6 +274,7 @@ mod tests {
                 rows_per_txn: rows,
                 multisite_pct: multisite,
                 skew: 0.0,
+                multisite_sites: None,
                 total_rows: 24_000,
                 row_size: 16,
             },
@@ -229,6 +332,77 @@ mod tests {
             assert_eq!(g.site_of(hi - 1), s);
         }
         assert_eq!(covered, 24_000);
+    }
+
+    #[test]
+    fn sites_knob_touches_exactly_k_distinct_sites() {
+        for k in [2usize, 3, 6] {
+            let spec = MicroSpec {
+                multisite_sites: Some(k),
+                ..MicroSpec::new(OpKind::Update, 8, 1.0)
+            };
+            let spec = MicroSpec {
+                total_rows: 24_000,
+                ..spec
+            };
+            let g = MicroGenerator::new(spec, 24);
+            let mut rng = SmallRng::seed_from_u64(7);
+            for _ in 0..500 {
+                let req = g.next(&mut rng);
+                assert!(req.multisite);
+                let mut sites: Vec<u64> = req.keys.iter().map(|&x| g.site_of(x)).collect();
+                let home = sites[0];
+                sites.sort_unstable();
+                sites.dedup();
+                assert_eq!(sites.len(), k, "{:?} must span exactly {k} sites", req.keys);
+                assert!(sites.contains(&home), "home site must participate");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot touch")]
+    fn sites_knob_rejects_more_sites_than_exist() {
+        let spec = MicroSpec {
+            total_rows: 24_000,
+            ..MicroSpec::new(OpKind::Update, 8, 1.0).with_sites(8)
+        };
+        let _ = MicroGenerator::new(spec, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover")]
+    fn sites_knob_rejects_more_sites_than_rows() {
+        let spec = MicroSpec {
+            total_rows: 24_000,
+            ..MicroSpec::new(OpKind::Update, 2, 1.0).with_sites(4)
+        };
+        let _ = MicroGenerator::new(spec, 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct keys per site")]
+    fn sites_knob_rejects_sites_too_small_to_fill() {
+        // Regression: 8 rows over 8 one-key sites cannot host 2 of a
+        // 4-row transaction's keys — the duplicate-rejecting draw loop
+        // used to spin forever instead of failing construction.
+        let spec = MicroSpec {
+            total_rows: 8,
+            ..MicroSpec::new(OpKind::Update, 4, 1.0).with_sites(2)
+        };
+        let _ = MicroGenerator::new(spec, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "local transaction")]
+    fn local_path_rejects_sites_smaller_than_txn() {
+        // Same hazard on the local path: all 4 rows must come from a
+        // single 1-key site.
+        let spec = MicroSpec {
+            total_rows: 8,
+            ..MicroSpec::new(OpKind::Update, 4, 0.5)
+        };
+        let _ = MicroGenerator::new(spec, 8);
     }
 
     #[test]

@@ -31,7 +31,14 @@ impl Zipf {
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2.min(n), theta);
         let alpha = 1.0 / (1.0 - theta);
-        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        // With a single item zeta2 == zetan, so the generic formula divides
+        // by zero and poisons eta with NaN/inf; every sample must be 0
+        // anyway, so pin eta to a harmless finite value.
+        let eta = if n == 1 {
+            0.0
+        } else {
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan)
+        };
         Zipf {
             n,
             alpha,
@@ -160,5 +167,25 @@ mod tests {
     fn theta_one_is_accepted() {
         let z = Zipf::new(100, 1.0);
         assert!(z.theta() < 1.0);
+    }
+
+    #[test]
+    fn single_item_distribution_is_finite_and_samples_zero() {
+        // Regression: n == 1 used to compute eta = x / (1 - zeta2/zetan)
+        // with zeta2 == zetan, i.e. a division by zero — sample() only
+        // stayed in range because the `uz < 1.0` early-out happened to fire.
+        for theta in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let z = Zipf::new(1, theta);
+            assert!(
+                z.eta.is_finite(),
+                "eta must be finite for n=1, theta={theta}: {}",
+                z.eta
+            );
+            assert!(z.zetan.is_finite() && z.alpha.is_finite());
+            let mut rng = SmallRng::seed_from_u64(11);
+            for _ in 0..1_000 {
+                assert_eq!(z.sample(&mut rng), 0);
+            }
+        }
     }
 }

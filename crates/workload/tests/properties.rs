@@ -18,6 +18,22 @@ proptest! {
         }
     }
 
+    /// The degenerate sizes stay in range too: n = 1 must always yield 0
+    /// (its eta term used to be NaN/inf), and tiny n must never round up to
+    /// an out-of-range rank at any skew.
+    #[test]
+    fn zipf_tiny_n_stays_in_range(n in 1u64..8, theta in 0.0f64..=1.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, theta);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..500 {
+            let s = z.sample(&mut rng);
+            prop_assert!(s < n, "sample {s} out of 0..{n} at theta {theta}");
+            if n == 1 {
+                prop_assert_eq!(s, 0);
+            }
+        }
+    }
+
     /// Generated transactions always have the requested row count, distinct
     /// in-range keys, and local transactions never leave their home site.
     #[test]
@@ -33,6 +49,7 @@ proptest! {
             rows_per_txn: rows,
             multisite_pct: multisite,
             skew,
+            multisite_sites: None,
             total_rows: 24_000,
             row_size: 16,
         };
@@ -50,6 +67,45 @@ proptest! {
                 let home = g.site_of(req.keys[0]);
                 prop_assert!(req.keys.iter().all(|&x| g.site_of(x) == home));
             }
+        }
+    }
+
+    /// With the Figure 9 sites knob pinned to `k`, every multisite
+    /// transaction touches exactly `k` distinct logical sites (home
+    /// included), at any skew, with distinct in-range keys.
+    #[test]
+    fn sites_knob_spreads_exactly_k_sites(
+        k in 2u64..8,
+        extra_rows in 0usize..6,
+        skew in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let rows = k as usize + extra_rows; // rows_per_txn >= k
+        let spec = MicroSpec {
+            kind: OpKind::Update,
+            rows_per_txn: rows,
+            multisite_pct: 1.0,
+            skew,
+            multisite_sites: Some(k as usize),
+            total_rows: 24_000,
+            row_size: 16,
+        };
+        let g = MicroGenerator::new(spec, 24);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let req = g.next(&mut rng);
+            prop_assert_eq!(req.keys.len(), rows);
+            let mut distinct = req.keys.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), rows, "keys must be distinct");
+            prop_assert!(req.keys.iter().all(|&x| x < 24_000));
+            let mut sites: Vec<u64> = req.keys.iter().map(|&x| g.site_of(x)).collect();
+            let home = sites[0];
+            sites.sort_unstable();
+            sites.dedup();
+            prop_assert_eq!(sites.len() as u64, k);
+            prop_assert!(sites.contains(&home));
         }
     }
 
