@@ -32,6 +32,7 @@ use islands_bench::drive::{
     DriveResult, DriveTarget, TeardownReport,
 };
 use islands_bench::jsonscan::{int_field, num_field, str_field};
+use islands_core::native::EngineMode;
 use islands_hwtopo::{granularity_configs, HostTopology};
 use islands_server::deploy::{self, DeployConfig, Deployment, SpawnMode, Transport};
 use islands_workload::{MicroSpec, OpKind};
@@ -44,6 +45,15 @@ USAGE:
 OPTIONS:
   --quick               reduced sweep: 0.5s cells, 4 clients, multisite
                         {0,20,80}% (explicit flags still win)
+  --engine LIST         comma-separated engine modes to sweep: locked
+                        (sessions execute inline under 2PL) and/or serial
+                        (one pinned executor thread per partition, no
+                        lock table on local transactions; default locked).
+                        Listing both prints the locked-vs-serial
+                        comparison per granularity
+  --assert-serial-wins  with both engines swept, exit nonzero unless the
+                        serial engine beats the locked engine's committed
+                        throughput in every 0%-multisite cell
   --transport uds|tcp   transport for instance processes (default uds)
   --clients N           concurrent clients per cell (default 8; quick 4)
   --secs S              measured seconds per cell (default 2; quick 0.5)
@@ -75,6 +85,8 @@ OPTIONS:
 #[derive(Debug, Clone)]
 struct Args {
     quick: bool,
+    engines: Vec<EngineMode>,
+    assert_serial_wins: bool,
     transport: String,
     clients: Option<usize>,
     secs: Option<f64>,
@@ -97,6 +109,8 @@ impl Default for Args {
     fn default() -> Self {
         Args {
             quick: false,
+            engines: vec![EngineMode::Locked],
+            assert_serial_wins: false,
             transport: "uds".into(),
             clients: None,
             secs: None,
@@ -146,6 +160,19 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--quick" => args.quick = true,
+            "--engine" => {
+                let list = value("--engine")?;
+                let engines: Vec<EngineMode> = list
+                    .split(',')
+                    .filter(|p| !p.is_empty())
+                    .map(|p| EngineMode::parse(p.trim()))
+                    .collect::<Result<_, _>>()?;
+                if engines.is_empty() {
+                    return Err(format!("empty engine list {list:?}"));
+                }
+                args.engines = engines;
+            }
+            "--assert-serial-wins" => args.assert_serial_wins = true,
             "--transport" => args.transport = value("--transport")?,
             "--clients" => args.clients = Some(num(&value("--clients")?)?),
             "--secs" => args.secs = Some(num(&value("--secs")?)?),
@@ -211,6 +238,21 @@ fn parse_args() -> Result<Args, String> {
     if !(0.0..=1.0).contains(&args.tolerance) {
         return Err("--tolerance must be 0-1".into());
     }
+    {
+        let mut seen = Vec::new();
+        for &e in &args.engines {
+            if seen.contains(&e) {
+                return Err(format!("--engine lists {e} twice"));
+            }
+            seen.push(e);
+        }
+    }
+    if args.assert_serial_wins
+        && !(args.engines.contains(&EngineMode::Locked)
+            && args.engines.contains(&EngineMode::Serial))
+    {
+        return Err("--assert-serial-wins needs --engine locked,serial".into());
+    }
     Ok(args)
 }
 
@@ -225,6 +267,7 @@ struct Config {
 struct Cell {
     label: String,
     instances: usize,
+    engine: EngineMode,
     multisite_pct: f64,
     sites: usize, // 0 = unconstrained
     skew: f64,
@@ -277,6 +320,7 @@ fn cell_spec(args: &Args, pct: f64, sites: usize, skew: f64) -> MicroSpec {
 fn run_cell(
     args: &Args,
     config: &Config,
+    engine: EngineMode,
     pct: f64,
     sites: usize,
     skew: f64,
@@ -296,6 +340,7 @@ fn run_cell(
         total_rows: args.rows,
         row_size: 64,
         retry_limit: args.retry_limit,
+        engine,
         pin: args.pin,
         spawn: SpawnMode::SelfExec,
         ..Default::default()
@@ -318,6 +363,7 @@ fn run_cell(
     Ok(Cell {
         label: config.label.clone(),
         instances: config.instances,
+        engine,
         multisite_pct: pct,
         sites,
         skew,
@@ -349,15 +395,16 @@ fn sites_label(sites: usize) -> String {
 fn markdown_table(cells: &[Cell]) -> String {
     let mut out = String::new();
     out.push_str(
-        "| granularity | instances | multisite % | sites | skew | tput tps | \
+        "| granularity | instances | engine | multisite % | sites | skew | tput tps | \
          local tps | multi tps | multi p95 us | presumed aborts | leaks | clean |\n",
     );
-    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
     for c in cells {
         out.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {:.0} | {:.0} | {:.0} | {} | {} | {} | {} |\n",
+            "| {} | {} | {} | {} | {} | {} | {:.0} | {:.0} | {:.0} | {} | {} | {} | {} |\n",
             c.label,
             c.instances,
+            c.engine,
             c.multisite_pct,
             sites_label(c.sites),
             c.skew,
@@ -385,13 +432,15 @@ fn cell_json(c: &Cell) -> String {
         .collect::<Vec<_>>()
         .join(", ");
     format!(
-        "{{\"granularity\":\"{}\",\"instances\":{},\"multisite_pct\":{},\"sites\":{},\
+        "{{\"granularity\":\"{}\",\"instances\":{},\"engine\":\"{}\",\"multisite_pct\":{},\
+         \"sites\":{},\
          \"skew\":{},\"committed\":{},\"throughput_tps\":{:.1},\
          \"coordinator_presumed_aborts\":{},\"unclean_instances\":{},\"in_doubt_leaks\":{},\
          \"client_failures\":{},\"pinned\":{},\"elapsed_secs\":{:.3},\
          \"local\":{},\"multisite\":{},\"instance_exits\":[{}]}}",
         c.label,
         c.instances,
+        c.engine,
         c.multisite_pct,
         c.sites,
         c.skew,
@@ -430,8 +479,15 @@ fn write_json(
         topo.machine.sockets,
         topo.machine.total_cores(),
     ));
+    let engines = args
+        .engines
+        .iter()
+        .map(|e| format!("\"{e}\""))
+        .collect::<Vec<_>>()
+        .join(",");
     out.push_str(&format!(
-        "  \"config\": {{\"transport\":\"{}\",\"clients\":{clients},\"secs\":{secs},\
+        "  \"config\": {{\"transport\":\"{}\",\"engines\":[{engines}],\
+         \"clients\":{clients},\"secs\":{secs},\
          \"kind\":\"{}\",\"rows_per_txn\":{},\"rows\":{},\"n_sites\":{n_sites},\
          \"quick\":{}}},\n",
         args.transport,
@@ -475,15 +531,20 @@ fn gate_against_baseline(path: &str, tolerance: f64, cells: &[Cell]) -> Result<(
         let found = baseline_cells.iter().find(|l| {
             str_field(l, "granularity") == Some(c.label.as_str())
                 && int_field(l, "instances") == Some(c.instances as i64)
+                // Baselines written before the engine axis existed carry no
+                // engine field; they were all locked-engine runs.
+                && str_field(l, "engine").unwrap_or(EngineMode::Locked.label())
+                    == c.engine.label()
                 && num_field(l, "multisite_pct") == Some(c.multisite_pct)
                 && int_field(l, "sites") == Some(c.sites as i64)
                 && num_field(l, "skew") == Some(c.skew)
         });
         let Some(line) = found else {
             println!(
-                "baseline: no cell for {} x{} multisite={} sites={} skew={} (skipped)",
+                "baseline: no cell for {} x{} engine={} multisite={} sites={} skew={} (skipped)",
                 c.label,
                 c.instances,
+                c.engine,
                 c.multisite_pct,
                 sites_label(c.sites),
                 c.skew
@@ -498,10 +559,11 @@ fn gate_against_baseline(path: &str, tolerance: f64, cells: &[Cell]) -> Result<(
         let got = c.result.throughput_tps();
         if got < floor {
             failures.push(format!(
-                "{} x{} multisite={} sites={} skew={}: {got:.0} tps < floor {floor:.0} \
-                 (baseline {base_tput:.0}, tolerance {tolerance})",
+                "{} x{} engine={} multisite={} sites={} skew={}: {got:.0} tps < floor \
+                 {floor:.0} (baseline {base_tput:.0}, tolerance {tolerance})",
                 c.label,
                 c.instances,
+                c.engine,
                 c.multisite_pct,
                 sites_label(c.sites),
                 c.skew,
@@ -521,6 +583,72 @@ fn gate_against_baseline(path: &str, tolerance: f64, cells: &[Cell]) -> Result<(
         Err(format!(
             "throughput below the baseline band:\n  {}",
             failures.join("\n  ")
+        ))
+    }
+}
+
+/// The paper-style locked-vs-serial comparison: for every workload point
+/// swept under both engine modes, one line with both committed throughputs
+/// and the serial/locked ratio. Returns the 0%-multisite pairs for the
+/// `--assert-serial-wins` gate.
+fn engine_comparison(cells: &[Cell]) -> Vec<(String, f64, f64, f64)> {
+    let mut zero_pct_pairs = Vec::new();
+    let mut printed_header = false;
+    for locked in cells.iter().filter(|c| c.engine == EngineMode::Locked) {
+        let Some(serial) = cells.iter().find(|c| {
+            c.engine == EngineMode::Serial
+                && c.label == locked.label
+                && c.instances == locked.instances
+                && c.multisite_pct == locked.multisite_pct
+                && c.sites == locked.sites
+                && c.skew == locked.skew
+        }) else {
+            continue;
+        };
+        if !printed_header {
+            println!("\nlocked vs serial (committed tps):");
+            printed_header = true;
+        }
+        let l = locked.result.throughput_tps();
+        let s = serial.result.throughput_tps();
+        let ratio = s / l.max(f64::MIN_POSITIVE);
+        let point = format!(
+            "{} x{} multisite={}% sites={} skew={}",
+            locked.label,
+            locked.instances,
+            locked.multisite_pct,
+            sites_label(locked.sites),
+            locked.skew,
+        );
+        println!("  {point}: locked {l:.0} serial {s:.0} (serial/locked {ratio:.2}x)");
+        if locked.multisite_pct == 0.0 {
+            zero_pct_pairs.push((point, l, s, ratio));
+        }
+    }
+    zero_pct_pairs
+}
+
+/// `--assert-serial-wins`: on every 0%-multisite point swept under both
+/// engines, serial must beat locked on committed throughput — the paper's
+/// headline claim for fine-grained shared-nothing, which the executor mode
+/// exists to realize.
+fn gate_serial_wins(pairs: &[(String, f64, f64, f64)]) -> Result<(), String> {
+    if pairs.is_empty() {
+        return Err(
+            "--assert-serial-wins: no 0%-multisite point was swept under both engines".into(),
+        );
+    }
+    let losses: Vec<String> = pairs
+        .iter()
+        .filter(|(_, l, s, _)| s <= l)
+        .map(|(point, l, s, _)| format!("{point}: serial {s:.0} <= locked {l:.0}"))
+        .collect();
+    if losses.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "serial engine failed to beat the locked engine at 0% multisite:\n  {}",
+            losses.join("\n  ")
         ))
     }
 }
@@ -574,15 +702,17 @@ fn run() -> Result<(), String> {
     // 0%-multisite cells (no multisite transactions exist to spread), so
     // only its first entry runs there — duplicate deployments would spend
     // full spawn/drive/teardown cycles measuring the same workload.
-    let mut plan: Vec<(&Config, f64, usize, f64)> = Vec::new();
+    let mut plan: Vec<(&Config, EngineMode, f64, usize, f64)> = Vec::new();
     for config in &configs {
-        for &pct in &multisite {
-            for &sites in &args.sites {
-                if pct == 0.0 && sites != args.sites[0] {
-                    continue;
-                }
-                for &skew in &args.skews {
-                    plan.push((config, pct, sites, skew));
+        for &engine in &args.engines {
+            for &pct in &multisite {
+                for &sites in &args.sites {
+                    if pct == 0.0 && sites != args.sites[0] {
+                        continue;
+                    }
+                    for &skew in &args.skews {
+                        plan.push((config, engine, pct, sites, skew));
+                    }
                 }
             }
         }
@@ -591,7 +721,7 @@ fn run() -> Result<(), String> {
     // MicroSpec::check (the single source of truth the generator asserts),
     // so an unsatisfiable combination is a clean CLI error instead of a
     // worker panic mid-sweep.
-    for &(_, pct, sites, skew) in &plan {
+    for &(_, _, pct, sites, skew) in &plan {
         cell_spec(&args, pct, sites, skew)
             .check(n_sites)
             .map_err(|e| {
@@ -604,12 +734,13 @@ fn run() -> Result<(), String> {
 
     let total_cells = plan.len();
     println!(
-        "islands-sweep: host {} socket(s) x {} core(s); {} config(s) x {} multisite x \
-         {} sites x {} skew = {total_cells} cells ({} clients, {secs}s each, {} rows, \
-         n_sites={n_sites})",
+        "islands-sweep: host {} socket(s) x {} core(s); {} config(s) x {} engine(s) x \
+         {} multisite x {} sites x {} skew = {total_cells} cells ({} clients, {secs}s \
+         each, {} rows, n_sites={n_sites})",
         topo.machine.sockets,
         topo.machine.total_cores(),
         configs.len(),
+        args.engines.len(),
         multisite.len(),
         args.sites.len(),
         args.skews.len(),
@@ -622,21 +753,22 @@ fn run() -> Result<(), String> {
 
     let mut cells: Vec<Cell> = Vec::with_capacity(total_cells);
     let mut cell_errors: Vec<String> = Vec::new();
-    for (config, pct, sites, skew) in plan {
+    for (config, engine, pct, sites, skew) in plan {
         // Seed from the *attempt* index (completed + failed), so a failed
         // cell does not shift every later cell onto a reused seed and
         // break run-to-run reproducibility.
         let attempt = (cells.len() + cell_errors.len()) as u64 + 1;
         let seed = 0x5eed ^ (attempt * 0x9e37_79b9);
         print!(
-            "cell {attempt}/{total_cells}: {} x{} multisite={pct}% sites={} skew={skew} ... ",
+            "cell {attempt}/{total_cells}: {} x{} engine={engine} multisite={pct}% \
+             sites={} skew={skew} ... ",
             config.label,
             config.instances,
             sites_label(sites),
         );
         std::io::stdout().flush().ok();
         match run_cell(
-            &args, config, pct, sites, skew, n_sites, clients, secs, seed,
+            &args, config, engine, pct, sites, skew, n_sites, clients, secs, seed,
         ) {
             Ok(cell) => {
                 println!(
@@ -667,6 +799,8 @@ fn run() -> Result<(), String> {
         .map_err(|e| format!("write {}: {e}", args.json))?;
     println!("wrote {}", args.json);
 
+    let zero_pct_pairs = engine_comparison(&cells);
+
     if !cell_errors.is_empty() {
         return Err(format!("{} cell(s) failed to run", cell_errors.len()));
     }
@@ -679,6 +813,13 @@ fn run() -> Result<(), String> {
     }
     if let Some(baseline) = &args.baseline {
         gate_against_baseline(baseline, args.tolerance, &cells)?;
+    }
+    if args.assert_serial_wins {
+        gate_serial_wins(&zero_pct_pairs)?;
+        println!(
+            "serial engine beat the locked engine on all {} 0%-multisite point(s)",
+            zero_pct_pairs.len()
+        );
     }
     println!(
         "sweep complete: {} cells, all drained clean, zero in-doubt leaks",

@@ -36,7 +36,7 @@ use islands_bench::drive::{
     class_json, drive, instance_json, percentile, shutdown_deployment, ClassTally, DriveConfig,
     DriveTarget,
 };
-use islands_core::native::{NativeCluster, NativeClusterConfig};
+use islands_core::native::{EngineMode, NativeCluster, NativeClusterConfig};
 use islands_server::deploy::{self, DeployConfig, Deployment, SpawnMode, Transport};
 use islands_server::{Client, Endpoint, InstanceExit, Server, ServerConfig, ServerHandle};
 use islands_workload::{MicroSpec, OpKind};
@@ -50,6 +50,11 @@ OPTIONS:
   --deploy proc|inproc  proc (default): N pinned server processes, one per
                         instance, wire-level 2PC for multisite txns;
                         inproc: one server process around a NativeCluster
+  --engine locked|serial
+                        how spawned instance processes execute (proc mode):
+                        locked (default) runs sessions inline under 2PL;
+                        serial runs one pinned executor thread per
+                        partition with no lock-table acquisition
   --transport uds|tcp   transport for the spawned server(s) (default uds)
   --uds-path PATH       socket path for inproc uds (default: temp dir)
   --connect EP          drive an existing single server instead of spawning;
@@ -82,6 +87,7 @@ OPTIONS:
 #[derive(Debug, Clone)]
 struct Args {
     deploy: String,
+    engine: EngineMode,
     transport: String,
     uds_path: Option<String>,
     connect: Option<String>,
@@ -104,6 +110,7 @@ impl Default for Args {
     fn default() -> Self {
         Args {
             deploy: "proc".into(),
+            engine: EngineMode::Locked,
             transport: "uds".into(),
             uds_path: None,
             connect: None,
@@ -147,6 +154,7 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--deploy" => args.deploy = value("--deploy")?,
+            "--engine" => args.engine = EngineMode::parse(&value("--engine")?)?,
             "--transport" => args.transport = value("--transport")?,
             "--uds-path" => args.uds_path = Some(value("--uds-path")?),
             "--connect" => args.connect = Some(value("--connect")?),
@@ -184,6 +192,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.deploy != "proc" && args.deploy != "inproc" {
         return Err(format!("--deploy proc|inproc, got {}", args.deploy));
+    }
+    if args.engine == EngineMode::Serial && (args.deploy != "proc" || args.connect.is_some()) {
+        return Err(
+            "--engine serial applies to spawned instance processes (--deploy proc, no --connect)"
+                .into(),
+        );
     }
     if args.clients == 0 {
         return Err("--clients must be >= 1".into());
@@ -334,10 +348,12 @@ fn write_json(
     out.push_str("{\n");
     out.push_str("  \"schema\": \"islands-loadgen/1\",\n");
     out.push_str(&format!(
-        "  \"config\": {{\"deploy\":\"{}\",\"transport\":\"{}\",\"instances\":{},\
+        "  \"config\": {{\"deploy\":\"{}\",\"engine\":\"{}\",\"transport\":\"{}\",\
+         \"instances\":{},\
          \"clients\":{},\"secs\":{},\"mode\":{mode},\"kind\":\"{}\",\"rows_per_txn\":{},\
          \"multisite_pct\":{},\"sites\":{sites},\"skew\":{},\"rows\":{},\"pinned\":{}}},\n",
         args.deploy,
+        args.engine,
         args.transport,
         args.instances,
         args.clients,
@@ -392,6 +408,7 @@ fn run() -> Result<bool, String> {
                 total_rows: args.rows,
                 row_size: 64,
                 retry_limit: args.retry_limit,
+                engine: args.engine,
                 pin: args.pin,
                 spawn: SpawnMode::SelfExec,
                 ..Default::default()
@@ -411,10 +428,11 @@ fn run() -> Result<bool, String> {
     };
     let where_ = match &target {
         Target::Deployment(d) => format!(
-            "{} processes ({}, {})",
+            "{} processes ({}, {}, {} engine)",
             d.instances(),
             args.transport,
             if d.pinned() { "pinned" } else { "unpinned" },
+            args.engine,
         ),
         Target::Inproc(_, ep) => format!("{ep} (inproc)"),
         Target::External(ep) => format!("{ep} (external)"),

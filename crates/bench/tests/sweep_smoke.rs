@@ -108,3 +108,57 @@ fn minimal_sweep_runs_clean_and_emits_coherent_json() {
     }
     assert_eq!(committed_sum, total_committed, "totals must sum the cells");
 }
+
+#[test]
+fn serial_engine_cell_runs_clean_and_carries_its_engine_label() {
+    // The --engine axis end to end: a serial-executor cell spawns real
+    // instance processes whose partitions execute on dedicated threads,
+    // commits transactions, drains clean, and stamps its cells with the
+    // engine label (what baseline matching keys on).
+    let json_path =
+        std::env::temp_dir().join(format!("islands-sweep-serial-{}.json", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_islands-sweep"))
+        .args([
+            "--instances",
+            "2",
+            "--multisite",
+            "0,50",
+            "--engine",
+            "serial",
+            "--secs",
+            "0.3",
+            "--clients",
+            "2",
+            "--rows",
+            "400",
+            "--rows-per-txn",
+            "2",
+            "--pin",
+            "off",
+            "--json",
+        ])
+        .arg(&json_path)
+        .output()
+        .expect("run islands-sweep");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "serial sweep failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(stdout.contains("sweep complete"), "{stdout}");
+
+    let text = std::fs::read_to_string(&json_path).expect("sweep JSON written");
+    let _ = std::fs::remove_file(&json_path);
+    let cells: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("\"granularity\":"))
+        .collect();
+    assert_eq!(cells.len(), 2, "{text}");
+    for cell in &cells {
+        assert_eq!(str_field(cell, "engine"), Some("serial"), "{cell}");
+        assert!(int_field(cell, "committed").unwrap() > 0, "{cell}");
+        assert_eq!(int_field(cell, "in_doubt_leaks"), Some(0), "{cell}");
+        assert_eq!(int_field(cell, "unclean_instances"), Some(0), "{cell}");
+    }
+}

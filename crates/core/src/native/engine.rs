@@ -44,6 +44,10 @@ pub struct PartitionConfig {
     pub lock_timeout: Duration,
     /// One worker ⇒ skip locking (the paper's fine-grained optimization).
     pub single_threaded: bool,
+    /// Group-commit window for the instance's WAL. Worth its latency only
+    /// when concurrent committers can share a flush; a serial executor has
+    /// exactly one committer and runs it at zero.
+    pub group_window: Duration,
 }
 
 impl Default for PartitionConfig {
@@ -55,6 +59,7 @@ impl Default for PartitionConfig {
             buffer_frames: 4096,
             lock_timeout: Duration::from_millis(200),
             single_threaded: false,
+            group_window: InstanceOptions::default().group_window,
         }
     }
 }
@@ -90,6 +95,7 @@ impl PartitionEngine {
                 buffer_frames: cfg.buffer_frames,
                 single_threaded: cfg.single_threaded,
                 lock_timeout: cfg.lock_timeout,
+                group_window: cfg.group_window,
                 ..Default::default()
             },
         );
@@ -121,7 +127,7 @@ impl PartitionEngine {
         &self.inst
     }
 
-    fn check_keys(&self, req: &TxnRequest) -> Result<(), StorageError> {
+    pub(crate) fn check_keys(&self, req: &TxnRequest) -> Result<(), StorageError> {
         match req.keys.iter().find(|&&k| !self.owns(k)) {
             Some(&k) => Err(StorageError::KeyNotFound(k)),
             None => Ok(()),
@@ -183,7 +189,7 @@ impl PartitionEngine {
                         });
                     }
                     retries += 1;
-                    std::thread::yield_now();
+                    super::contention_backoff(retries);
                 }
                 Err(e) => return Err(e),
             }

@@ -28,8 +28,40 @@ use crate::partition::{instance_of_site, RangeSites, SiteMap};
 use crate::plan::{plan_micro, OpType, TxnPlan, MICRO_TABLE};
 
 pub mod engine;
+pub mod executor;
 
 pub use engine::{BranchOutcome, PartitionConfig, PartitionEngine};
+pub use executor::{
+    DecideOutcome, EngineMode, ExecError, ExecutorConfig, ExecutorSession, PartitionExecutor,
+};
+
+/// Delay before the `retries`-th re-attempt of a contention-aborted
+/// transaction: `None` for the first few attempts (just yield — the
+/// conflicting lock holder is usually mid-commit), then exponential from
+/// 1 µs, capped at 256 µs so a long queue of victims never sleeps past the
+/// lock-wait scale it is trying to avoid.
+pub fn contention_backoff_delay(retries: u32) -> Option<Duration> {
+    const YIELD_ONLY: u32 = 4;
+    const CAP_SHIFT: u32 = 8; // 2^8 us = 256 us
+    if retries < YIELD_ONLY {
+        return None;
+    }
+    Some(Duration::from_micros(
+        1 << (retries - YIELD_ONLY).min(CAP_SHIFT),
+    ))
+}
+
+/// Wait out one contention-abort retry. A bare `yield_now` per retry causes
+/// retry storms under skew: every victim re-attacks the same hot key the
+/// instant it is rescheduled, burning its whole retry budget while the
+/// winner is still committing. Backing off exponentially (capped) spreads
+/// the victims out instead.
+pub fn contention_backoff(retries: u32) {
+    match contention_backoff_delay(retries) {
+        None => std::thread::yield_now(),
+        Some(d) => std::thread::sleep(d),
+    }
+}
 
 /// Configuration for a native micro-benchmark cluster.
 #[derive(Debug, Clone)]
@@ -333,7 +365,7 @@ impl NativeCluster {
                         });
                     }
                     retries += 1;
-                    std::thread::yield_now();
+                    contention_backoff(retries);
                 }
                 Err(e) => return Err(e),
             }
@@ -383,6 +415,7 @@ impl NativeCluster {
                 while !stop.load(Ordering::Relaxed) {
                     let plan = gen(t, seq);
                     seq += 1;
+                    let mut attempt = 0u32;
                     loop {
                         match cluster.execute(&plan) {
                             Ok(was_distributed) => {
@@ -396,10 +429,11 @@ impl NativeCluster {
                             | Err(StorageError::LockTimeout(_))
                             | Err(StorageError::MustAbort(_)) => {
                                 aborts.fetch_add(1, Ordering::Relaxed);
+                                attempt += 1;
                                 if stop.load(Ordering::Relaxed) {
                                     break;
                                 }
-                                std::thread::yield_now();
+                                contention_backoff(attempt);
                             }
                             Err(e) => panic!("unexpected engine error: {e}"),
                         }
@@ -581,6 +615,93 @@ mod tests {
             );
         }
         assert_eq!(c.audit_sum().unwrap(), 10);
+    }
+
+    #[test]
+    fn contention_backoff_yields_then_escalates_and_caps() {
+        // First attempts only yield: the conflicting holder is usually
+        // mid-commit and a sleep would overshoot.
+        for r in 0..4 {
+            assert_eq!(contention_backoff_delay(r), None, "retry {r} must yield");
+        }
+        // Then exponential from 1 us...
+        assert_eq!(contention_backoff_delay(4), Some(Duration::from_micros(1)));
+        assert_eq!(contention_backoff_delay(5), Some(Duration::from_micros(2)));
+        assert_eq!(contention_backoff_delay(8), Some(Duration::from_micros(16)));
+        // ...monotone non-decreasing and capped at 256 us forever.
+        let mut prev = Duration::ZERO;
+        for r in 4..2_000 {
+            let d = contention_backoff_delay(r).unwrap();
+            assert!(d >= prev, "backoff regressed at retry {r}");
+            assert!(d <= Duration::from_micros(256), "cap blown at retry {r}");
+            prev = d;
+        }
+        assert_eq!(
+            contention_backoff_delay(u32::MAX),
+            Some(Duration::from_micros(256)),
+            "no overflow at the extreme"
+        );
+    }
+
+    #[test]
+    fn high_contention_retries_stay_bounded_under_backoff() {
+        // Regression: the retry loop used to only yield_now(), so victims
+        // of a hot key re-attacked it the instant they were rescheduled and
+        // could burn their whole budget in a storm. With capped exponential
+        // backoff, every submission against a single contended key must
+        // commit, and the aggregate retry count stays far below the budget.
+        use islands_workload::OpKind;
+        let c = Arc::new(
+            NativeCluster::build_micro(&NativeClusterConfig {
+                n_instances: 1,
+                total_rows: 64,
+                row_size: 16,
+                workers_per_instance: 4,
+                buffer_frames: 256,
+                lock_timeout: Duration::from_millis(50),
+            })
+            .unwrap(),
+        );
+        const THREADS: usize = 4;
+        const TXNS: u64 = 50;
+        // Generous budget: wait-die re-stamps a victim younger on every
+        // retry, so under sustained contention individual victims can lose
+        // many rounds — the storm bound below is the real assertion.
+        const BUDGET: u32 = 2048;
+        let total_retries = Arc::new(AtomicU64::new(0));
+        let mut workers = Vec::new();
+        for _ in 0..THREADS {
+            let c = Arc::clone(&c);
+            let total_retries = Arc::clone(&total_retries);
+            workers.push(std::thread::spawn(move || {
+                for _ in 0..TXNS {
+                    let out = c
+                        .submit(
+                            &TxnRequest {
+                                kind: OpKind::Update,
+                                keys: vec![7],
+                                multisite: false,
+                            },
+                            BUDGET,
+                        )
+                        .unwrap();
+                    assert!(out.committed, "hot-key submission exhausted its budget");
+                    total_retries.fetch_add(out.retries as u64, Ordering::Relaxed);
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(c.audit_sum().unwrap(), THREADS as u64 * TXNS);
+        let retries = total_retries.load(Ordering::Relaxed);
+        let txns = THREADS as u64 * TXNS;
+        assert!(
+            retries < txns * 64,
+            "retry storm: {retries} retries across {txns} hot-key txns \
+             (mean {:.1} per txn)",
+            retries as f64 / txns as f64,
+        );
     }
 
     #[test]

@@ -49,7 +49,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use islands_core::native::{PartitionConfig, PartitionEngine};
+use islands_core::native::{
+    EngineMode, ExecutorConfig, PartitionConfig, PartitionEngine, PartitionExecutor,
+};
 use islands_dtxn::{Action, Coordinator, Vote};
 use islands_hwtopo::{island_cpu_lists, HostTopology};
 use islands_workload::{TxnBranch, TxnRequest};
@@ -101,6 +103,10 @@ pub struct DeployConfig {
     pub lock_timeout: Duration,
     /// Run instances without locking (only sound for one client).
     pub single_threaded: bool,
+    /// How each instance executes: [`EngineMode::Locked`] (sessions execute
+    /// inline under 2PL) or [`EngineMode::Serial`] (one pinned executor
+    /// thread per partition, no lock table on the local fast path).
+    pub engine: EngineMode,
     /// Pin instance processes to island core sets via `taskset`.
     pub pin: bool,
     pub spawn: SpawnMode,
@@ -152,6 +158,7 @@ impl Default for DeployConfig {
             retry_limit: 64,
             lock_timeout: Duration::from_millis(200),
             single_threaded: false,
+            engine: EngineMode::Locked,
             pin: true,
             spawn: SpawnMode::SelfExec,
             vote_timeout: Duration::from_secs(5),
@@ -363,6 +370,15 @@ impl Deployment {
                 .stdout(Stdio::piped());
             if cfg.single_threaded {
                 cmd.arg("--single-threaded");
+            }
+            if cfg.engine == EngineMode::Serial {
+                cmd.args(["--engine", EngineMode::Serial.label()]);
+                // The child's executor thread re-pins itself to the same
+                // island list the process is wrapped in (keeps the pin if
+                // something else in the child widens the process mask).
+                if let (true, Some(cpus)) = (taskset, &pins[i]) {
+                    cmd.args(["--pin-cpus", cpus]);
+                }
             }
             let mut child = cmd.spawn()?;
             let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
@@ -1034,6 +1050,8 @@ fn run_instance(args: &[String]) -> io::Result<bool> {
     let mut retry_limit = 64u32;
     let mut lock_ms = 200u64;
     let mut single_threaded = false;
+    let mut engine_mode = EngineMode::Locked;
+    let mut pin_cpus: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -1067,22 +1085,50 @@ fn run_instance(args: &[String]) -> io::Result<bool> {
                 lock_ms = v.parse().map_err(|_| parse_err("--lock-ms", v))?;
             }
             "--single-threaded" => single_threaded = true,
+            "--engine" => {
+                let v = value("--engine")?;
+                engine_mode = EngineMode::parse(v).map_err(io::Error::other)?;
+            }
+            "--pin-cpus" => pin_cpus = Some(value("--pin-cpus")?.clone()),
             other => return Err(io::Error::other(format!("unknown instance flag {other}"))),
         }
     }
     let endpoint = endpoint.ok_or_else(|| io::Error::other("--endpoint is required"))?;
 
-    let engine = PartitionEngine::build(&PartitionConfig {
+    let partition = PartitionConfig {
         lo,
         hi,
         row_size,
         lock_timeout: Duration::from_millis(lock_ms),
         single_threaded,
         ..Default::default()
-    })
-    .map_err(|e| io::Error::other(format!("partition build failed: {e}")))?;
+    };
+    // Serial mode: keep a handle to the executor so it can be shut down
+    // (and its thread joined) after the server drains.
+    let mut executor: Option<Arc<PartitionExecutor>> = None;
+    let backend = match engine_mode {
+        EngineMode::Locked => {
+            let engine = PartitionEngine::build(&partition)
+                .map_err(|e| io::Error::other(format!("partition build failed: {e}")))?;
+            Backend::Partition(Arc::new(engine))
+        }
+        EngineMode::Serial => {
+            // The child process is already taskset-pinned to its island's
+            // cores; --pin-cpus re-pins the executor thread to the same
+            // list explicitly (and records the fact in its stats).
+            let exec = PartitionExecutor::spawn(ExecutorConfig {
+                partition,
+                pin_cpus,
+                ..Default::default()
+            })
+            .map_err(|e| io::Error::other(format!("executor build failed: {e}")))?;
+            let exec = Arc::new(exec);
+            executor = Some(Arc::clone(&exec));
+            Backend::Executor(exec)
+        }
+    };
     let handle = Server::spawn_backend(
-        Backend::Partition(Arc::new(engine)),
+        backend,
         endpoint,
         ServerConfig {
             retry_limit,
@@ -1098,6 +1144,13 @@ fn run_instance(args: &[String]) -> io::Result<bool> {
         out.flush()?;
     }
     let stats = handle.join()?;
+    // All sessions have exited (join waits for them), so the Arc the
+    // acceptor held is gone: reclaim the executor and join its thread.
+    if let Some(exec) = executor {
+        if let Ok(exec) = Arc::try_unwrap(exec) {
+            exec.shutdown();
+        }
+    }
     let mut out = io::stdout().lock();
     writeln!(out, "{}", format_stats(&stats))?;
     out.flush()?;

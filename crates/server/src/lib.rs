@@ -61,5 +61,6 @@ pub use deploy::{
     DeployClient, DeployConfig, DeployOutcome, DeployReply, Deployment, InstanceExit,
     InstanceStats, SpawnMode, Transport,
 };
+pub use islands_core::native::EngineMode;
 pub use server::{Backend, Endpoint, Server, ServerConfig, ServerHandle, ServerStats};
 pub use wire::{FrameReader, Reply, Request, WireError, WireMessage, MAX_FRAME};

@@ -30,9 +30,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use islands_core::native::{BranchOutcome, NativeCluster, PartitionEngine, SubmitOutcome};
+use islands_core::native::{
+    BranchOutcome, DecideOutcome, ExecutorSession, NativeCluster, PartitionEngine,
+    PartitionExecutor, SubmitOutcome,
+};
 use islands_dtxn::{Participant, ParticipantEvent, Vote};
-use islands_storage::{StorageError, TxnHandle};
+use islands_storage::TxnHandle;
 use islands_workload::TxnBranch;
 
 use crate::wire::{FrameReader, Reply, Request, WireMessage};
@@ -111,6 +114,12 @@ pub enum Backend {
     /// [`Request::Prepare`]/[`Request::Decision`] frames drive participant-
     /// side 2PC, with presumed abort when a coordinator connection dies.
     Partition(Arc<PartitionEngine>),
+    /// One shared-nothing instance in **serial executor** mode: sessions
+    /// become producers that enqueue decoded requests onto the partition's
+    /// dedicated executor thread instead of executing inline, so the local
+    /// fast path runs with no lock-table acquisition and connection count
+    /// is decoupled from execution threads.
+    Executor(Arc<PartitionExecutor>),
 }
 
 /// Monotonic counters, updated by sessions, readable any time.
@@ -410,6 +419,34 @@ impl SessionSet {
     }
 }
 
+/// `WouldBlock` streak length the acceptor spends just yielding before it
+/// starts sleeping: a connection arriving moments after the last one is
+/// accepted with sub-scheduler-tick latency.
+const ACCEPT_SPIN_YIELDS: u32 = 64;
+
+/// Ceiling on the adaptive accept sleep. The old fixed
+/// `poll_interval.min(5ms)` nap added up to 5 ms of connect latency per
+/// accept; capping the park at 250 µs keeps a fresh connection's accept
+/// wait well under a millisecond while an idle acceptor still wakes only a
+/// few thousand times per second.
+const ACCEPT_PARK_CAP: Duration = Duration::from_micros(250);
+
+/// Adaptive idle wait for the accept loop: spin (yield) through short gaps,
+/// then escalate a 1 µs sleep exponentially up to [`ACCEPT_PARK_CAP`]
+/// (never past `poll_interval`, which stays the shutdown-notice bound).
+/// `None` means yield without sleeping.
+fn accept_idle_wait(streak: u32, poll_interval: Duration) -> Option<Duration> {
+    if streak <= ACCEPT_SPIN_YIELDS {
+        return None;
+    }
+    let exp = (streak - ACCEPT_SPIN_YIELDS - 1).min(8);
+    Some(
+        Duration::from_micros(1 << exp)
+            .min(ACCEPT_PARK_CAP)
+            .min(poll_interval),
+    )
+}
+
 fn accept_loop(
     listener: Listener,
     backend: Backend,
@@ -418,9 +455,11 @@ fn accept_loop(
     counters: Arc<Counters>,
 ) -> io::Result<()> {
     let mut sessions = SessionSet::new();
+    let mut idle_streak = 0u32;
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok(conn) => {
+                idle_streak = 0;
                 counters.connections.fetch_add(1, Ordering::Relaxed);
                 let backend = backend.clone();
                 let config = config.clone();
@@ -436,8 +475,15 @@ fn accept_loop(
                 );
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(config.poll_interval.min(Duration::from_millis(5)));
-                sessions.prune();
+                idle_streak = idle_streak.saturating_add(1);
+                match accept_idle_wait(idle_streak, config.poll_interval) {
+                    None => std::thread::yield_now(),
+                    Some(park) => {
+                        // Genuinely idle: housekeeping is free here.
+                        sessions.prune();
+                        std::thread::sleep(park);
+                    }
+                }
             }
             Err(e) => return Err(e),
         }
@@ -466,7 +512,22 @@ fn session(
     counters: Arc<Counters>,
 ) -> io::Result<()> {
     let mut in_doubt = InDoubtBranches::new();
-    let result = session_loop(conn, &backend, &config, &shutdown, &counters, &mut in_doubt);
+    // Executor backends: this session is a producer onto the partition's
+    // executor thread; the session id scopes the presumed-abort rule for
+    // branches prepared over this connection.
+    let mut exec = match &backend {
+        Backend::Executor(e) => Some(e.session()),
+        _ => None,
+    };
+    let result = session_loop(
+        conn,
+        &backend,
+        exec.as_ref(),
+        &config,
+        &shutdown,
+        &counters,
+        &mut in_doubt,
+    );
     // Presumed abort: the coordinator's connection is gone without a
     // decision, so absence of evidence is evidence of abort. Rolling the
     // branches back releases their locks and keeps this instance
@@ -476,12 +537,26 @@ fn session(
         counters.presumed_aborts.fetch_add(1, Ordering::Relaxed);
         counters.in_doubt.fetch_sub(1, Ordering::Relaxed);
     }
+    // Same rule on the executor: closing the producer session rolls back
+    // every branch it prepared that nobody decided (executed on the
+    // executor thread, so the count comes back from there).
+    if let Some(mut s) = exec.take() {
+        let aborted = s.close();
+        if aborted > 0 {
+            counters
+                .presumed_aborts
+                .fetch_add(aborted, Ordering::Relaxed);
+            counters.in_doubt.fetch_sub(aborted, Ordering::Relaxed);
+        }
+    }
     result
 }
 
+#[allow(clippy::too_many_arguments)]
 fn session_loop(
     mut conn: Conn,
     backend: &Backend,
+    exec: Option<&ExecutorSession>,
     config: &ServerConfig,
     shutdown: &AtomicBool,
     counters: &Counters,
@@ -589,7 +664,10 @@ fn session_loop(
                 }
                 Request::Prepare(branch) => {
                     counters.prepares.fetch_add(1, Ordering::Relaxed);
-                    let reply = handle_prepare(backend, branch, in_doubt, counters);
+                    let reply = match exec {
+                        Some(s) => handle_prepare_exec(s, branch, counters),
+                        None => handle_prepare(backend, branch, in_doubt, counters),
+                    };
                     if matches!(reply, Reply::Error { .. }) {
                         counters.errors.fetch_add(1, Ordering::Relaxed);
                     }
@@ -597,7 +675,10 @@ fn session_loop(
                 }
                 Request::Decision { gtid, commit } => {
                     counters.decisions.fetch_add(1, Ordering::Relaxed);
-                    let reply = handle_decision(backend, *gtid, *commit, in_doubt, counters);
+                    let reply = match exec {
+                        Some(s) => handle_decision_exec(s, *gtid, *commit, counters),
+                        None => handle_decision(backend, *gtid, *commit, in_doubt, counters),
+                    };
                     if matches!(reply, Reply::Error { .. }) {
                         counters.errors.fetch_add(1, Ordering::Relaxed);
                     }
@@ -605,9 +686,17 @@ fn session_loop(
                 }
                 Request::Submit(txn) => {
                     let started = Instant::now();
-                    let outcome: Result<SubmitOutcome, StorageError> = match backend {
-                        Backend::Cluster(cluster) => cluster.submit(txn, config.retry_limit),
-                        Backend::Partition(engine) => engine.submit_local(txn, config.retry_limit),
+                    let outcome: Result<SubmitOutcome, String> = match (backend, exec) {
+                        (Backend::Cluster(cluster), _) => cluster
+                            .submit(txn, config.retry_limit)
+                            .map_err(|e| e.to_string()),
+                        (Backend::Partition(engine), _) => engine
+                            .submit_local(txn, config.retry_limit)
+                            .map_err(|e| e.to_string()),
+                        (Backend::Executor(_), Some(s)) => s.submit(txn).map_err(|e| e.to_string()),
+                        (Backend::Executor(_), None) => {
+                            unreachable!("executor backend always has a session")
+                        }
                     };
                     match outcome {
                         Ok(outcome) => {
@@ -626,12 +715,9 @@ fn session_loop(
                             };
                             reply.encode_frame(&mut out);
                         }
-                        Err(e) => {
+                        Err(message) => {
                             counters.errors.fetch_add(1, Ordering::Relaxed);
-                            Reply::Error {
-                                message: e.to_string(),
-                            }
-                            .encode_frame(&mut out);
+                            Reply::Error { message }.encode_frame(&mut out);
                         }
                     }
                 }
@@ -780,9 +866,102 @@ fn handle_decision(
     }
 }
 
+/// 2PC phase 1 on a serial-executor backend: the branch executes and
+/// prepares on the partition's executor thread; a Yes vote parks it there
+/// (keyed by this session for the presumed-abort rule), so the session only
+/// relays the vote and keeps the gauges.
+fn handle_prepare_exec(exec: &ExecutorSession, branch: &TxnBranch, counters: &Counters) -> Reply {
+    match exec.prepare(branch.gtid, &branch.req) {
+        Ok(vote) => {
+            if vote == Vote::Yes {
+                counters.in_doubt.fetch_add(1, Ordering::Relaxed);
+            }
+            Reply::Vote {
+                gtid: branch.gtid,
+                vote,
+            }
+        }
+        Err(e) => Reply::Error {
+            message: e.to_string(),
+        },
+    }
+}
+
+/// 2PC phase 2 on a serial-executor backend. The executor owns the in-doubt
+/// branches (they are instance-global there, so a coordinator that
+/// reconnected can still decide); this session applies the counter deltas.
+fn handle_decision_exec(
+    exec: &ExecutorSession,
+    gtid: u64,
+    commit: bool,
+    counters: &Counters,
+) -> Reply {
+    match exec.decide(gtid, commit) {
+        Ok(DecideOutcome::Applied) => {
+            counters.in_doubt.fetch_sub(1, Ordering::Relaxed);
+            if commit {
+                counters.commits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                counters.aborts.fetch_add(1, Ordering::Relaxed);
+            }
+            Reply::Ack { gtid }
+        }
+        Ok(DecideOutcome::AbortNoop) => Reply::Ack { gtid },
+        Ok(DecideOutcome::UnknownCommit) => Reply::Error {
+            message: format!("commit decision for unknown gtid {gtid}"),
+        },
+        Ok(DecideOutcome::Failed(message)) => {
+            // The executor removed the branch before the decision failed
+            // (mirroring the locked path, which un-maps before deciding),
+            // so it is no longer in-doubt — without this decrement the
+            // gauge would report a phantom leak forever.
+            counters.in_doubt.fetch_sub(1, Ordering::Relaxed);
+            Reply::Error {
+                message: format!("decision for gtid {gtid} failed: {message}"),
+            }
+        }
+        Err(e) => Reply::Error {
+            message: e.to_string(),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn accept_idle_wait_spins_then_parks_capped() {
+        let poll = Duration::from_millis(25);
+        // Short gaps: pure yields, zero added latency.
+        for streak in 0..=ACCEPT_SPIN_YIELDS {
+            assert_eq!(accept_idle_wait(streak, poll), None, "streak {streak}");
+        }
+        // Escalation starts at 1 us and doubles...
+        assert_eq!(
+            accept_idle_wait(ACCEPT_SPIN_YIELDS + 1, poll),
+            Some(Duration::from_micros(1))
+        );
+        assert_eq!(
+            accept_idle_wait(ACCEPT_SPIN_YIELDS + 2, poll),
+            Some(Duration::from_micros(2))
+        );
+        // ...and is capped sub-millisecond no matter how long the idle
+        // stretch: the old fixed 5 ms nap is the regression under test.
+        let mut prev = Duration::ZERO;
+        for streak in ACCEPT_SPIN_YIELDS + 1..ACCEPT_SPIN_YIELDS + 10_000 {
+            let park = accept_idle_wait(streak, poll).unwrap();
+            assert!(park >= prev, "park regressed at streak {streak}");
+            assert!(park <= ACCEPT_PARK_CAP, "park over cap at streak {streak}");
+            assert!(park < Duration::from_millis(1));
+            prev = park;
+        }
+        // A tighter poll_interval wins over the cap (shutdown notice bound).
+        assert_eq!(
+            accept_idle_wait(u32::MAX, Duration::from_micros(10)),
+            Some(Duration::from_micros(10))
+        );
+    }
 
     #[test]
     fn session_set_stays_bounded_under_sustained_churn() {

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use islands_server::deploy::{DeployConfig, DeployReply, Deployment, SpawnMode, Transport};
-use islands_server::{Client, Request};
+use islands_server::{Client, EngineMode, Request};
 use islands_workload::{OpKind, TxnBranch, TxnRequest};
 
 fn config(instances: usize, transport: Transport) -> DeployConfig {
@@ -190,4 +190,47 @@ fn coordinator_crash_between_prepare_and_decision_leaves_no_leak() {
     let stats = r.stats.expect("stats parsed");
     assert_eq!(stats.presumed_aborts, 1);
     assert_eq!(stats.in_doubt, 0);
+}
+
+#[test]
+fn serial_engine_deployment_commits_local_and_multisite_and_drains_clean() {
+    // The serial executor engine, end to end across real processes: each
+    // instance child runs a PartitionExecutor (no lock table on the local
+    // fast path) behind the same wire protocol, so local traffic, 2PC, and
+    // the teardown invariants must all behave exactly like the locked
+    // engine's.
+    let deploy = Arc::new(
+        Deployment::spawn(&DeployConfig {
+            engine: EngineMode::Serial,
+            ..config(2, Transport::Uds)
+        })
+        .unwrap(),
+    );
+    let mut client = deploy.client().unwrap();
+
+    let local = outcome(client.submit(&update(&[1, 2])).unwrap());
+    assert!(local.committed);
+    assert!(!local.distributed);
+
+    // Multisite across both instances: wire-level 2PC against executors.
+    let multi = outcome(client.submit(&update(&[10, 350])).unwrap());
+    assert!(multi.committed, "serial-engine 2PC must commit: {multi:?}");
+    assert!(multi.distributed);
+    assert_eq!(deploy.decided_commits(), 1);
+    assert_eq!(deploy.presumed_aborts(), 0);
+
+    drop(client);
+    let reports = Arc::try_unwrap(deploy)
+        .ok()
+        .expect("no other refs")
+        .shutdown();
+    let mut commits = 0;
+    for r in &reports {
+        assert!(r.clean, "instance {} unclean: {}", r.index, r.detail);
+        let stats = r.stats.expect("stats parsed");
+        assert_eq!(stats.in_doubt, 0);
+        commits += stats.commits;
+    }
+    // 1 local commit + 2 committed update branches.
+    assert_eq!(commits, 3);
 }

@@ -6,7 +6,10 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use islands_core::native::{NativeCluster, NativeClusterConfig, PartitionConfig, PartitionEngine};
+use islands_core::native::{
+    ExecutorConfig, NativeCluster, NativeClusterConfig, PartitionConfig, PartitionEngine,
+    PartitionExecutor,
+};
 use islands_server::{
     Backend, Client, ClientPool, Endpoint, Reply, Request, Server, ServerConfig, ServerHandle,
 };
@@ -452,4 +455,196 @@ fn connection_churn_is_survived_and_counted() {
     let stats = handle.join().unwrap();
     assert_eq!(stats.connections, CHURN + 1);
     assert_eq!(stats.requests, CHURN + 1); // one submit each + drain
+}
+
+// ---------------------------------------------------------------------------
+// Serial-executor backend: sessions are producers, the partition executes on
+// its own pinned thread with no lock-table acquisition.
+// ---------------------------------------------------------------------------
+
+fn spawn_executor(lo: u64, hi: u64) -> (Arc<PartitionExecutor>, ServerHandle) {
+    let exec = Arc::new(
+        PartitionExecutor::spawn(ExecutorConfig {
+            partition: PartitionConfig {
+                lo,
+                hi,
+                row_size: 16,
+                buffer_frames: 512,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .unwrap(),
+    );
+    let handle = Server::spawn_backend(
+        Backend::Executor(Arc::clone(&exec)),
+        uds_endpoint(),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    (exec, handle)
+}
+
+#[test]
+fn executor_backend_serves_local_submissions_from_many_connections() {
+    let (exec, handle) = spawn_executor(0, 100);
+    // Several concurrent connections all enqueue onto the one executor:
+    // connection count is decoupled from the single execution thread.
+    let mut clients: Vec<Client> = (0..4)
+        .map(|_| Client::connect(handle.endpoint()).unwrap())
+        .collect();
+    for (i, c) in clients.iter_mut().enumerate() {
+        for k in 0..10u64 {
+            match c.submit(&update(&[(i as u64 * 10 + k) % 100])).unwrap() {
+                Reply::Committed {
+                    distributed,
+                    retries,
+                    ..
+                } => {
+                    assert!(!distributed);
+                    assert_eq!(retries, 0, "serial execution never retries");
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+    }
+    assert_eq!(exec.audit_sum().unwrap(), 40);
+    clients[0].drain_server().unwrap();
+    drop(clients);
+    let stats = handle.join().unwrap();
+    assert_eq!(stats.commits, 40);
+    assert_eq!(stats.aborts, 0);
+    assert_eq!(stats.in_doubt, 0);
+}
+
+#[test]
+fn executor_backend_runs_wire_level_2pc_phase_by_phase() {
+    use islands_dtxn::Vote;
+    let (exec, handle) = spawn_executor(0, 100);
+    let mut coord = Client::connect(handle.endpoint()).unwrap();
+
+    // Phase 1: writer branch prepares, parks in-doubt on the executor.
+    coord.send_request(&prepare(7, &[1, 2])).unwrap();
+    match coord.recv_reply().unwrap() {
+        Reply::Vote { gtid: 7, vote } => assert_eq!(vote, Vote::Yes),
+        other => panic!("unexpected reply {other:?}"),
+    }
+    assert_eq!(handle.stats().in_doubt, 1);
+
+    // A conflicting local submission aborts immediately (the executor's
+    // in-doubt key set stands in for the locks the branch would hold).
+    let mut client = Client::connect(handle.endpoint()).unwrap();
+    match client.submit(&update(&[2])).unwrap() {
+        Reply::Aborted { .. } => {}
+        other => panic!("unexpected reply {other:?}"),
+    }
+    // Non-conflicting work keeps flowing while the branch is in-doubt.
+    assert!(matches!(
+        client.submit(&update(&[50])).unwrap(),
+        Reply::Committed { .. }
+    ));
+
+    // Phase 2: commit decision applies the branch, releases the keys.
+    coord
+        .send_request(&Request::Decision {
+            gtid: 7,
+            commit: true,
+        })
+        .unwrap();
+    assert!(matches!(
+        coord.recv_reply().unwrap(),
+        Reply::Ack { gtid: 7 }
+    ));
+    assert_eq!(handle.stats().in_doubt, 0);
+    assert!(matches!(
+        client.submit(&update(&[2])).unwrap(),
+        Reply::Committed { .. }
+    ));
+    assert_eq!(exec.audit_sum().unwrap(), 4);
+
+    // Presumed-abort protocol corners, same answers as the locked backend.
+    coord
+        .send_request(&Request::Decision {
+            gtid: 999,
+            commit: false,
+        })
+        .unwrap();
+    assert!(matches!(
+        coord.recv_reply().unwrap(),
+        Reply::Ack { gtid: 999 }
+    ));
+    coord
+        .send_request(&Request::Decision {
+            gtid: 999,
+            commit: true,
+        })
+        .unwrap();
+    assert!(matches!(coord.recv_reply().unwrap(), Reply::Error { .. }));
+
+    coord.drain_server().unwrap();
+    let stats = handle.join().unwrap();
+    assert_eq!(stats.prepares, 1);
+    assert_eq!(stats.in_doubt, 0);
+    assert_eq!(stats.presumed_aborts, 0);
+}
+
+#[test]
+fn executor_backend_presumes_abort_when_coordinator_vanishes() {
+    let (exec, handle) = spawn_executor(0, 100);
+    {
+        let mut coord = Client::connect(handle.endpoint()).unwrap();
+        coord.send_request(&prepare(11, &[9])).unwrap();
+        match coord.recv_reply().unwrap() {
+            Reply::Vote { gtid: 11, .. } => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(handle.stats().in_doubt, 1);
+    } // coordinator connection dropped, decision never sent
+
+    // The dying session's close presume-aborts its branch on the executor;
+    // the key is free again for ordinary traffic.
+    let mut client = Client::connect(handle.endpoint()).unwrap();
+    match client.submit(&update(&[9])).unwrap() {
+        Reply::Committed { .. } => {}
+        other => panic!("unexpected reply {other:?}"),
+    }
+    assert_eq!(exec.audit_sum().unwrap(), 1, "prepared update rolled back");
+
+    client.drain_server().unwrap();
+    let stats = handle.join().unwrap();
+    assert_eq!(stats.presumed_aborts, 1);
+    assert_eq!(stats.in_doubt, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Accept-latency regression: the acceptor's idle wait must be adaptive.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fresh_connection_is_served_in_under_a_millisecond() {
+    // Regression: the accept loop used to sleep poll_interval.min(5ms) on
+    // every WouldBlock, adding up to 5 ms of connect latency per accept.
+    // With the adaptive spin-then-park wait, a connection arriving at a
+    // long-idle server must still complete a full connect + ping round
+    // trip in well under a millisecond (best-of-N to shrug off scheduler
+    // noise on loaded CI machines).
+    let (_cluster, handle) = spawn(uds_endpoint());
+    // Let the acceptor go fully idle (escalated to its capped park).
+    std::thread::sleep(Duration::from_millis(50));
+    let mut best = Duration::MAX;
+    for _ in 0..5 {
+        let started = std::time::Instant::now();
+        let mut c = Client::connect(handle.endpoint()).unwrap();
+        c.ping().unwrap();
+        best = best.min(started.elapsed());
+        drop(c);
+        std::thread::sleep(Duration::from_millis(10)); // re-idle
+    }
+    assert!(
+        best < Duration::from_millis(1),
+        "idle-server connect+ping took {best:?} at best"
+    );
+    let mut closer = Client::connect(handle.endpoint()).unwrap();
+    closer.drain_server().unwrap();
+    handle.join().unwrap();
 }

@@ -109,6 +109,13 @@ struct LogState {
 /// caller until the flusher has pushed its LSN to the device. The flusher
 /// batches everything that arrives within `group_window`, giving the
 /// many-committers-one-flush behavior of Aether-style group commit.
+///
+/// A **zero** `group_window` selects synchronous mode instead: no flusher
+/// thread is spawned and `commit_durable` flushes on the calling thread,
+/// under the buffer lock. Group commit exists to share one flush among
+/// concurrent committers; an instance with a single committer (the serial
+/// partition executor) would pay the flusher handoff — two thread wakes
+/// per commit — for a group of one, so it skips the thread entirely.
 pub struct LogManager {
     shared: Arc<Shared>,
     device: Arc<dyn LogDevice>,
@@ -129,18 +136,22 @@ impl LogManager {
             flush_cv: Condvar::new(),
             durable_cv: Condvar::new(),
         });
-        let flusher = {
+        let flusher = if group_window.is_zero() {
+            None
+        } else {
             let shared = Arc::clone(&shared);
             let device = Arc::clone(&device);
-            std::thread::Builder::new()
-                .name("wal-flusher".into())
-                .spawn(move || flusher_loop(shared, device, group_window))
-                .expect("spawn flusher")
+            Some(
+                std::thread::Builder::new()
+                    .name("wal-flusher".into())
+                    .spawn(move || flusher_loop(shared, device, group_window))
+                    .expect("spawn flusher"),
+            )
         };
         Arc::new(LogManager {
             shared,
             device,
-            flusher: Some(flusher),
+            flusher,
         })
     }
 
@@ -158,9 +169,27 @@ impl LogManager {
     /// Block until `lsn` is durable on the device.
     pub fn commit_durable(&self, lsn: Lsn) {
         let mut st = self.shared.buf.lock();
+        if self.flusher.is_none() {
+            // Synchronous mode: flush on this thread, device I/O under the
+            // buffer lock. Concurrent committers serialize here, which is
+            // exactly the single-committer contract that selected the mode.
+            self.flush_locked(&mut st);
+            debug_assert!(st.buffer.is_durable(lsn), "flush must cover our lsn");
+            return;
+        }
         while !st.buffer.is_durable(lsn) {
             self.shared.flush_cv.notify_one();
             self.shared.durable_cv.wait(&mut st);
+        }
+    }
+
+    /// Flush everything pending, holding the buffer lock across the device
+    /// I/O (synchronous mode only — nothing else ever takes a batch there).
+    fn flush_locked(&self, st: &mut LogState) {
+        if let Some((base, bytes)) = st.buffer.take_batch() {
+            let _ = self.device.append(&bytes);
+            let _ = self.device.sync();
+            st.buffer.mark_durable(base + bytes.len() as u64);
         }
     }
 
@@ -186,6 +215,10 @@ impl LogManager {
         {
             let mut st = self.shared.buf.lock();
             st.shutdown = true;
+            if self.flusher.is_none() {
+                // Synchronous mode has no flusher to hand the tail to.
+                self.flush_locked(&mut st);
+            }
         }
         self.shared.flush_cv.notify_all();
     }
@@ -236,6 +269,23 @@ fn flusher_loop(shared: Arc<Shared>, device: Arc<dyn LogDevice>, group_window: D
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zero_window_flushes_synchronously_without_a_flusher() {
+        let dev = MemLogDevice::new();
+        let lm = LogManager::new(dev.clone(), 1 << 16, Duration::ZERO);
+        assert!(lm.flusher.is_none(), "synchronous mode spawns no thread");
+        for i in 1..=50u64 {
+            let lsn = lm.append(TxnId(i), &LogPayload::Commit);
+            lm.commit_durable(lsn);
+            assert!(lm.durable_lsn() >= lsn, "commit {i} must be durable");
+        }
+        // The tail written after the last force still lands via shutdown.
+        let tail = lm.append(TxnId(99), &LogPayload::Abort);
+        lm.shutdown();
+        assert!(lm.durable_lsn() >= tail);
+        assert_eq!(dev.len(), tail);
+    }
 
     #[test]
     fn commit_durable_round_trip() {
