@@ -5,6 +5,8 @@
 //! Absolute numbers are the simulator's; EXPERIMENTS.md records them next
 //! to the paper's and discusses the shapes.
 
+#![forbid(unsafe_code)]
+
 pub mod drive;
 pub mod jsonscan;
 

@@ -1,0 +1,160 @@
+//! `islands-check` — the repo's verification driver.
+//!
+//! ```text
+//! islands-check lint [ROOT]            source lint over ROOT/crates (default .)
+//! islands-check mc [--max N] [--kitchen-sink]
+//!                                      exhaustive 2PC model check, 1..=N participants
+//! islands-check mutants [--max N]      seeded-bug self-test of the model checker
+//! islands-check all [ROOT]             lint + mc + mutants (CI entry point)
+//! ```
+//!
+//! Exit status is 0 only when every requested check passes.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use islands_dtxn::mc;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: islands-check <lint [ROOT] | mc [--max N] [--kitchen-sink] | mutants [--max N] | all [ROOT]>"
+    );
+    ExitCode::from(2)
+}
+
+fn run_lint(root: &str) -> bool {
+    let report = match islands_check::run_lint(Path::new(root)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("islands-check lint: {e}");
+            return false;
+        }
+    };
+    for f in &report.waived {
+        println!("waived: {f}");
+    }
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "lint: {} files scanned, {} violations, {} waived",
+        report.files_scanned,
+        report.findings.len(),
+        report.waived.len()
+    );
+    report.findings.is_empty()
+}
+
+/// Parse `--max N` / `--kitchen-sink` flags shared by `mc` and `mutants`.
+fn parse_bounds(args: &[String], default_max: usize) -> Result<(usize, bool), String> {
+    let mut max = default_max;
+    let mut kitchen_sink = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max" => {
+                let v = it.next().ok_or("--max needs a value")?;
+                max = v.parse().map_err(|_| format!("bad --max value {v:?}"))?;
+                if max == 0 || max > 3 {
+                    return Err(format!("--max must be 1..=3, got {max}"));
+                }
+            }
+            "--kitchen-sink" => kitchen_sink = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok((max, kitchen_sink))
+}
+
+fn run_mc(max: usize, kitchen_sink: bool) -> bool {
+    match mc::sweep(max, kitchen_sink, None) {
+        Ok(r) => {
+            println!(
+                "mc: OK — {} configurations, {} states visited ({} quiescent), participants 1..={max}{}",
+                r.configs,
+                r.states,
+                r.quiescent,
+                if kitchen_sink { ", kitchen-sink faults" } else { "" }
+            );
+            true
+        }
+        Err(v) => {
+            eprintln!("mc: INVARIANT VIOLATION\n{v}");
+            false
+        }
+    }
+}
+
+fn run_mutants(max: usize) -> bool {
+    match mc::mutation_self_test(max) {
+        Ok(caught) => {
+            for (m, v) in &caught {
+                println!("mutants: {} caught by invariant {}", m.name(), v.invariant);
+            }
+            println!(
+                "mutants: OK — {}/{} seeded bugs caught",
+                caught.len(),
+                caught.len()
+            );
+            true
+        }
+        Err(msg) => {
+            eprintln!("mutants: FAILED — {msg}");
+            false
+        }
+    }
+}
+
+fn verdict(ok: bool) -> ExitCode {
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "lint" => {
+            if args.len() > 2 {
+                return usage();
+            }
+            verdict(run_lint(args.get(1).map_or(".", String::as_str)))
+        }
+        "mc" => match parse_bounds(&args[1..], 2) {
+            Ok((max, ks)) => verdict(run_mc(max, ks)),
+            Err(e) => {
+                eprintln!("islands-check mc: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "mutants" => match parse_bounds(&args[1..], 2) {
+            Ok((max, false)) => verdict(run_mutants(max)),
+            Ok((_, true)) => {
+                eprintln!("islands-check mutants: --kitchen-sink is implied");
+                ExitCode::from(2)
+            }
+            Err(e) => {
+                eprintln!("islands-check mutants: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "all" => {
+            if args.len() > 2 {
+                return usage();
+            }
+            let root = args.get(1).map_or(".", String::as_str);
+            let lint_ok = run_lint(root);
+            let mc_ok = run_mc(2, true);
+            let mutants_ok = run_mutants(2);
+            verdict(lint_ok && mc_ok && mutants_ok)
+        }
+        _ => usage(),
+    }
+}

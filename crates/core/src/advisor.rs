@@ -89,11 +89,11 @@ pub fn recommend(machine: &Machine, profile: &WorkloadProfile, measure_ms: u64) 
             score,
         });
     }
-    let best = candidates
-        .iter()
-        .max_by(|a, b| a.score.total_cmp(&b.score))
-        .expect("at least one island config")
-        .clone();
+    let best = match candidates.iter().max_by(|a, b| a.score.total_cmp(&b.score)) {
+        Some(c) => c.clone(),
+        // The enumeration always yields at least the one-island config.
+        None => unreachable!("island config enumeration is never empty"),
+    };
     Recommendation { best, candidates }
 }
 

@@ -23,6 +23,8 @@
 //!   pick an island size for a machine and workload by simulating candidate
 //!   configurations.
 
+#![forbid(unsafe_code)]
+
 pub mod advisor;
 pub mod counterbench;
 pub mod metrics;

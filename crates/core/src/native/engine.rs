@@ -127,6 +127,13 @@ impl PartitionEngine {
         &self.inst
     }
 
+    /// Register this partition into a deployment-wide `lockcheck` ownership
+    /// scope (debug builds with `--features lockcheck` only).
+    #[cfg(feature = "lockcheck")]
+    pub fn set_lockcheck_scope(&self, scope: Arc<islands_storage::lockcheck::Scope>) {
+        self.inst.set_lockcheck_scope(scope);
+    }
+
     pub(crate) fn check_keys(&self, req: &TxnRequest) -> Result<(), StorageError> {
         match req.keys.iter().find(|&&k| !self.owns(k)) {
             Some(&k) => Err(StorageError::KeyNotFound(k)),
@@ -148,7 +155,7 @@ impl PartitionEngine {
                     let mut row = txn
                         .read(MICRO_TABLE_NAME, key)?
                         .ok_or(StorageError::KeyNotFound(key))?;
-                    let v = u64::from_le_bytes(row[..8].try_into().expect("8 bytes")) + 1;
+                    let v = super::audit_counter(&row) + 1;
                     row[..8].copy_from_slice(&v.to_le_bytes());
                     txn.update(MICRO_TABLE_NAME, key, &row)?;
                 }
@@ -227,7 +234,7 @@ impl PartitionEngine {
         let table = self.inst.table(MICRO_TABLE_NAME)?;
         let mut sum = 0u64;
         for (_, payload) in table.range(0, u64::MAX)? {
-            sum += u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+            sum += super::audit_counter(&payload);
         }
         Ok(sum)
     }

@@ -197,6 +197,13 @@ enum Job {
     AuditSum {
         done: SyncSender<Result<u64, StorageError>>,
     },
+    /// Register the engine into a `lockcheck` ownership scope (runs on the
+    /// executor thread like everything else that touches the engine).
+    #[cfg(feature = "lockcheck")]
+    SetLockcheckScope {
+        scope: std::sync::Arc<islands_storage::lockcheck::Scope>,
+        done: SyncSender<()>,
+    },
     Shutdown,
 }
 
@@ -244,8 +251,7 @@ impl PartitionExecutor {
                         let _ = ready_tx.send(Err(e));
                     }
                 }
-            })
-            .expect("spawn executor thread");
+            })?;
         let pinned = ready_rx.recv().unwrap_or(Err(StorageError::CorruptCatalog(
             "executor thread died before ready".into(),
         )))?;
@@ -276,6 +282,20 @@ impl PartitionExecutor {
             tx: self.tx.clone(),
             closed: false,
         }
+    }
+
+    /// Register the executor's partition into a deployment-wide `lockcheck`
+    /// ownership scope (debug builds with `--features lockcheck` only).
+    #[cfg(feature = "lockcheck")]
+    pub fn set_lockcheck_scope(
+        &self,
+        scope: std::sync::Arc<islands_storage::lockcheck::Scope>,
+    ) -> Result<(), ExecError> {
+        let (done, wait) = sync_channel(1);
+        self.tx
+            .send(Job::SetLockcheckScope { scope, done })
+            .map_err(|_| ExecError::Gone)?;
+        wait.recv().map_err(|_| ExecError::Gone)
     }
 
     /// Sum of the audit counters across the partition's rows (serialized
@@ -483,6 +503,11 @@ fn serve(engine: &PartitionEngine, rx: &Receiver<Job>) {
             }
             Job::AuditSum { done } => {
                 let _ = done.send(engine.audit_sum());
+            }
+            #[cfg(feature = "lockcheck")]
+            Job::SetLockcheckScope { scope, done } => {
+                engine.set_lockcheck_scope(scope);
+                let _ = done.send(());
             }
             Job::Shutdown => break,
         }

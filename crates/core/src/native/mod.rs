@@ -63,6 +63,15 @@ pub fn contention_backoff(retries: u32) {
     }
 }
 
+/// Little-endian audit counter from a row's first 8 bytes. Every table in
+/// this module is created with `row_size >= 8` (asserted at load), so the
+/// slice below is always in bounds.
+pub(crate) fn audit_counter(row: &[u8]) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&row[..8]);
+    u64::from_le_bytes(bytes)
+}
+
 /// Configuration for a native micro-benchmark cluster.
 #[derive(Debug, Clone)]
 pub struct NativeClusterConfig {
@@ -208,7 +217,10 @@ impl NativeCluster {
         }
         let mut failed = None;
         'outer: for &i in &order {
-            let txn = handles.get_mut(&i).expect("opened above");
+            let txn = match handles.get_mut(&i) {
+                Some(t) => t,
+                None => unreachable!("handle opened above for every participant"),
+            };
             for op in &by_inst[&i] {
                 let r = match op.op {
                     OpType::Read => txn.read(MICRO_TABLE_NAME, op.key).map(|_| ()),
@@ -216,7 +228,7 @@ impl NativeCluster {
                         let row = txn.read(MICRO_TABLE_NAME, op.key)?;
                         let mut row = row.ok_or(StorageError::KeyNotFound(op.key))?;
                         // Increment the first 8 bytes: an auditable update.
-                        let mut v = u64::from_le_bytes(row[..8].try_into().unwrap());
+                        let mut v = audit_counter(&row);
                         v += 1;
                         row[..8].copy_from_slice(&v.to_le_bytes());
                         txn.update(MICRO_TABLE_NAME, op.key, &row)
@@ -237,7 +249,10 @@ impl NativeCluster {
         }
 
         if order.len() == 1 {
-            let txn = handles.remove(&order[0]).unwrap();
+            let txn = match handles.remove(&order[0]) {
+                Some(t) => t,
+                None => unreachable!("single-site plan has exactly one handle"),
+            };
             txn.commit()?;
             return Ok(false);
         }
@@ -253,7 +268,10 @@ impl NativeCluster {
             for action in actions.drain(..) {
                 match action {
                     Action::SendPrepare { to } => {
-                        let mut txn = handles.remove(&to).expect("participant handle");
+                        let mut txn = match handles.remove(&to) {
+                            Some(t) => t,
+                            None => unreachable!("coordinator prepares each participant once"),
+                        };
                         let vote = match txn.prepare(gtid) {
                             Ok(PrepareVote::Yes) => {
                                 prepared.insert(to, txn);
@@ -271,7 +289,12 @@ impl NativeCluster {
                         wal.commit_durable(lsn);
                     }
                     Action::SendDecision { to, commit } => {
-                        let txn = prepared.remove(&to).expect("prepared handle");
+                        let txn = match prepared.remove(&to) {
+                            Some(t) => t,
+                            // Decisions go only to Yes-voters, which are
+                            // exactly the handles parked in `prepared`.
+                            None => unreachable!("decision for a participant that never prepared"),
+                        };
                         txn.decide(commit)?;
                         queue.extend(coord.on_ack(to));
                     }
@@ -379,7 +402,7 @@ impl NativeCluster {
         for inst in &self.instances {
             let table = inst.table(MICRO_TABLE_NAME)?;
             for (_, payload) in table.range(0, u64::MAX)? {
-                sum += u64::from_le_bytes(payload[..8].try_into().unwrap());
+                sum += audit_counter(&payload);
             }
         }
         Ok(sum)
@@ -444,7 +467,11 @@ impl NativeCluster {
         std::thread::sleep(duration);
         stop.store(true, Ordering::Relaxed);
         for w in workers {
-            w.join().unwrap();
+            if let Err(panic) = w.join() {
+                // A worker died mid-run: surface its panic instead of
+                // fabricating a result from the survivors.
+                std::panic::resume_unwind(panic);
+            }
         }
         NativeRunResult {
             commits: commits.load(Ordering::Relaxed),

@@ -655,7 +655,11 @@ async fn do_op(
         )
         .await?;
     }
-    let table = inst.tables.get(&op.table).expect("unknown table");
+    let table = match inst.tables.get(&op.table) {
+        Some(t) => t,
+        // Plans are generated from the same catalog the instance loaded.
+        None => unreachable!("plan references an uncataloged table"),
+    };
     // Shared engine-state traffic for this op (lock manager, latches,
     // buffer pool): coherence misses grow with the instance's span.
     let engine = cl.cost.charge_region(

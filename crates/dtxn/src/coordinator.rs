@@ -28,7 +28,7 @@ pub enum CoordinatorState {
 }
 
 /// One global transaction's coordinator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Coordinator {
     gtid: Gtid,
     participants: Vec<usize>,
@@ -65,6 +65,17 @@ impl Coordinator {
 
     pub fn state(&self) -> CoordinatorState {
         self.state
+    }
+
+    /// Votes recorded so far, indexed like `participants` (observability;
+    /// the model checker encodes visited states through this).
+    pub fn votes(&self) -> &[Option<Vote>] {
+        &self.votes
+    }
+
+    /// Participants whose phase-2 ack is still outstanding.
+    pub fn acks_pending(&self) -> &[usize] {
+        &self.acks_pending
     }
 
     fn index_of(&self, from: usize) -> usize {

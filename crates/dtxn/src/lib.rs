@@ -20,7 +20,10 @@
 //! * Phase-2 `Decision` messages go only to Yes-voters, which ack after
 //!   forcing their own outcome.
 
+#![forbid(unsafe_code)]
+
 pub mod coordinator;
+pub mod mc;
 pub mod participant;
 pub mod recovery;
 

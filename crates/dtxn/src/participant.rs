@@ -31,7 +31,7 @@ pub enum ParticipantEvent {
 }
 
 /// One global transaction's participant.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Participant {
     gtid: Gtid,
     state: ParticipantState,

@@ -15,6 +15,8 @@
 //! Times in this crate are expressed in **picoseconds** (`u64`), the base unit
 //! of the discrete-event simulator in `islands-sim`.
 
+#![forbid(unsafe_code)]
+
 pub mod calib;
 pub mod granularity;
 pub mod ids;

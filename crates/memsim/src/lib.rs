@@ -19,6 +19,8 @@
 //!   derive from the region's footprint; write-shared regions suffer
 //!   coherence fetches from the last writer's cache.
 
+#![forbid(unsafe_code)]
+
 pub mod counters;
 pub mod line;
 pub mod region;

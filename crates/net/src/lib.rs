@@ -12,6 +12,8 @@
 //! domain sockets and TCP loopback, so the Figure 6 experiment can print
 //! measured-on-this-host numbers next to the calibrated model.
 
+#![forbid(unsafe_code)]
+
 pub mod ipc_model;
 pub mod live;
 

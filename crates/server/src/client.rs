@@ -166,12 +166,19 @@ impl ClientPool {
 
     /// Number of idle pooled connections.
     pub fn idle_count(&self) -> usize {
-        self.idle.lock().expect("pool lock").len()
+        self.idle_guard().len()
+    }
+
+    /// The idle list survives a holder's panic structurally intact (it only
+    /// ever sees `push`/`pop` of plain connections), so recover from mutex
+    /// poisoning instead of cascading the panic into every later caller.
+    fn idle_guard(&self) -> std::sync::MutexGuard<'_, Vec<Client>> {
+        self.idle.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Check out an idle connection or open a new one.
     pub fn get(&self) -> io::Result<PooledClient<'_>> {
-        let reused = self.idle.lock().expect("pool lock").pop();
+        let reused = self.idle_guard().pop();
         let client = match reused {
             Some(c) => c,
             None => Client::connect(&self.endpoint)?,
@@ -195,7 +202,7 @@ impl ClientPool {
     }
 
     fn put_back(&self, client: Client) {
-        self.idle.lock().expect("pool lock").push(client);
+        self.idle_guard().push(client);
     }
 }
 
@@ -216,13 +223,21 @@ impl PooledClient<'_> {
 impl std::ops::Deref for PooledClient<'_> {
     type Target = Client;
     fn deref(&self) -> &Client {
-        self.client.as_ref().expect("not discarded")
+        match self.client.as_ref() {
+            Some(c) => c,
+            // `discard` is the guard's final use in every caller; getting
+            // here is a bug in this module, not a runtime condition.
+            None => unreachable!("pooled client used after discard"),
+        }
     }
 }
 
 impl std::ops::DerefMut for PooledClient<'_> {
     fn deref_mut(&mut self) -> &mut Client {
-        self.client.as_mut().expect("not discarded")
+        match self.client.as_mut() {
+            Some(c) => c,
+            None => unreachable!("pooled client used after discard"),
+        }
     }
 }
 

@@ -381,7 +381,11 @@ impl Deployment {
                 }
             }
             let mut child = cmd.spawn()?;
-            let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+            let stdout = child
+                .stdout
+                .take()
+                .ok_or_else(|| io::Error::other("child stdout was not piped"))?;
+            let stdout = BufReader::new(stdout);
             Ok(Member {
                 endpoint: Endpoint::Uds(PathBuf::new()), // patched after READY
                 range,
@@ -396,7 +400,7 @@ impl Deployment {
                 Ok(m) => spawned.push(m),
                 Err(e) => {
                     for m in &spawned {
-                        let mut c = m.child.lock().expect("child lock");
+                        let mut c = lock_clean(&m.child);
                         let _ = c.kill();
                         let _ = c.wait();
                     }
@@ -419,13 +423,13 @@ impl Deployment {
                     Err(e) => failure = Some(format!("instance {i} never became ready: {e}")),
                 }
             }
-            let mut c = member.child.lock().expect("child lock");
+            let mut c = lock_clean(&member.child);
             let _ = c.kill();
             let _ = c.wait();
         }
         if let Some(msg) = failure {
             for m in &members {
-                let mut c = m.child.lock().expect("child lock");
+                let mut c = lock_clean(&m.child);
                 let _ = c.kill();
                 let _ = c.wait();
             }
@@ -488,7 +492,7 @@ impl Deployment {
 
     /// Number of commit decisions forced to the coordinator log.
     pub fn decided_commits(&self) -> u64 {
-        self.decided.lock().expect("decision log lock").len() as u64
+        lock_clean(&self.decided).len() as u64
     }
 
     /// Open one coordinator connection set (one socket per instance).
@@ -510,7 +514,7 @@ impl Deployment {
     /// Test hook: SIGKILL instance `i` (no drain, no cleanup) to exercise
     /// the presumed-abort paths.
     pub fn kill_instance(&self, i: usize) -> io::Result<()> {
-        let mut child = self.members[i].child.lock().expect("child lock");
+        let mut child = lock_clean(&self.members[i].child);
         child.kill()?;
         child.wait()?;
         Ok(())
@@ -532,7 +536,7 @@ impl Deployment {
                     false
                 }
             };
-            let mut child = member.child.into_inner().expect("child lock");
+            let mut child = unwrap_clean(member.child);
             let status = match wait_with_timeout(&mut child, Duration::from_secs(10)) {
                 Ok(status) => Some(status),
                 Err(e) => {
@@ -545,7 +549,7 @@ impl Deployment {
             // The child has exited (or been killed): its stdout is at EOF,
             // so scan the remaining lines for the final STATS record.
             let mut stats = None;
-            let mut stdout = member.stdout.into_inner().expect("stdout lock");
+            let mut stdout = unwrap_clean(member.stdout);
             let mut line = String::new();
             while let Ok(n) = stdout.read_line(&mut line) {
                 if n == 0 {
@@ -585,12 +589,25 @@ impl Drop for Deployment {
         // Anything shutdown() did not reap dies here: no orphan processes,
         // no stale socket files.
         for m in &self.members {
-            let mut c = m.child.lock().expect("child lock");
+            let mut c = lock_clean(&m.child);
             let _ = c.kill();
             let _ = c.wait();
             remove_uds_file(&m.endpoint);
         }
     }
+}
+
+/// The mutexes in this module guard a `Child`, a `BufReader`, or the
+/// decision map — state that stays consistent across a holder's panic
+/// (kill/wait/read/insert are self-contained) — so recover the guard from
+/// poisoning instead of cascading the panic into cleanup paths like `Drop`.
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Same recovery for consuming the mutex at shutdown.
+fn unwrap_clean<T>(m: Mutex<T>) -> T {
+    m.into_inner().unwrap_or_else(|e| e.into_inner())
 }
 
 fn remove_uds_file(endpoint: &Endpoint) {
@@ -616,15 +633,12 @@ fn wait_with_timeout(child: &mut Child, timeout: Duration) -> io::Result<std::pr
 }
 
 fn read_ready_line(member: &Member) -> io::Result<Endpoint> {
-    let mut stdout = member.stdout.lock().expect("stdout lock");
+    let mut stdout = lock_clean(&member.stdout);
     let mut line = String::new();
     loop {
         line.clear();
         if stdout.read_line(&mut line)? == 0 {
-            let status = member
-                .child
-                .lock()
-                .expect("child lock")
+            let status = lock_clean(&member.child)
                 .try_wait()?
                 .map(|s| format!("exited {s}"))
                 .unwrap_or_else(|| "stdout closed".into());
@@ -695,7 +709,9 @@ impl DeployClient {
             // One reconnect attempt; a dead instance fails fast here.
             self.conns[i] = Some(Client::connect(self.deploy.endpoint(i))?);
         }
-        Ok(self.conns[i].as_mut().expect("just connected"))
+        self.conns[i]
+            .as_mut()
+            .ok_or_else(|| io::Error::other("connection slot empty after connect"))
     }
 
     fn mark_dead(&mut self, i: usize) {
@@ -847,11 +863,7 @@ impl TwoPcLink for DeployClient {
     }
 
     fn force_commit(&mut self, gtid: u64) {
-        self.deploy
-            .decided
-            .lock()
-            .expect("decision log lock")
-            .insert(gtid, true);
+        lock_clean(&self.deploy.decided).insert(gtid, true);
     }
 }
 

@@ -51,6 +51,8 @@
 //! handle.join().unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod deploy;
 pub mod server;

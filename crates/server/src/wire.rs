@@ -225,6 +225,21 @@ fn exactly(tag: u8, body: &[u8], n: usize) -> Result<(), WireError> {
     Ok(())
 }
 
+/// Little-endian u64 from the first 8 bytes of `b`. Callers have already
+/// length-checked the body via [`need`]/[`exactly`].
+fn u64_le(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(a)
+}
+
+/// Little-endian u32 from the first 4 bytes of `b` (length pre-checked).
+fn u32_le(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[..4]);
+    u32::from_le_bytes(a)
+}
+
 impl WireMessage for Request {
     fn encode_payload(&self, buf: &mut Vec<u8>) {
         match self {
@@ -281,7 +296,7 @@ impl WireMessage for Request {
                     }
                 };
                 Ok(Request::Decision {
-                    gtid: u64::from_le_bytes(body[..8].try_into().expect("8")),
+                    gtid: u64_le(body),
                     commit,
                 })
             }
@@ -352,14 +367,14 @@ impl WireMessage for Reply {
                 };
                 Ok(Reply::Committed {
                     distributed,
-                    retries: u32::from_le_bytes(body[1..5].try_into().expect("4")),
-                    server_micros: u64::from_le_bytes(body[5..13].try_into().expect("8")),
+                    retries: u32_le(&body[1..5]),
+                    server_micros: u64_le(&body[5..13]),
                 })
             }
             TAG_ABORTED => {
                 exactly(tag, body, 4)?;
                 Ok(Reply::Aborted {
-                    retries: u32::from_le_bytes(body.try_into().expect("4")),
+                    retries: u32_le(body),
                 })
             }
             TAG_ERROR => {
@@ -386,15 +401,13 @@ impl WireMessage for Reply {
                     had: body.len(),
                 })?;
                 Ok(Reply::Vote {
-                    gtid: u64::from_le_bytes(body[..8].try_into().expect("8")),
+                    gtid: u64_le(body),
                     vote,
                 })
             }
             TAG_ACK => {
                 exactly(tag, body, 8)?;
-                Ok(Reply::Ack {
-                    gtid: u64::from_le_bytes(body.try_into().expect("8")),
-                })
+                Ok(Reply::Ack { gtid: u64_le(body) })
             }
             other => Err(WireError::UnknownTag(other)),
         }
@@ -462,7 +475,7 @@ impl FrameReader {
         if avail.len() < FRAME_HEADER {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(avail[..FRAME_HEADER].try_into().expect("4")) as usize;
+        let len = u32_le(avail) as usize;
         if len == 0 {
             return Err(WireError::EmptyFrame);
         }

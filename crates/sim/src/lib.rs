@@ -22,6 +22,8 @@
 //! Time is `u64` picoseconds ([`SimTime`]); experiments run milliseconds to
 //! seconds of virtual time, far below overflow.
 
+#![forbid(unsafe_code)]
+
 pub mod chan;
 pub mod disk;
 pub mod executor;

@@ -73,6 +73,8 @@ pub struct StorageInstance {
     next_txn: AtomicU64,
     next_table: AtomicU64,
     active_txns: AtomicU64,
+    #[cfg(feature = "lockcheck")]
+    lockcheck: crate::lockcheck::InstanceCheck,
 }
 
 #[derive(Default)]
@@ -101,7 +103,17 @@ impl StorageInstance {
             next_table: AtomicU64::new(1),
             active_txns: AtomicU64::new(0),
             opts,
+            #[cfg(feature = "lockcheck")]
+            lockcheck: crate::lockcheck::InstanceCheck::new(),
         })
+    }
+
+    /// Register this instance into a deployment-wide `lockcheck` ownership
+    /// [`Scope`](crate::lockcheck::Scope): from now on, a key first touched
+    /// here panics if another scoped instance touches it.
+    #[cfg(feature = "lockcheck")]
+    pub fn set_lockcheck_scope(&self, scope: std::sync::Arc<crate::lockcheck::Scope>) {
+        self.lockcheck.set_scope(scope);
     }
 
     /// Dirty-page steal honors the write-ahead rule by forcing the whole log
@@ -344,6 +356,8 @@ impl StorageInstance {
             next_table: AtomicU64::new(next_table),
             active_txns: AtomicU64::new(0),
             opts,
+            #[cfg(feature = "lockcheck")]
+            lockcheck: crate::lockcheck::InstanceCheck::new(),
         });
         let in_doubt = analysis
             .in_doubt
@@ -479,9 +493,22 @@ impl TxnHandle {
         self.instance.locks.lock(self.id, id, mode)
     }
 
+    /// Race-detector hook on every transactional key access (no-op unless
+    /// built with `--features lockcheck`).
+    #[inline]
+    fn lockcheck_access(&self, key: u64) {
+        #[cfg(feature = "lockcheck")]
+        self.instance
+            .lockcheck
+            .on_access(self.instance.opts.single_threaded, key);
+        #[cfg(not(feature = "lockcheck"))]
+        let _ = key;
+    }
+
     /// Read one row (S lock on the key, IS on the table).
     pub fn read(&mut self, table: &str, key: u64) -> Result<Option<Vec<u8>>> {
         self.check_active()?;
+        self.lockcheck_access(key);
         let t = self.instance.table(table)?;
         self.lock(LockId::Table(t.id), LockMode::IS)?;
         self.lock(LockId::Key(t.id, key), LockMode::S)?;
@@ -492,6 +519,7 @@ impl TxnHandle {
     /// before/after images.
     pub fn update(&mut self, table: &str, key: u64, payload: &[u8]) -> Result<()> {
         self.check_active()?;
+        self.lockcheck_access(key);
         let t = self.instance.table(table)?;
         self.lock(LockId::Table(t.id), LockMode::IX)?;
         self.lock(LockId::Key(t.id, key), LockMode::X)?;
@@ -517,6 +545,7 @@ impl TxnHandle {
     /// Insert a new row.
     pub fn insert(&mut self, table: &str, key: u64, payload: &[u8]) -> Result<()> {
         self.check_active()?;
+        self.lockcheck_access(key);
         let t = self.instance.table(table)?;
         self.lock(LockId::Table(t.id), LockMode::IX)?;
         self.lock(LockId::Key(t.id, key), LockMode::X)?;

@@ -27,12 +27,16 @@
 //! per instance ⇒ locking and latching skipped, Sections 6.2 and 7.1.1) is
 //! the [`instance::InstanceOptions`] `single_threaded` flag.
 
+#![forbid(unsafe_code)]
+
 pub mod btree;
 pub mod buffer;
 pub mod error;
 pub mod heap;
 pub mod instance;
 pub mod lock;
+#[cfg(feature = "lockcheck")]
+pub mod lockcheck;
 pub mod page;
 pub mod store;
 pub mod table;

@@ -34,6 +34,8 @@ pub struct NativeLockManager {
     table: Mutex<LockTable>,
     cells: Mutex<HashMap<TxnId, Arc<WaitCell>>>,
     timeout: Duration,
+    #[cfg(feature = "lockcheck")]
+    order: crate::lockcheck::LockOrderCheck,
 }
 
 impl NativeLockManager {
@@ -42,6 +44,8 @@ impl NativeLockManager {
             table: Mutex::new(LockTable::new()),
             cells: Mutex::new(HashMap::new()),
             timeout,
+            #[cfg(feature = "lockcheck")]
+            order: crate::lockcheck::LockOrderCheck::default(),
         }
     }
 
@@ -50,15 +54,22 @@ impl NativeLockManager {
     /// Errors: [`StorageError::Deadlock`] if wait-die kills the requester,
     /// [`StorageError::LockTimeout`] if the wait exceeds the timeout.
     pub fn lock(&self, txn: TxnId, id: LockId, mode: LockMode) -> Result<()> {
+        #[cfg(feature = "lockcheck")]
+        self.order.on_request(txn, id);
         let decision = {
             let mut t = self.table.lock();
             t.acquire(txn, id, mode)
         };
-        match decision {
+        let granted = match decision {
             Acquire::Granted => Ok(()),
             Acquire::Die => Err(StorageError::Deadlock(txn)),
             Acquire::Wait => self.wait(txn, id),
+        };
+        #[cfg(feature = "lockcheck")]
+        if granted.is_ok() {
+            self.order.on_granted(txn, id);
         }
+        granted
     }
 
     fn wait(&self, txn: TxnId, id: LockId) -> Result<()> {
@@ -102,6 +113,8 @@ impl NativeLockManager {
 
     /// Release everything `txn` holds and wake newly granted waiters.
     pub fn unlock_all(&self, txn: TxnId) {
+        #[cfg(feature = "lockcheck")]
+        self.order.on_release_all(txn);
         let woken = {
             let mut t = self.table.lock();
             t.release_all(txn)

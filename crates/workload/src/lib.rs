@@ -14,6 +14,8 @@
 //! transaction used in Figures 3 and 7. [`codec`] gives [`TxnRequest`] a
 //! stable byte form so served deployments can ship requests over sockets.
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod spec;
 pub mod tpcc;

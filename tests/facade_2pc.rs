@@ -1,0 +1,119 @@
+//! Wire-level 2PC through the root facade: spawn a real multi-process
+//! deployment (`SpawnMode::SelfExec` — this test binary re-executes itself
+//! as the instance children) and drive one distributed commit, one local
+//! commit, and a distributed read-only transaction end to end.
+//!
+//! This is a `harness = false` test with a hand-written `main` because the
+//! instance children are *this binary* run with `--instance-child`: the
+//! standard libtest harness would try to parse that flag. Tier-1 CI runs
+//! this via the root `cargo test`, closing the old blind spot where the
+//! facade build was never exercised against a live deployment.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use oltp_islands::server::deploy::{
+    run_instance_child_if_requested, DeployConfig, DeployReply, Deployment, SpawnMode, Transport,
+};
+use oltp_islands::workload::{OpKind, TxnRequest};
+
+fn update(keys: &[u64]) -> TxnRequest {
+    TxnRequest {
+        kind: OpKind::Update,
+        keys: keys.to_vec(),
+        multisite: keys.len() > 1,
+    }
+}
+
+fn run() -> Result<(), String> {
+    let deploy = Deployment::spawn(&DeployConfig {
+        instances: 3,
+        transport: Transport::Uds,
+        total_rows: 300,
+        row_size: 16,
+        // The host may lack taskset/cores; pinning is not what we test.
+        pin: false,
+        spawn: SpawnMode::SelfExec,
+        vote_timeout: Duration::from_secs(2),
+        ..Default::default()
+    })
+    .map_err(|e| format!("spawn deployment: {e}"))?;
+    let deploy = Arc::new(deploy);
+    let mut client = deploy.client().map_err(|e| format!("connect: {e}"))?;
+
+    let outcome = |reply: DeployReply| match reply {
+        DeployReply::Outcome(o) => Ok(o),
+        other => Err(format!("expected an outcome, got {other:?}")),
+    };
+
+    // Local transaction: both keys in instance 0's range [0, 100).
+    let local = outcome(
+        client
+            .submit(&update(&[3, 42]))
+            .map_err(|e| e.to_string())?,
+    )?;
+    if !local.committed || local.distributed {
+        return Err(format!("local submit mis-handled: {local:?}"));
+    }
+
+    // Multisite update across all three instances: one wire-level 2PC
+    // round (prepare/vote/decision/ack over the sockets).
+    let multi = outcome(
+        client
+            .submit(&update(&[10, 150, 290]))
+            .map_err(|e| e.to_string())?,
+    )?;
+    if !multi.committed || !multi.distributed {
+        return Err(format!("multisite 2PC did not commit: {multi:?}"));
+    }
+    if deploy.decided_commits() != 1 {
+        return Err(format!(
+            "expected exactly one forced commit decision, saw {}",
+            deploy.decided_commits()
+        ));
+    }
+
+    // Distributed read-only: the read-only vote skips phase 2, so no new
+    // decision is forced.
+    let ro = outcome(
+        client
+            .submit(&TxnRequest {
+                kind: OpKind::Read,
+                keys: vec![20, 250],
+                multisite: true,
+            })
+            .map_err(|e| e.to_string())?,
+    )?;
+    if !ro.committed || !ro.distributed {
+        return Err(format!("read-only 2PC failed: {ro:?}"));
+    }
+    if deploy.decided_commits() != 1 {
+        return Err("read-only 2PC must not force a decision".into());
+    }
+    if deploy.presumed_aborts() != 0 {
+        return Err("clean run must observe no presumed aborts".into());
+    }
+
+    // Drain everything; every instance must exit clean with zero in-doubt.
+    drop(client);
+    let deploy = Arc::try_unwrap(deploy).map_err(|_| "deployment still shared".to_string())?;
+    for exit in deploy.shutdown() {
+        if !exit.clean {
+            return Err(format!("unclean instance exit: {exit:?}"));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    // When Deployment::spawn re-executes this binary as an instance child,
+    // this call serves the instance and exits; the parent falls through.
+    run_instance_child_if_requested();
+    match run() {
+        Ok(()) => println!("facade_2pc: ok"),
+        Err(e) => {
+            eprintln!("facade_2pc: FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
