@@ -34,7 +34,9 @@ use islands_bench::drive::{
 use islands_bench::jsonscan::{int_field, num_field, str_field};
 use islands_core::native::EngineMode;
 use islands_hwtopo::{granularity_configs, HostTopology};
+use islands_obs::{BreakdownCategory, Snapshot};
 use islands_server::deploy::{self, DeployConfig, Deployment, SpawnMode, Transport};
+use islands_server::{Client, ServerStats};
 use islands_workload::{MicroSpec, OpKind};
 
 const USAGE: &str = "islands-sweep - granularity sweeps over real deployments (Figs. 6-10, 13)
@@ -73,6 +75,9 @@ OPTIONS:
   --pin on|off          pin instance processes via taskset (default on)
   --json PATH           islands-sweep/1 output (default BENCH_sweep.json)
   --markdown PATH       also write the Markdown table to PATH
+  --scrape-out PATH     write the raw per-instance islands-obs/1 snapshot
+                        lines scraped from each live cell to PATH (what the
+                        CI sweep job uploads as its artifact)
   --baseline PATH       gate each cell's throughput against a previous
                         islands-sweep/1 JSON (cells matched on granularity,
                         instances, multisite%, sites, skew)
@@ -101,6 +106,7 @@ struct Args {
     pin: bool,
     json: String,
     markdown: Option<String>,
+    scrape_out: Option<String>,
     baseline: Option<String>,
     tolerance: f64,
 }
@@ -125,6 +131,7 @@ impl Default for Args {
             pin: true,
             json: "BENCH_sweep.json".into(),
             markdown: None,
+            scrape_out: None,
             baseline: None,
             tolerance: 0.7,
         }
@@ -199,6 +206,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => args.json = value("--json")?,
             "--markdown" => args.markdown = Some(value("--markdown")?),
+            "--scrape-out" => args.scrape_out = Some(value("--scrape-out")?),
             "--baseline" => args.baseline = Some(value("--baseline")?),
             "--tolerance" => args.tolerance = num(&value("--tolerance")?)?,
             "-h" | "--help" => {
@@ -275,6 +283,12 @@ struct Cell {
     coordinator_presumed_aborts: u64,
     teardown: TeardownReport,
     pinned: bool,
+    /// Per-instance `(wire counters, obs snapshot)` scraped over `Stats`
+    /// frames while the deployment was still live (after the measured
+    /// window, before teardown).
+    scrapes: Vec<(ServerStats, Snapshot)>,
+    /// The instance snapshots merged — the cell's Fig. 11 breakdown.
+    obs: Snapshot,
 }
 
 impl Cell {
@@ -356,6 +370,22 @@ fn run_cell(
     let result = drive(&DriveTarget::Deployment(&deployment), &cfg)?;
     let coordinator_presumed_aborts = deployment.presumed_aborts();
 
+    // Scrape every instance's live stats while the deployment still serves
+    // (drive has finished, teardown has not begun): the cell's Fig. 11
+    // breakdown, straight from the phase spans each child accumulated.
+    let mut obs = Snapshot {
+        enabled: false,
+        ..Snapshot::default()
+    };
+    let mut scrapes = Vec::with_capacity(deployment.instances());
+    for i in 0..deployment.instances() {
+        let (server, snap) = Client::connect(deployment.endpoint(i))
+            .and_then(|mut c| c.stats())
+            .map_err(|e| format!("scrape instance {i}: {e}"))?;
+        obs.merge(&snap);
+        scrapes.push((server, snap));
+    }
+
     let deployment = Arc::try_unwrap(deployment)
         .ok()
         .expect("all drive clients joined");
@@ -371,6 +401,8 @@ fn run_cell(
         coordinator_presumed_aborts,
         teardown,
         pinned,
+        scrapes,
+        obs,
     })
 }
 
@@ -396,12 +428,16 @@ fn markdown_table(cells: &[Cell]) -> String {
     let mut out = String::new();
     out.push_str(
         "| granularity | instances | engine | multisite % | sites | skew | tput tps | \
-         local tps | multi tps | multi p95 us | presumed aborts | leaks | clean |\n",
+         local tps | multi tps | multi p95 us | exec % | lock % | log % | comm % | \
+         mgmt % | presumed aborts | leaks | clean |\n",
     );
-    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
     for c in cells {
+        let pct = c.obs.breakdown_pct();
+        let cat = |cat: BreakdownCategory| pct[cat.index()];
         out.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {} | {:.0} | {:.0} | {:.0} | {} | {} | {} | {} |\n",
+            "| {} | {} | {} | {} | {} | {} | {:.0} | {:.0} | {:.0} | {} | {:.1} | {:.1} | \
+             {:.1} | {:.1} | {:.1} | {} | {} | {} |\n",
             c.label,
             c.instances,
             c.engine,
@@ -412,6 +448,11 @@ fn markdown_table(cells: &[Cell]) -> String {
             class_tput(&c.result.local, c),
             class_tput(&c.result.multi, c),
             p95(&c.result.multi),
+            cat(BreakdownCategory::XctExecution),
+            cat(BreakdownCategory::Locking),
+            cat(BreakdownCategory::Logging),
+            cat(BreakdownCategory::Communication),
+            cat(BreakdownCategory::XctManagement),
             c.coordinator_presumed_aborts,
             c.teardown.in_doubt_leaks,
             if c.clean() { "yes" } else { "NO" },
@@ -436,7 +477,7 @@ fn cell_json(c: &Cell) -> String {
          \"sites\":{},\
          \"skew\":{},\"committed\":{},\"throughput_tps\":{:.1},\
          \"coordinator_presumed_aborts\":{},\"unclean_instances\":{},\"in_doubt_leaks\":{},\
-         \"client_failures\":{},\"pinned\":{},\"elapsed_secs\":{:.3},\
+         \"client_failures\":{},\"pinned\":{},\"elapsed_secs\":{:.3},{},\
          \"local\":{},\"multisite\":{},\"instance_exits\":[{}]}}",
         c.label,
         c.instances,
@@ -452,10 +493,40 @@ fn cell_json(c: &Cell) -> String {
         c.result.client_failures,
         c.pinned,
         c.result.elapsed.as_secs_f64(),
+        // The merged obs snapshot's flat fields (breakdown percentages,
+        // per-class latency hists, 2PC phase hists) sit at top level,
+        // before the nested class objects, so jsonscan reads them exactly.
+        c.obs.json_fields(),
         class_json(&c.result.local, c.result.elapsed),
         class_json(&c.result.multi, c.result.elapsed),
         exits,
     )
+}
+
+/// One cell's raw per-instance scrape as `islands-obs/1` lines: cell
+/// identity first, then the instance's wire counters, then the snapshot's
+/// flat fields — the artifact the CI sweep job uploads.
+fn scrape_lines(c: &Cell, out: &mut String) {
+    for (i, (server, snap)) in c.scrapes.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"schema\":\"islands-obs/1\",\"granularity\":\"{}\",\"instances\":{},\
+             \"engine\":\"{}\",\"multisite_pct\":{},\"sites\":{},\"skew\":{},\
+             \"instance\":{i},\"commits\":{},\"aborts\":{},\"prepares\":{},\
+             \"decisions\":{},\"in_doubt\":{},{}}}\n",
+            c.label,
+            c.instances,
+            c.engine,
+            c.multisite_pct,
+            c.sites,
+            c.skew,
+            server.commits,
+            server.aborts,
+            server.prepares,
+            server.decisions,
+            server.in_doubt,
+            snap.json_fields(),
+        ));
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -798,6 +869,14 @@ fn run() -> Result<(), String> {
     write_json(&args.json, &args, &topo, &cells, n_sites, clients, secs)
         .map_err(|e| format!("write {}: {e}", args.json))?;
     println!("wrote {}", args.json);
+    if let Some(path) = &args.scrape_out {
+        let mut lines = String::new();
+        for c in &cells {
+            scrape_lines(c, &mut lines);
+        }
+        std::fs::write(path, &lines).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
 
     let zero_pct_pairs = engine_comparison(&cells);
 

@@ -79,6 +79,9 @@ OPTIONS:
   --retry-limit N       server-side retry budget per txn (default 64)
   --pin on|off          pin instance processes to island core sets via
                         taskset (proc mode; default on)
+  --no-obs              disable the observability registry in every server
+                        process (A/B baseline for measuring obs overhead;
+                        wire counters and final stats stay on)
   --json PATH           write machine-readable results (throughput and
                         latency percentiles per class) to PATH
   -h, --help            print this help
@@ -103,6 +106,7 @@ struct Args {
     instances: usize,
     retry_limit: u32,
     pin: bool,
+    obs: bool,
     json: Option<String>,
 }
 
@@ -126,6 +130,7 @@ impl Default for Args {
             instances: 4,
             retry_limit: 64,
             pin: true,
+            obs: true,
             json: None,
         }
     }
@@ -182,6 +187,7 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("--pin on|off, got {other}")),
                 }
             }
+            "--no-obs" => args.obs = false,
             "--json" => args.json = Some(value("--json")?),
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -351,7 +357,8 @@ fn write_json(
         "  \"config\": {{\"deploy\":\"{}\",\"engine\":\"{}\",\"transport\":\"{}\",\
          \"instances\":{},\
          \"clients\":{},\"secs\":{},\"mode\":{mode},\"kind\":\"{}\",\"rows_per_txn\":{},\
-         \"multisite_pct\":{},\"sites\":{sites},\"skew\":{},\"rows\":{},\"pinned\":{}}},\n",
+         \"multisite_pct\":{},\"sites\":{sites},\"skew\":{},\"rows\":{},\"pinned\":{},\
+         \"obs\":{}}},\n",
         args.deploy,
         args.engine,
         args.transport,
@@ -364,6 +371,7 @@ fn write_json(
         args.skew,
         args.rows,
         pinned,
+        args.obs,
     ));
     out.push_str(&format!(
         "  \"totals\": {{\"committed\":{},\"throughput_tps\":{:.1},\
@@ -393,6 +401,9 @@ fn write_json(
 
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
+    // Gate this process's own registry too: inproc mode serves from here,
+    // and proc mode's coordinator records 2PC phase latencies here.
+    islands_obs::set_enabled(args.obs);
 
     let target = match (&args.connect, args.deploy.as_str()) {
         (Some(ep), _) => Target::External(Endpoint::parse(ep)?),
@@ -410,6 +421,7 @@ fn run() -> Result<bool, String> {
                 retry_limit: args.retry_limit,
                 engine: args.engine,
                 pin: args.pin,
+                obs: args.obs,
                 spawn: SpawnMode::SelfExec,
                 ..Default::default()
             })

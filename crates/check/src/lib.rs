@@ -41,6 +41,13 @@ const HOT_LOOP_FILES: &[&str] = &[
     "crates/core/src/native/executor.rs",
 ];
 
+/// Crates whose non-test source must stay blocking-free: the obs registry
+/// sits inside every transaction's hot path (phase spans, per-commit
+/// counters), so a `Mutex`/`RwLock` there would serialize the very engines
+/// it measures and distort the Fig. 11 breakdown it exists to report.
+/// Sharded atomics only.
+const NO_LOCK_SCOPES: &[&str] = &["crates/obs/src/"];
+
 /// The rule identifiers, as they appear in findings and `lint-allow.txt`.
 pub const RULES: &[(&str, &str)] = &[
     (
@@ -58,6 +65,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "forbid-unsafe",
         "every crate root must carry #![forbid(unsafe_code)]",
+    ),
+    (
+        "no-obs-locks",
+        "no Mutex/RwLock in the obs hot path (sharded atomics only)",
     ),
 ];
 
@@ -199,6 +210,7 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
     let lines: Vec<&str> = text.lines().collect();
     let test_start = test_section_start(&lines);
     let in_unwrap_scope = NO_UNWRAP_SCOPES.iter().any(|s| rel.starts_with(s));
+    let in_lock_scope = NO_LOCK_SCOPES.iter().any(|s| rel.starts_with(s));
     let is_hot_loop = HOT_LOOP_FILES.contains(&rel);
     let is_crate_root = rel.starts_with("crates/") && rel.ends_with("/src/lib.rs");
 
@@ -229,6 +241,9 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
         }
         if is_hot_loop && code.contains("thread::sleep") {
             push("no-hot-loop-sleep", i + 1, line);
+        }
+        if in_lock_scope && (code.contains("Mutex") || code.contains("RwLock")) {
+            push("no-obs-locks", i + 1, line);
         }
     }
 
@@ -398,6 +413,39 @@ mod tests {
         assert_eq!(r.findings.len(), 1);
         assert_eq!(r.findings[0].file, "crates/server/src/server.rs");
         assert_eq!(r.findings[0].rule, "no-hot-loop-sleep");
+    }
+
+    #[test]
+    fn mutex_in_obs_hot_path_is_flagged() {
+        let t = TempTree::new();
+        t.write("crates/obs/src/lib.rs", CLEAN_LIB);
+        t.write(
+            "crates/obs/src/hist.rs",
+            "use std::sync::Mutex;\npub struct H { inner: Mutex<Vec<u64>> }\n",
+        );
+        let r = run_lint(&t.root).unwrap();
+        assert_eq!(r.findings.len(), 2, "{:?}", r.findings);
+        assert!(r.findings.iter().all(|f| f.rule == "no-obs-locks"));
+        assert_eq!(r.findings[0].file, "crates/obs/src/hist.rs");
+    }
+
+    #[test]
+    fn locks_outside_obs_or_in_obs_test_section_are_fine() {
+        let t = TempTree::new();
+        // Locks elsewhere in the workspace are none of this rule's business.
+        t.write("crates/server/src/lib.rs", CLEAN_LIB);
+        t.write(
+            "crates/server/src/state.rs",
+            "pub struct S { inner: std::sync::Mutex<u8> }\n",
+        );
+        // A test-only serializer inside obs is exempt (test sections are).
+        t.write("crates/obs/src/lib.rs", CLEAN_LIB);
+        t.write(
+            "crates/obs/src/reg.rs",
+            "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    static L: std::sync::Mutex<()> = std::sync::Mutex::new(());\n}\n",
+        );
+        let r = run_lint(&t.root).unwrap();
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
     }
 
     #[test]

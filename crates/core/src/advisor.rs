@@ -9,6 +9,7 @@
 //! worst case across the profile's plausible range.
 
 use islands_hwtopo::{island_configs, Machine};
+use islands_obs::{Snapshot, TxnClass};
 use islands_workload::{MicroSpec, OpKind};
 
 use crate::simrt::{run, SimClusterConfig, SimWorkload};
@@ -27,6 +28,46 @@ pub struct WorkloadProfile {
     /// Uncertainty band above `skew` to stress (robustness).
     pub skew_band: f64,
     pub total_rows: u64,
+}
+
+impl WorkloadProfile {
+    /// Profile a *running* deployment from a scraped observability
+    /// [`Snapshot`] (one instance's, or several merged): the observed
+    /// local/multisite mix becomes the expected operating point, closing
+    /// the loop from live measurement back to the advisor's island-size
+    /// recommendation.
+    ///
+    /// The multisite band widens when the sample is thin (few observed
+    /// transactions pin the mix poorly) and never drops below five points
+    /// of drift. The snapshot carries no key-distribution signal, so skew
+    /// is not inferred: a moderate stress band stands in for assuming
+    /// uniformity. `kind`, `rows_per_txn`, and `total_rows` describe the
+    /// dataset and are the caller's to state.
+    pub fn from_snapshot(
+        snap: &Snapshot,
+        kind: OpKind,
+        rows_per_txn: usize,
+        total_rows: u64,
+    ) -> WorkloadProfile {
+        let total = snap.total_txns();
+        let multisite_pct = if total == 0 {
+            0.0
+        } else {
+            snap.txns[TxnClass::Multisite.index()] as f64 / total as f64
+        };
+        // ~2/sqrt(n) is a binomial-ish confidence width: 400 observed txns
+        // give the minimum 0.05 band, 100 give 0.2.
+        let sample_band = 2.0 / (total.max(1) as f64).sqrt();
+        WorkloadProfile {
+            kind,
+            rows_per_txn,
+            multisite_pct,
+            multisite_band: sample_band.clamp(0.05, 1.0),
+            skew: 0.0,
+            skew_band: 0.25,
+            total_rows,
+        }
+    }
 }
 
 /// One candidate's evaluation.
@@ -135,6 +176,24 @@ mod tests {
             assert!(c.expected_ktps > 0.0, "{}: no throughput", c.label);
             assert!(c.worst_ktps > 0.0);
         }
+    }
+
+    #[test]
+    fn profile_from_snapshot_reads_the_observed_mix() {
+        let mut snap = Snapshot::default();
+        snap.txns[TxnClass::Local.index()] = 320;
+        snap.txns[TxnClass::Multisite.index()] = 80;
+        let p = WorkloadProfile::from_snapshot(&snap, OpKind::Update, 4, 120_000);
+        assert!((p.multisite_pct - 0.2).abs() < 1e-9);
+        assert!((p.multisite_band - 0.1).abs() < 1e-9, "2/sqrt(400) = 0.1");
+        // The profile must feed straight into the recommender.
+        let rec = recommend(&Machine::quad_socket(), &p, 4);
+        assert!(!rec.candidates.is_empty());
+
+        // No observations: neutral mix, maximum uncertainty.
+        let empty = WorkloadProfile::from_snapshot(&Snapshot::default(), OpKind::Read, 4, 120_000);
+        assert_eq!(empty.multisite_pct, 0.0);
+        assert_eq!(empty.multisite_band, 1.0);
     }
 
     #[test]

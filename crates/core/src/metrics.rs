@@ -1,87 +1,11 @@
 //! Experiment metrics: throughput, per-transaction cost, time breakdown.
+//!
+//! The five-way [`BreakdownCategory`] and the atomic [`Breakdown`]
+//! accumulator live in `islands-obs` (shared with the live serving stack's
+//! phase spans); this module re-exports them and adds the simulator-facing
+//! [`RunResult`].
 
-use std::cell::Cell;
-
-/// The five cost categories of the paper's Figure 11.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BreakdownCategory {
-    /// Row access work: index probes, reads, writes.
-    XctExecution,
-    /// Lock manager work and lock waits.
-    Locking,
-    /// Log inserts and commit-durability waits.
-    Logging,
-    /// Message send/receive and in-flight time.
-    Communication,
-    /// Begin/finish bookkeeping, 2PC state machines, dispatch.
-    XctManagement,
-}
-
-impl BreakdownCategory {
-    pub const ALL: [BreakdownCategory; 5] = [
-        BreakdownCategory::XctExecution,
-        BreakdownCategory::Locking,
-        BreakdownCategory::Logging,
-        BreakdownCategory::Communication,
-        BreakdownCategory::XctManagement,
-    ];
-
-    pub fn label(self) -> &'static str {
-        match self {
-            BreakdownCategory::XctExecution => "xct execution",
-            BreakdownCategory::Locking => "locking",
-            BreakdownCategory::Logging => "logging",
-            BreakdownCategory::Communication => "communication",
-            BreakdownCategory::XctManagement => "xct management",
-        }
-    }
-}
-
-/// Accumulated picoseconds per category.
-#[derive(Debug, Default, Clone)]
-pub struct Breakdown {
-    pub execution_ps: Cell<u64>,
-    pub locking_ps: Cell<u64>,
-    pub logging_ps: Cell<u64>,
-    pub communication_ps: Cell<u64>,
-    pub management_ps: Cell<u64>,
-}
-
-impl Breakdown {
-    pub fn add(&self, cat: BreakdownCategory, ps: u64) {
-        let cell = match cat {
-            BreakdownCategory::XctExecution => &self.execution_ps,
-            BreakdownCategory::Locking => &self.locking_ps,
-            BreakdownCategory::Logging => &self.logging_ps,
-            BreakdownCategory::Communication => &self.communication_ps,
-            BreakdownCategory::XctManagement => &self.management_ps,
-        };
-        cell.set(cell.get() + ps);
-    }
-
-    pub fn get(&self, cat: BreakdownCategory) -> u64 {
-        match cat {
-            BreakdownCategory::XctExecution => self.execution_ps.get(),
-            BreakdownCategory::Locking => self.locking_ps.get(),
-            BreakdownCategory::Logging => self.logging_ps.get(),
-            BreakdownCategory::Communication => self.communication_ps.get(),
-            BreakdownCategory::XctManagement => self.management_ps.get(),
-        }
-    }
-
-    pub fn total_ps(&self) -> u64 {
-        BreakdownCategory::ALL.iter().map(|&c| self.get(c)).sum()
-    }
-
-    /// Per-transaction microseconds for each category.
-    pub fn per_txn_us(&self, txns: u64) -> Vec<(BreakdownCategory, f64)> {
-        let n = txns.max(1) as f64;
-        BreakdownCategory::ALL
-            .iter()
-            .map(|&c| (c, self.get(c) as f64 / n / 1e6))
-            .collect()
-    }
-}
+pub use islands_obs::{Breakdown, BreakdownCategory};
 
 /// Result of one measured run.
 #[derive(Debug, Clone)]

@@ -45,8 +45,10 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::time::Instant;
 
 use islands_dtxn::Vote;
+use islands_obs::{metrics, BreakdownCategory, TxnClass};
 use islands_storage::{StorageError, TxnHandle};
 use islands_workload::TxnRequest;
 
@@ -170,6 +172,15 @@ struct Branch {
     /// Keys the branch wrote/read: the executor's stand-in for the locks
     /// the branch would hold under 2PL.
     keys: Vec<u64>,
+    /// When the branch went in-doubt (Prepare→Decision parked time).
+    parked_at: Instant,
+}
+
+/// Retire an in-doubt branch for observability: drop the gauge and record
+/// how long it sat parked between Prepare and the decision.
+fn retire_branch(b: &Branch) {
+    metrics().in_doubt().dec();
+    metrics().record_parked(b.parked_at.elapsed().as_nanos() as u64);
 }
 
 enum Job {
@@ -346,12 +357,16 @@ impl ExecutorSession {
     /// conflicting newcomer under the locked engine.
     pub fn submit(&self, req: &TxnRequest) -> Result<SubmitOutcome, ExecError> {
         let (done, wait) = sync_channel(1);
+        metrics().queue_depth().inc();
         self.tx
             .send(Job::Submit {
                 req: req.clone(),
                 done,
             })
-            .map_err(|_| ExecError::Gone)?;
+            .map_err(|_| {
+                metrics().queue_depth().dec();
+                ExecError::Gone
+            })?;
         wait.recv()
             .map_err(|_| ExecError::Gone)?
             .map_err(ExecError::Storage)
@@ -362,6 +377,7 @@ impl ExecutorSession {
     /// (from any session) or this session's close presumed-aborts it.
     pub fn prepare(&self, gtid: u64, req: &TxnRequest) -> Result<Vote, ExecError> {
         let (done, wait) = sync_channel(1);
+        metrics().queue_depth().inc();
         self.tx
             .send(Job::Prepare {
                 session: self.id,
@@ -369,16 +385,23 @@ impl ExecutorSession {
                 req: req.clone(),
                 done,
             })
-            .map_err(|_| ExecError::Gone)?;
+            .map_err(|_| {
+                metrics().queue_depth().dec();
+                ExecError::Gone
+            })?;
         wait.recv().map_err(|_| ExecError::Gone)?
     }
 
     /// Apply a coordinator decision to the in-doubt branch with this gtid.
     pub fn decide(&self, gtid: u64, commit: bool) -> Result<DecideOutcome, ExecError> {
         let (done, wait) = sync_channel(1);
+        metrics().queue_depth().inc();
         self.tx
             .send(Job::Decide { gtid, commit, done })
-            .map_err(|_| ExecError::Gone)?;
+            .map_err(|_| {
+                metrics().queue_depth().dec();
+                ExecError::Gone
+            })?;
         wait.recv().map_err(|_| ExecError::Gone)
     }
 
@@ -427,6 +450,13 @@ fn serve(engine: &PartitionEngine, rx: &Receiver<Job>) {
     while let Ok(job) = rx.recv() {
         match job {
             Job::Submit { req, done } => {
+                metrics().queue_depth().dec();
+                islands_obs::set_txn_class(if req.multisite {
+                    TxnClass::Multisite
+                } else {
+                    TxnClass::Local
+                });
+                let _span = islands_obs::enter(BreakdownCategory::XctManagement);
                 let outcome = if conflicts(&branches, &req.keys) {
                     // Keys held by an in-doubt branch: abort now, exactly as
                     // wait-die would kill the younger conflicting txn.
@@ -448,6 +478,9 @@ fn serve(engine: &PartitionEngine, rx: &Receiver<Job>) {
                 req,
                 done,
             } => {
+                metrics().queue_depth().dec();
+                islands_obs::set_txn_class(TxnClass::Multisite);
+                let _span = islands_obs::enter(BreakdownCategory::XctManagement);
                 let reply = if branches.contains_key(&gtid) {
                     Err(ExecError::DuplicateGtid(gtid))
                 } else if conflicts(&branches, &req.keys) {
@@ -458,12 +491,14 @@ fn serve(engine: &PartitionEngine, rx: &Receiver<Job>) {
                 } else {
                     match engine.prepare_branch(gtid, &req) {
                         Ok(BranchOutcome::Prepared(handle)) => {
+                            metrics().in_doubt().inc();
                             branches.insert(
                                 gtid,
                                 Branch {
                                     handle,
                                     session,
                                     keys: req.keys,
+                                    parked_at: Instant::now(),
                                 },
                             );
                             Ok(Vote::Yes)
@@ -476,11 +511,17 @@ fn serve(engine: &PartitionEngine, rx: &Receiver<Job>) {
                 let _ = done.send(reply);
             }
             Job::Decide { gtid, commit, done } => {
+                metrics().queue_depth().dec();
+                islands_obs::set_txn_class(TxnClass::Multisite);
+                let _span = islands_obs::enter(BreakdownCategory::XctManagement);
                 let outcome = match branches.remove(&gtid) {
-                    Some(b) => match b.handle.decide(commit) {
-                        Ok(()) => DecideOutcome::Applied,
-                        Err(e) => DecideOutcome::Failed(e.to_string()),
-                    },
+                    Some(b) => {
+                        retire_branch(&b);
+                        match b.handle.decide(commit) {
+                            Ok(()) => DecideOutcome::Applied,
+                            Err(e) => DecideOutcome::Failed(e.to_string()),
+                        }
+                    }
                     None if !commit => DecideOutcome::AbortNoop,
                     None => DecideOutcome::UnknownCommit,
                 };
@@ -495,6 +536,7 @@ fn serve(engine: &PartitionEngine, rx: &Receiver<Job>) {
                 let mut aborted = 0u64;
                 for gtid in doomed {
                     if let Some(b) = branches.remove(&gtid) {
+                        retire_branch(&b);
                         let _ = b.handle.decide(false);
                         aborted += 1;
                     }
@@ -515,6 +557,7 @@ fn serve(engine: &PartitionEngine, rx: &Receiver<Job>) {
     // Anything still in-doubt at shutdown has no coordinator left to decide
     // it: presumed abort releases the partition's state cleanly.
     for (_, b) in branches.drain() {
+        retire_branch(&b);
         let _ = b.handle.decide(false);
     }
 }

@@ -1190,11 +1190,11 @@ fn take_snapshot(cl: &Cluster) -> Snapshot {
         aborts: cl.stats.aborts.get(),
         distributed: cl.stats.distributed.get(),
         breakdown: [
-            cl.breakdown.execution_ps.get(),
-            cl.breakdown.locking_ps.get(),
-            cl.breakdown.logging_ps.get(),
-            cl.breakdown.communication_ps.get(),
-            cl.breakdown.management_ps.get(),
+            cl.breakdown.get(Cat::XctExecution),
+            cl.breakdown.get(Cat::Locking),
+            cl.breakdown.get(Cat::Logging),
+            cl.breakdown.get(Cat::Communication),
+            cl.breakdown.get(Cat::XctManagement),
         ],
         counters: cl.cost.counters().aggregate(cl.active_cores.iter()),
         qpi: cl.cost.counters().qpi_bytes.get(),

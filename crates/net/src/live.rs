@@ -38,6 +38,9 @@ fn pingpong<S: Read + Write + Send + 'static>(
     });
     let msg = [7u8; MSG_SIZE];
     let mut buf = [0u8; MSG_SIZE];
+    // The whole exchange is wire traffic: attribute it to the
+    // communication slice of the Fig. 11 breakdown.
+    let _span = islands_obs::enter(islands_obs::BreakdownCategory::Communication);
     let start = Instant::now();
     let mut local: std::io::Result<()> = Ok(());
     for _ in 0..round_trips {

@@ -1,0 +1,219 @@
+//! Log-bucketed latency histograms (HDR-style, fixed memory, lock-free).
+//!
+//! Two buckets per octave over 1 µs – 10 s: bucket `2k` covers
+//! `[2^k, 1.5·2^k)` µs and bucket `2k+1` covers `[1.5·2^k, 2^(k+1))` µs,
+//! giving ≤ ~25% relative error per bucket — plenty for p50/p99 of
+//! transaction latencies — in 48 fixed slots. Values below 1 µs land in
+//! bucket 0, values past the top clamp into the last bucket.
+//!
+//! A record is three relaxed `fetch_add`s (bucket, count, sum); there is no
+//! resizing, no allocation, and no lock, so it is safe inside the serial
+//! executor's hot loop.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Number of buckets: 2 per octave × 24 octaves starting at 1 µs
+/// (`2^23` µs ≈ 8.4 s; the last bucket absorbs everything beyond).
+pub const BUCKETS: usize = 48;
+
+/// Bucket index for a duration in nanoseconds.
+#[inline]
+pub fn bucket_of(ns: u64) -> usize {
+    // Work in half-µs units so the 1.5·2^k bucket edges stay integral.
+    let x = (ns / 500).max(2);
+    let exp = 63 - x.leading_zeros() as u64; // floor(log2(x)), ≥ 1
+    let half = (x >> (exp - 1)) & 1; // second-most-significant bit
+    ((2 * exp + half - 2) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive lower bound of bucket `i`, nanoseconds.
+pub fn bucket_lower_ns(i: usize) -> u64 {
+    let k = i / 2;
+    if i.is_multiple_of(2) {
+        1_000u64 << k
+    } else {
+        1_500u64 << k
+    }
+}
+
+/// The concurrent histogram.
+pub struct Hist {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Hist {
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)] // template for array init
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Hist {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample, in nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum_ns.fetch_add(ns, Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut s = HistSnapshot {
+            count: self.count.load(Relaxed),
+            sum_ns: self.sum_ns.load(Relaxed),
+            ..HistSnapshot::default()
+        };
+        for (slot, b) in s.buckets.iter_mut().zip(self.buckets.iter()) {
+            *slot = b.load(Relaxed);
+        }
+        s
+    }
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist::new()
+    }
+}
+
+/// A point-in-time copy of a [`Hist`]: plain numbers, mergeable, codable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub buckets: [u64; BUCKETS],
+    pub count: u64,
+    pub sum_ns: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// Rank-`p` percentile estimate in **microseconds** (midpoint of the
+    /// bucket holding the rank; 0 when empty).
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * (self.count.saturating_sub(1)) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen > rank {
+                let lower = bucket_lower_ns(i);
+                let upper = if i + 1 < BUCKETS {
+                    bucket_lower_ns(i + 1)
+                } else {
+                    2 * lower
+                };
+                return (lower + upper) / 2 / 1_000;
+            }
+        }
+        bucket_lower_ns(BUCKETS - 1) / 1_000
+    }
+
+    /// Mean in microseconds (exact: from the running sum, not the buckets).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64 / 1_000.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_range() {
+        // Every bucket's lower bound maps back into that bucket, and bounds
+        // strictly increase.
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_lower_ns(i)), i, "lower bound of {i}");
+            if i + 1 < BUCKETS {
+                assert!(bucket_lower_ns(i) < bucket_lower_ns(i + 1));
+                // One below the next bound still belongs to bucket i.
+                assert_eq!(bucket_of(bucket_lower_ns(i + 1) - 1), i);
+            }
+        }
+    }
+
+    #[test]
+    fn extremes_clamp() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(999), 0); // sub-µs
+        assert_eq!(bucket_of(u64::MAX / 2), BUCKETS - 1);
+        assert_eq!(bucket_of(30_000_000_000), BUCKETS - 1); // 30 s
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Bucket midpoints stay within ~25% of any value in the bucket
+        // (above the 1 µs floor, where integer-µs reporting is exact
+        // enough; sub-2µs values round to the floor).
+        for ns in [10_000u64, 123_456, 5_000_000, 1_000_000_000] {
+            let h = Hist::new();
+            h.record_ns(ns);
+            let p50 = h.snapshot().percentile_us(50.0) as f64 * 1_000.0;
+            let err = (p50 - ns as f64).abs() / ns as f64;
+            assert!(err < 0.30, "{ns} ns reported as {p50} ns (err {err:.2})");
+        }
+    }
+
+    #[test]
+    fn percentiles_order_correctly() {
+        let h = Hist::new();
+        for us in 1..=1000u64 {
+            h.record_ns(us * 1_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        let p50 = s.percentile_us(50.0);
+        let p99 = s.percentile_us(99.0);
+        assert!((400..=700).contains(&p50), "p50 ≈ 500 µs, got {p50}");
+        assert!((800..=1300).contains(&p99), "p99 ≈ 990 µs, got {p99}");
+        assert!((s.mean_us() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let a = Hist::new();
+        let b = Hist::new();
+        a.record_ns(10_000);
+        b.record_ns(10_000);
+        b.record_ns(500_000);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum_ns, 520_000);
+        assert_eq!(s.buckets[bucket_of(10_000)], 2);
+    }
+
+    #[test]
+    fn empty_snapshot_reports_zero() {
+        let s = HistSnapshot::default();
+        assert_eq!(s.percentile_us(99.0), 0);
+        assert_eq!(s.mean_us(), 0.0);
+    }
+}

@@ -122,6 +122,16 @@ impl Client {
         }
     }
 
+    /// Scrape the server's live stats: wire counters plus the instance
+    /// process's observability snapshot. Non-disruptive — the run continues.
+    pub fn stats(&mut self) -> io::Result<(crate::ServerStats, islands_obs::Snapshot)> {
+        self.send(&[Request::Stats])?;
+        match self.read_reply()? {
+            Reply::Stats { server, obs } => Ok((server, *obs)),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
     /// Ask the server to drain and wait for the acknowledgment.
     pub fn drain_server(&mut self) -> io::Result<()> {
         self.send(&[Request::Drain])?;

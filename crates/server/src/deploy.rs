@@ -115,6 +115,17 @@ pub struct DeployConfig {
     pub vote_timeout: Duration,
     /// Directory for UDS socket files (default: the OS temp dir).
     pub socket_dir: Option<PathBuf>,
+    /// Period of the `STATS` heartbeat each instance prints on stdout
+    /// (0 disables). The parent only drains child stdout at shutdown, so
+    /// the pipe's capacity bounds how long a run can heartbeat before the
+    /// child would block on a full pipe — at the 500 ms default and ~100
+    /// bytes a line, comfortably over five minutes.
+    pub stats_every_ms: u64,
+    /// Run instances with the observability registry enabled. Disabling it
+    /// (`loadgen --no-obs`) turns every counter/span into a load-and-branch
+    /// for overhead A/B measurements; heartbeats and final stats still
+    /// print (wire counters are always on).
+    pub obs: bool,
 }
 
 impl DeployConfig {
@@ -163,6 +174,8 @@ impl Default for DeployConfig {
             spawn: SpawnMode::SelfExec,
             vote_timeout: Duration::from_secs(5),
             socket_dir: None,
+            stats_every_ms: 500,
+            obs: true,
         }
     }
 }
@@ -249,7 +262,9 @@ fn parse_stats(line: &str) -> Option<InstanceStats> {
             "decisions" => s.decisions = v,
             "presumed_aborts" => s.presumed_aborts = v,
             "in_doubt" => s.in_doubt = v,
-            _ => return None,
+            // Unknown keys are skipped, not fatal: a newer child may
+            // heartbeat fields an older parent has no slot for.
+            _ => {}
         }
     }
     Some(s)
@@ -366,10 +381,14 @@ impl Deployment {
                 .args(["--row-size", &cfg.row_size.to_string()])
                 .args(["--retry-limit", &cfg.retry_limit.to_string()])
                 .args(["--lock-ms", &cfg.lock_timeout.as_millis().to_string()])
+                .args(["--stats-every-ms", &cfg.stats_every_ms.to_string()])
                 .stdin(Stdio::null())
                 .stdout(Stdio::piped());
             if cfg.single_threaded {
                 cmd.arg("--single-threaded");
+            }
+            if !cfg.obs {
+                cmd.arg("--no-obs");
             }
             if cfg.engine == EngineMode::Serial {
                 cmd.args(["--engine", EngineMode::Serial.label()]);
@@ -547,7 +566,10 @@ impl Deployment {
                 }
             };
             // The child has exited (or been killed): its stdout is at EOF,
-            // so scan the remaining lines for the final STATS record.
+            // so drain the remaining lines and keep the *last* STATS record.
+            // With heartbeats on, many STATS lines precede it; the final one
+            // (printed after the server joins) carries the drained totals,
+            // and a killed child's newest heartbeat is the best estimate.
             let mut stats = None;
             let mut stdout = unwrap_clean(member.stdout);
             let mut line = String::new();
@@ -566,16 +588,23 @@ impl Deployment {
                 detail = format!("{detail}; exit status {status:?}");
             }
             if stats.is_none() {
-                detail = format!("{detail}; no final STATS line");
+                detail = format!("{detail}; no STATS line");
             } else if !no_leak {
                 detail = format!("{detail}; leaked in-doubt transactions");
+            }
+            let clean = drained && exited_zero && no_leak;
+            // Unclean exits name the instance in the detail itself: callers
+            // routinely collect `detail`s from every member into one error
+            // string, where "drain failed" without an index is useless.
+            if !clean {
+                detail = format!("instance {i}: {}", detail.trim_start_matches("; "));
             }
             // A cleanly drained child unlinks its own socket file; a killed
             // one cannot, so the parent (which chose the path) sweeps up.
             remove_uds_file(&member.endpoint);
             reports.push(InstanceExit {
                 index: i,
-                clean: drained && exited_zero && no_leak,
+                clean,
                 stats,
                 detail: detail.trim_start_matches("; ").to_string(),
             });
@@ -946,7 +975,12 @@ fn drive_2pc<L: TwoPcLink>(
 ) -> io::Result<TwoPc> {
     let (mut coord, prepares) = Coordinator::new(gtid, parts.to_vec());
 
-    // Phase 1 fan-out, exactly as the state machine instructs.
+    // Phase 1 fan-out, exactly as the state machine instructs. The phase
+    // timers feed the *coordinator process's* registry: where the instance
+    // side records handler durations, this side records what the paper's
+    // multisite client actually waits — prepare fan-out to last vote, and
+    // decision fan-out to last ack, wire time included.
+    let prepare_started = Instant::now();
     let mut sent: Vec<usize> = Vec::new();
     let mut unreachable: Vec<usize> = Vec::new();
     for action in prepares {
@@ -992,9 +1026,14 @@ fn drive_2pc<L: TwoPcLink>(
         }
     }
 
+    if !sent.is_empty() {
+        islands_obs::metrics().record_prepare(prepare_started.elapsed().as_nanos() as u64);
+    }
+
     // Drive the state machine: votes first, then failures; carry out every
     // action it emits. Decisions are sent immediately; their acks are
     // collected afterwards (phase 2 is pipelined like phase 1).
+    let decision_started = Instant::now();
     let mut ack_wait: Vec<usize> = Vec::new();
     let mut outcome: Option<bool> = None;
     for (p, vote) in votes {
@@ -1008,6 +1047,9 @@ fn drive_2pc<L: TwoPcLink>(
     }
 
     let ack_failure = collect_acks(link, &mut coord, gtid, &mut ack_wait, &mut outcome);
+    if !ack_wait.is_empty() {
+        islands_obs::metrics().record_decision(decision_started.elapsed().as_nanos() as u64);
+    }
 
     match outcome {
         // A forced commit stays a commit even if an ack never arrived:
@@ -1064,6 +1106,8 @@ fn run_instance(args: &[String]) -> io::Result<bool> {
     let mut single_threaded = false;
     let mut engine_mode = EngineMode::Locked;
     let mut pin_cpus: Option<String> = None;
+    let mut stats_every_ms = 500u64;
+    let mut obs = true;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -1102,10 +1146,18 @@ fn run_instance(args: &[String]) -> io::Result<bool> {
                 engine_mode = EngineMode::parse(v).map_err(io::Error::other)?;
             }
             "--pin-cpus" => pin_cpus = Some(value("--pin-cpus")?.clone()),
+            "--stats-every-ms" => {
+                let v = value("--stats-every-ms")?;
+                stats_every_ms = v.parse().map_err(|_| parse_err("--stats-every-ms", v))?;
+            }
+            "--no-obs" => obs = false,
             other => return Err(io::Error::other(format!("unknown instance flag {other}"))),
         }
     }
     let endpoint = endpoint.ok_or_else(|| io::Error::other("--endpoint is required"))?;
+    // The registry is process-global and this process *is* one instance, so
+    // the gate is per-instance by construction.
+    islands_obs::set_enabled(obs);
 
     let partition = PartitionConfig {
         lo,
@@ -1155,7 +1207,30 @@ fn run_instance(args: &[String]) -> io::Result<bool> {
         writeln!(out, "READY {}", handle.endpoint())?;
         out.flush()?;
     }
+    // Heartbeat printer: a mid-run observer (tail, a scraper that lost its
+    // socket, the parent after a SIGKILL) gets counters without asking the
+    // server anything. The probe is minted before `join` consumes the
+    // handle; the channel doubles as the stop signal (dropping the sender
+    // ends the recv_timeout loop).
+    let heartbeat = (stats_every_ms > 0).then(|| {
+        let probe = handle.probe();
+        let period = Duration::from_millis(stats_every_ms);
+        let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+        let printer = std::thread::spawn(move || {
+            while let Err(std::sync::mpsc::RecvTimeoutError::Timeout) = stop_rx.recv_timeout(period)
+            {
+                let mut out = io::stdout().lock();
+                let _ = writeln!(out, "{}", format_stats(&probe.stats()));
+                let _ = out.flush();
+            }
+        });
+        (stop_tx, printer)
+    });
     let stats = handle.join()?;
+    if let Some((stop_tx, printer)) = heartbeat {
+        drop(stop_tx);
+        let _ = printer.join();
+    }
     // All sessions have exited (join waits for them), so the Arc the
     // acceptor held is gone: reclaim the executor and join its thread.
     if let Some(exec) = executor {
@@ -1312,6 +1387,11 @@ mod tests {
         );
         assert_eq!(parse_stats("STATS commits=nope"), None);
         assert_eq!(parse_stats("nonsense"), None);
+        // Heartbeats from a newer child may carry keys this parent has no
+        // slot for; they are skipped, not fatal.
+        let tolerant = parse_stats("STATS commits=3 p99_us=412 in_doubt=1").unwrap();
+        assert_eq!(tolerant.commits, 3);
+        assert_eq!(tolerant.in_doubt, 1);
     }
 
     /// Scripted [`TwoPcLink`]: per-participant reply queues plus a full log

@@ -64,5 +64,5 @@ pub use deploy::{
     InstanceStats, SpawnMode, Transport,
 };
 pub use islands_core::native::EngineMode;
-pub use server::{Backend, Endpoint, Server, ServerConfig, ServerHandle, ServerStats};
+pub use server::{Backend, Endpoint, Server, ServerConfig, ServerHandle, ServerStats, StatsProbe};
 pub use wire::{FrameReader, Reply, Request, WireError, WireMessage, MAX_FRAME};

@@ -35,6 +35,7 @@ use islands_core::native::{
     PartitionExecutor, SubmitOutcome,
 };
 use islands_dtxn::{Participant, ParticipantEvent, Vote};
+use islands_obs::{BreakdownCategory, TxnClass};
 use islands_storage::TxnHandle;
 use islands_workload::TxnBranch;
 
@@ -137,8 +138,42 @@ struct Counters {
     in_doubt: AtomicU64,
 }
 
+impl Counters {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            prepares: self.prepares.load(Ordering::Relaxed),
+            decisions: self.decisions.load(Ordering::Relaxed),
+            presumed_aborts: self.presumed_aborts.load(Ordering::Relaxed),
+            in_doubt: self.in_doubt.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Cloneable, read-only view of a running server's counters.
+///
+/// [`ServerHandle::join`] consumes the handle, so anything that wants to
+/// keep reporting stats while another thread blocks in `join` — the
+/// deployment children's `STATS` heartbeat printer, for one — mints a probe
+/// first and reads through it.
+#[derive(Clone)]
+pub struct StatsProbe {
+    counters: Arc<Counters>,
+}
+
+impl StatsProbe {
+    /// Current counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.counters.snapshot()
+    }
+}
+
 /// Snapshot of a server's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ServerStats {
     /// Connections accepted over the server's lifetime.
     pub connections: u64,
@@ -161,6 +196,24 @@ pub struct ServerStats {
     /// zero after a clean drain — anything else is a leaked in-doubt
     /// transaction still holding locks.
     pub in_doubt: u64,
+}
+
+impl ServerStats {
+    /// Add another instance's counters into this one — the deployment-wide
+    /// totals a scraper's `SUM` row shows (`in_doubt` is a gauge, but the
+    /// sum of gauges is the deployment-wide backlog, so plain addition is
+    /// the right aggregation for every field).
+    pub fn absorb(&mut self, other: &ServerStats) {
+        self.connections += other.connections;
+        self.requests += other.requests;
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.errors += other.errors;
+        self.prepares += other.prepares;
+        self.decisions += other.decisions;
+        self.presumed_aborts += other.presumed_aborts;
+        self.in_doubt += other.in_doubt;
+    }
 }
 
 enum Listener {
@@ -337,16 +390,14 @@ impl ServerHandle {
 
     /// Current counter snapshot.
     pub fn stats(&self) -> ServerStats {
-        ServerStats {
-            connections: self.counters.connections.load(Ordering::Relaxed),
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            commits: self.counters.commits.load(Ordering::Relaxed),
-            aborts: self.counters.aborts.load(Ordering::Relaxed),
-            errors: self.counters.errors.load(Ordering::Relaxed),
-            prepares: self.counters.prepares.load(Ordering::Relaxed),
-            decisions: self.counters.decisions.load(Ordering::Relaxed),
-            presumed_aborts: self.counters.presumed_aborts.load(Ordering::Relaxed),
-            in_doubt: self.counters.in_doubt.load(Ordering::Relaxed),
+        self.counters.snapshot()
+    }
+
+    /// Mint a [`StatsProbe`] that outlives this handle (usable while a
+    /// sibling thread blocks in [`join`](Self::join)).
+    pub fn probe(&self) -> StatsProbe {
+        StatsProbe {
+            counters: Arc::clone(&self.counters),
         }
     }
 
@@ -574,18 +625,24 @@ fn session_loop(
         // server silently dropped.
         batch.clear();
         let mut pending_err: Option<crate::wire::WireError> = None;
-        loop {
-            match reader.next_message::<Request>() {
-                Ok(Some(req)) => {
-                    batch.push(req);
-                    if batch.len() >= config.max_batch {
+        {
+            // Frame decode is wire work (Fig. 11 "communication"); the
+            // blocking/polling *waits* for bytes below stay unattributed so
+            // an idle connection does not inflate the category.
+            let _wire = islands_obs::enter(BreakdownCategory::Communication);
+            loop {
+                match reader.next_message::<Request>() {
+                    Ok(Some(req)) => {
+                        batch.push(req);
+                        if batch.len() >= config.max_batch {
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        pending_err = Some(e);
                         break;
                     }
-                }
-                Ok(None) => break,
-                Err(e) => {
-                    pending_err = Some(e);
-                    break;
                 }
             }
         }
@@ -662,12 +719,27 @@ fn session_loop(
                     drain_after_flush = true;
                     Reply::Draining.encode_frame(&mut out);
                 }
+                Request::Stats => Reply::Stats {
+                    server: counters.snapshot(),
+                    obs: Box::new(islands_obs::metrics().snapshot()),
+                }
+                .encode_frame(&mut out),
                 Request::Prepare(branch) => {
                     counters.prepares.fetch_add(1, Ordering::Relaxed);
+                    islands_obs::set_txn_class(TxnClass::Multisite);
+                    let started = Instant::now();
+                    // Inline backends do the work on this thread, so the
+                    // management span here catches what nested storage spans
+                    // don't claim; an executor backend spans itself on the
+                    // executor thread (the rendezvous wait stays unclaimed).
+                    let _span = exec
+                        .is_none()
+                        .then(|| islands_obs::enter(BreakdownCategory::XctManagement));
                     let reply = match exec {
                         Some(s) => handle_prepare_exec(s, branch, counters),
                         None => handle_prepare(backend, branch, in_doubt, counters),
                     };
+                    islands_obs::metrics().record_prepare(started.elapsed().as_nanos() as u64);
                     if matches!(reply, Reply::Error { .. }) {
                         counters.errors.fetch_add(1, Ordering::Relaxed);
                     }
@@ -675,17 +747,32 @@ fn session_loop(
                 }
                 Request::Decision { gtid, commit } => {
                     counters.decisions.fetch_add(1, Ordering::Relaxed);
+                    islands_obs::set_txn_class(TxnClass::Multisite);
+                    let started = Instant::now();
+                    let _span = exec
+                        .is_none()
+                        .then(|| islands_obs::enter(BreakdownCategory::XctManagement));
                     let reply = match exec {
                         Some(s) => handle_decision_exec(s, *gtid, *commit, counters),
                         None => handle_decision(backend, *gtid, *commit, in_doubt, counters),
                     };
+                    islands_obs::metrics().record_decision(started.elapsed().as_nanos() as u64);
                     if matches!(reply, Reply::Error { .. }) {
                         counters.errors.fetch_add(1, Ordering::Relaxed);
                     }
                     reply.encode_frame(&mut out);
                 }
                 Request::Submit(txn) => {
+                    let class = if txn.multisite {
+                        TxnClass::Multisite
+                    } else {
+                        TxnClass::Local
+                    };
+                    islands_obs::set_txn_class(class);
                     let started = Instant::now();
+                    let _span = exec
+                        .is_none()
+                        .then(|| islands_obs::enter(BreakdownCategory::XctManagement));
                     let outcome: Result<SubmitOutcome, String> = match (backend, exec) {
                         (Backend::Cluster(cluster), _) => cluster
                             .submit(txn, config.retry_limit)
@@ -720,11 +807,15 @@ fn session_loop(
                             Reply::Error { message }.encode_frame(&mut out);
                         }
                     }
+                    islands_obs::metrics().record_txn(class, started.elapsed().as_nanos() as u64);
                 }
             }
         }
-        conn.write_all(&out)?;
-        conn.flush()?;
+        {
+            let _wire = islands_obs::enter(BreakdownCategory::Communication);
+            conn.write_all(&out)?;
+            conn.flush()?;
+        }
         if let Some(e) = pending_err {
             // Framing is broken past this point: report and hang up.
             out.clear();

@@ -22,7 +22,10 @@
 use std::io::{self, Read};
 
 use islands_dtxn::Vote;
+use islands_obs::Snapshot;
 use islands_workload::{CodecError, TxnBranch, TxnRequest};
+
+use crate::server::ServerStats;
 
 /// Largest accepted frame payload. Large enough for a request touching
 /// [`islands_workload::MAX_KEYS_PER_REQUEST`] rows with room to spare,
@@ -39,6 +42,7 @@ const TAG_PING: u8 = 0x02;
 const TAG_DRAIN: u8 = 0x03;
 const TAG_PREPARE: u8 = 0x04;
 const TAG_DECISION: u8 = 0x05;
+const TAG_STATS_REQUEST: u8 = 0x06;
 // Reply tags (server -> client) have the high bit set. 0x86/0x87 are the
 // participant->coordinator half of wire-level 2PC.
 const TAG_COMMITTED: u8 = 0x81;
@@ -48,6 +52,12 @@ const TAG_PONG: u8 = 0x84;
 const TAG_DRAINING: u8 = 0x85;
 const TAG_VOTE: u8 = 0x86;
 const TAG_ACK: u8 = 0x87;
+const TAG_STATS_REPLY: u8 = 0x88;
+
+/// Fixed [`ServerStats`] prefix of a stats-reply body: 9 × u64 LE.
+const SERVER_STATS_LEN: usize = 72;
+/// Full stats-reply body: counters plus the encoded obs snapshot.
+const STATS_BODY_LEN: usize = SERVER_STATS_LEN + islands_obs::snapshot::ENCODED_LEN;
 
 // Vote bytes inside a TAG_VOTE body.
 const VOTE_YES: u8 = 0;
@@ -147,6 +157,9 @@ pub enum Request {
         /// True to commit the prepared branch, false to roll it back.
         commit: bool,
     },
+    /// Scrape the server's live counters and observability snapshot
+    /// ([`Reply::Stats`]) without disturbing the run.
+    Stats,
 }
 
 /// Server → client message.
@@ -182,6 +195,15 @@ pub enum Reply {
     Ack {
         /// Global transaction id the ack is for.
         gtid: u64,
+    },
+    /// Answer to [`Request::Stats`]: the server's monotonic counters plus
+    /// the process-wide observability snapshot (phase breakdown, latency
+    /// histograms, 2PC phase timings, gauges).
+    Stats {
+        /// Wire-server counters (connections, commits, in-doubt, ...).
+        server: ServerStats,
+        /// Metrics-registry snapshot from `islands-obs`.
+        obs: Box<Snapshot>,
     },
 }
 
@@ -258,6 +280,7 @@ impl WireMessage for Request {
                 buf.extend_from_slice(&gtid.to_le_bytes());
                 buf.push(*commit as u8);
             }
+            Request::Stats => buf.push(TAG_STATS_REQUEST),
         }
     }
 
@@ -299,6 +322,10 @@ impl WireMessage for Request {
                     gtid: u64_le(body),
                     commit,
                 })
+            }
+            TAG_STATS_REQUEST => {
+                exactly(tag, body, 0)?;
+                Ok(Request::Stats)
             }
             other => Err(WireError::UnknownTag(other)),
         }
@@ -345,6 +372,23 @@ impl WireMessage for Reply {
             Reply::Ack { gtid } => {
                 buf.push(TAG_ACK);
                 buf.extend_from_slice(&gtid.to_le_bytes());
+            }
+            Reply::Stats { server, obs } => {
+                buf.push(TAG_STATS_REPLY);
+                for v in [
+                    server.connections,
+                    server.requests,
+                    server.commits,
+                    server.aborts,
+                    server.errors,
+                    server.prepares,
+                    server.decisions,
+                    server.presumed_aborts,
+                    server.in_doubt,
+                ] {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+                obs.encode_into(buf);
             }
         }
     }
@@ -408,6 +452,34 @@ impl WireMessage for Reply {
             TAG_ACK => {
                 exactly(tag, body, 8)?;
                 Ok(Reply::Ack { gtid: u64_le(body) })
+            }
+            TAG_STATS_REPLY => {
+                exactly(tag, body, STATS_BODY_LEN)?;
+                let mut f = [0u64; 9];
+                for (i, slot) in f.iter_mut().enumerate() {
+                    *slot = u64_le(&body[i * 8..]);
+                }
+                let obs = Snapshot::decode(&body[SERVER_STATS_LEN..]).map_err(|_| {
+                    WireError::BadBody {
+                        tag,
+                        needed: STATS_BODY_LEN,
+                        had: body.len(),
+                    }
+                })?;
+                Ok(Reply::Stats {
+                    server: ServerStats {
+                        connections: f[0],
+                        requests: f[1],
+                        commits: f[2],
+                        aborts: f[3],
+                        errors: f[4],
+                        prepares: f[5],
+                        decisions: f[6],
+                        presumed_aborts: f[7],
+                        in_doubt: f[8],
+                    },
+                    obs: Box::new(obs),
+                })
             }
             other => Err(WireError::UnknownTag(other)),
         }

@@ -4,8 +4,9 @@
 //! message), and hostile length fields are rejected.
 
 use islands_dtxn::Vote;
+use islands_obs::{HistSnapshot, Snapshot, BUCKETS, NCATS, NCLASSES};
 use islands_server::wire::{FrameReader, Reply, Request, WireError, WireMessage, FRAME_HEADER};
-use islands_server::MAX_FRAME;
+use islands_server::{ServerStats, MAX_FRAME};
 use islands_workload::{OpKind, TxnBranch, TxnRequest};
 use proptest::prelude::*;
 
@@ -27,10 +28,70 @@ fn request() -> impl Strategy<Value = Request> {
         txn_request().prop_map(Request::Submit),
         Just(Request::Ping),
         Just(Request::Drain),
+        Just(Request::Stats),
         (any::<u64>(), txn_request())
             .prop_map(|(gtid, req)| Request::Prepare(TxnBranch { gtid, req })),
         (any::<u64>(), any::<bool>()).prop_map(|(gtid, commit)| Request::Decision { gtid, commit }),
     ]
+}
+
+fn hist_snapshot() -> impl Strategy<Value = HistSnapshot> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        prop::collection::vec(any::<u64>(), BUCKETS..BUCKETS + 1),
+    )
+        .prop_map(|(count, sum_ns, buckets)| {
+            let mut h = HistSnapshot {
+                count,
+                sum_ns,
+                ..HistSnapshot::default()
+            };
+            h.buckets.copy_from_slice(&buckets);
+            h
+        })
+}
+
+fn server_stats() -> impl Strategy<Value = ServerStats> {
+    prop::collection::vec(any::<u64>(), 9..10).prop_map(|v| ServerStats {
+        connections: v[0],
+        requests: v[1],
+        commits: v[2],
+        aborts: v[3],
+        errors: v[4],
+        prepares: v[5],
+        decisions: v[6],
+        presumed_aborts: v[7],
+        in_doubt: v[8],
+    })
+}
+
+fn obs_snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        any::<bool>(),
+        any::<u64>(),
+        any::<u64>(),
+        prop::collection::vec(any::<u64>(), NCLASSES * NCATS..NCLASSES * NCATS + 1),
+        prop::collection::vec(any::<u64>(), NCLASSES..NCLASSES + 1),
+        prop::collection::vec(hist_snapshot(), NCLASSES + 3..NCLASSES + 4),
+    )
+        .prop_map(|(enabled, queue_depth, in_doubt, phases, txns, hists)| {
+            let mut s = Snapshot {
+                enabled,
+                queue_depth,
+                in_doubt,
+                ..Snapshot::default()
+            };
+            for (i, v) in phases.iter().enumerate() {
+                s.phase_ns[i / NCATS][i % NCATS] = *v;
+            }
+            s.txns.copy_from_slice(&txns);
+            s.txn_us.copy_from_slice(&hists[..NCLASSES]);
+            s.prepare_us = hists[NCLASSES];
+            s.decision_us = hists[NCLASSES + 1];
+            s.parked_us = hists[NCLASSES + 2];
+            s
+        })
 }
 
 fn vote() -> impl Strategy<Value = Vote> {
@@ -52,6 +113,10 @@ fn reply() -> impl Strategy<Value = Reply> {
         Just(Reply::Draining),
         (any::<u64>(), vote()).prop_map(|(gtid, vote)| Reply::Vote { gtid, vote }),
         any::<u64>().prop_map(|gtid| Reply::Ack { gtid }),
+        (server_stats(), obs_snapshot()).prop_map(|(server, obs)| Reply::Stats {
+            server,
+            obs: Box::new(obs),
+        }),
     ]
 }
 
@@ -124,6 +189,38 @@ proptest! {
                     | WireError::EmptyFrame
                     | WireError::UnknownTag(_),
                 ) => {}
+                Err(e) => prop_assert!(false, "unexpected error class {e:?}"),
+            }
+        }
+    }
+
+    /// The stats reply gets its own truncation guarantee: it is by far the
+    /// largest frame (fixed ~2 KiB body: server counters + obs snapshot) and
+    /// its body length is exact, so *every* strict prefix must be a typed
+    /// error — never a panic, never a half-read snapshot. (The generic reply
+    /// strategy can't be used here: an Error reply's body is raw UTF-8 with
+    /// no length prefix, so its truncations legitimately decode.)
+    #[test]
+    fn truncated_stats_replies_never_panic_and_never_decode(
+        server in server_stats(),
+        obs in obs_snapshot(),
+        cut_seed in any::<u64>(),
+    ) {
+        let rep = Reply::Stats { server, obs: Box::new(obs) };
+        let mut frame = Vec::new();
+        rep.encode_frame(&mut frame);
+        let cut = (cut_seed % frame.len() as u64) as usize;
+        let mut rd = FrameReader::new();
+        rd.extend(&frame[..cut]);
+        prop_assert_eq!(rd.next_payload().unwrap(), None);
+        if cut > FRAME_HEADER {
+            let body = &frame[FRAME_HEADER..cut];
+            match Reply::decode_payload(body) {
+                Ok(got) => prop_assert!(
+                    false,
+                    "truncated stats reply decoded as {got:?} (cut={cut})"
+                ),
+                Err(WireError::BadBody { .. } | WireError::EmptyFrame) => {}
                 Err(e) => prop_assert!(false, "unexpected error class {e:?}"),
             }
         }

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use islands_obs::BreakdownCategory;
 use parking_lot::RwLock;
 
 use crate::buffer::BufferPool;
@@ -507,6 +508,7 @@ impl TxnHandle {
 
     /// Read one row (S lock on the key, IS on the table).
     pub fn read(&mut self, table: &str, key: u64) -> Result<Option<Vec<u8>>> {
+        let _span = islands_obs::enter(BreakdownCategory::XctExecution);
         self.check_active()?;
         self.lockcheck_access(key);
         let t = self.instance.table(table)?;
@@ -518,6 +520,7 @@ impl TxnHandle {
     /// Overwrite one row (X lock on the key, IX on the table), logging
     /// before/after images.
     pub fn update(&mut self, table: &str, key: u64, payload: &[u8]) -> Result<()> {
+        let _span = islands_obs::enter(BreakdownCategory::XctExecution);
         self.check_active()?;
         self.lockcheck_access(key);
         let t = self.instance.table(table)?;
@@ -544,6 +547,7 @@ impl TxnHandle {
 
     /// Insert a new row.
     pub fn insert(&mut self, table: &str, key: u64, payload: &[u8]) -> Result<()> {
+        let _span = islands_obs::enter(BreakdownCategory::XctExecution);
         self.check_active()?;
         self.lockcheck_access(key);
         let t = self.instance.table(table)?;

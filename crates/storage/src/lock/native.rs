@@ -54,6 +54,7 @@ impl NativeLockManager {
     /// Errors: [`StorageError::Deadlock`] if wait-die kills the requester,
     /// [`StorageError::LockTimeout`] if the wait exceeds the timeout.
     pub fn lock(&self, txn: TxnId, id: LockId, mode: LockMode) -> Result<()> {
+        let _span = islands_obs::enter(islands_obs::BreakdownCategory::Locking);
         #[cfg(feature = "lockcheck")]
         self.order.on_request(txn, id);
         let decision = {
@@ -113,6 +114,7 @@ impl NativeLockManager {
 
     /// Release everything `txn` holds and wake newly granted waiters.
     pub fn unlock_all(&self, txn: TxnId) {
+        let _span = islands_obs::enter(islands_obs::BreakdownCategory::Locking);
         #[cfg(feature = "lockcheck")]
         self.order.on_release_all(txn);
         let woken = {

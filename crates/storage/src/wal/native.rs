@@ -158,6 +158,7 @@ impl LogManager {
     /// Append a record; returns the LSN to pass to
     /// [`LogManager::commit_durable`] for a forced write.
     pub fn append(&self, txn: TxnId, payload: &LogPayload) -> Lsn {
+        let _span = islands_obs::enter(islands_obs::BreakdownCategory::Logging);
         let mut st = self.shared.buf.lock();
         let lsn = st.buffer.append(txn, payload);
         if st.buffer.should_flush() {
@@ -168,6 +169,7 @@ impl LogManager {
 
     /// Block until `lsn` is durable on the device.
     pub fn commit_durable(&self, lsn: Lsn) {
+        let _span = islands_obs::enter(islands_obs::BreakdownCategory::Logging);
         let mut st = self.shared.buf.lock();
         if self.flusher.is_none() {
             // Synchronous mode: flush on this thread, device I/O under the
