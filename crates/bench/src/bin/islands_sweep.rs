@@ -29,15 +29,17 @@ use std::sync::Arc;
 
 use islands_bench::drive::{
     class_json, drive, instance_json, percentile, shutdown_deployment, ClassTally, DriveConfig,
-    DriveResult, DriveTarget, TeardownReport,
+    DriveResult, DriveTarget, DriveWorkload, TeardownReport,
 };
 use islands_bench::jsonscan::{int_field, num_field, str_field};
 use islands_core::native::EngineMode;
 use islands_hwtopo::{granularity_configs, HostTopology};
 use islands_obs::{BreakdownCategory, Snapshot};
-use islands_server::deploy::{self, DeployConfig, Deployment, SpawnMode, Transport};
+use islands_server::deploy::{
+    self, DeployConfig, DeployWorkload, Deployment, SpawnMode, Transport,
+};
 use islands_server::{Client, ServerStats};
-use islands_workload::{MicroSpec, OpKind};
+use islands_workload::{MicroSpec, OpKind, TpccSpec};
 
 const USAGE: &str = "islands-sweep - granularity sweeps over real deployments (Figs. 6-10, 13)
 
@@ -56,6 +58,15 @@ OPTIONS:
   --assert-serial-wins  with both engines swept, exit nonzero unless the
                         serial engine beats the locked engine's committed
                         throughput in every 0%-multisite cell
+  --workload micro|tpcc micro (default): single-shot read/update batches;
+                        tpcc: NewOrder/Payment multi-step plans partitioned
+                        by warehouse — the --multisite axis becomes the
+                        remote-payment probability (Figs. 3 and 7), and
+                        --kind/--rows-per-txn/--sites/--skew/--rows are
+                        micro-only
+  --warehouses N        tpcc scale factor (default: 2 x the finest
+                        granularity's instance count; must cover every
+                        granularity so each instance owns a warehouse)
   --transport uds|tcp   transport for instance processes (default uds)
   --clients N           concurrent clients per cell (default 8; quick 4)
   --secs S              measured seconds per cell (default 2; quick 0.5)
@@ -92,6 +103,8 @@ struct Args {
     quick: bool,
     engines: Vec<EngineMode>,
     assert_serial_wins: bool,
+    workload: String,
+    warehouses: u64,
     transport: String,
     clients: Option<usize>,
     secs: Option<f64>,
@@ -117,6 +130,8 @@ impl Default for Args {
             quick: false,
             engines: vec![EngineMode::Locked],
             assert_serial_wins: false,
+            workload: "micro".into(),
+            warehouses: 0,
             transport: "uds".into(),
             clients: None,
             secs: None,
@@ -180,6 +195,8 @@ fn parse_args() -> Result<Args, String> {
                 args.engines = engines;
             }
             "--assert-serial-wins" => args.assert_serial_wins = true,
+            "--workload" => args.workload = value("--workload")?,
+            "--warehouses" => args.warehouses = num(&value("--warehouses")?)?,
             "--transport" => args.transport = value("--transport")?,
             "--clients" => args.clients = Some(num(&value("--clients")?)?),
             "--secs" => args.secs = Some(num(&value("--secs")?)?),
@@ -218,6 +235,21 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.transport != "uds" && args.transport != "tcp" {
         return Err(format!("--transport uds|tcp, got {}", args.transport));
+    }
+    if args.workload != "micro" && args.workload != "tpcc" {
+        return Err(format!("--workload micro|tpcc, got {}", args.workload));
+    }
+    if args.workload == "tpcc" {
+        // The micro-only axes must stay at their defaults: tpcc's multisite
+        // class is remote payments, its skew is TPC-C's own access pattern.
+        if args.sites != vec![0] {
+            return Err("--sites is micro-only; tpcc's multisite class is remote payments".into());
+        }
+        if args.skews != vec![0.0] {
+            return Err("--skew is micro-only (tpcc draws warehouses uniformly)".into());
+        }
+    } else if args.warehouses != 0 {
+        return Err("--warehouses applies only with --workload tpcc".into());
     }
     if let Some(pcts) = &args.multisite {
         if pcts.iter().any(|p| !(0.0..=100.0).contains(p)) {
@@ -276,6 +308,10 @@ struct Cell {
     label: String,
     instances: usize,
     engine: EngineMode,
+    /// `"micro"` or `"tpcc"` — part of the cell's baseline identity.
+    workload: String,
+    /// TPC-C scale factor; 0 for micro cells.
+    warehouses: u64,
     multisite_pct: f64,
     sites: usize, // 0 = unconstrained
     skew: f64,
@@ -335,6 +371,7 @@ fn run_cell(
     args: &Args,
     config: &Config,
     engine: EngineMode,
+    warehouses: u64,
     pct: f64,
     sites: usize,
     skew: f64,
@@ -348,6 +385,7 @@ fn run_cell(
     } else {
         Transport::Uds
     };
+    let tpcc = args.workload == "tpcc";
     let deployment = Deployment::spawn(&DeployConfig {
         instances: config.instances,
         transport,
@@ -355,6 +393,11 @@ fn run_cell(
         row_size: 64,
         retry_limit: args.retry_limit,
         engine,
+        workload: if tpcc {
+            DeployWorkload::Tpcc { warehouses }
+        } else {
+            DeployWorkload::Micro
+        },
         pin: args.pin,
         spawn: SpawnMode::SelfExec,
         ..Default::default()
@@ -363,9 +406,17 @@ fn run_cell(
     let pinned = deployment.pinned();
     let deployment = Arc::new(deployment);
 
+    let workload = if tpcc {
+        DriveWorkload::Tpcc(TpccSpec {
+            warehouses,
+            remote_pct: pct / 100.0,
+        })
+    } else {
+        DriveWorkload::Micro(cell_spec(args, pct, sites, skew))
+    };
     let cfg = DriveConfig {
         seed,
-        ..DriveConfig::closed(clients, secs, cell_spec(args, pct, sites, skew), n_sites)
+        ..DriveConfig::closed(clients, secs, workload, n_sites)
     };
     let result = drive(&DriveTarget::Deployment(&deployment), &cfg)?;
     let coordinator_presumed_aborts = deployment.presumed_aborts();
@@ -394,6 +445,8 @@ fn run_cell(
         label: config.label.clone(),
         instances: config.instances,
         engine,
+        workload: args.workload.clone(),
+        warehouses: if tpcc { warehouses } else { 0 },
         multisite_pct: pct,
         sites,
         skew,
@@ -472,13 +525,29 @@ fn cell_json(c: &Cell) -> String {
         .map(instance_json)
         .collect::<Vec<_>>()
         .join(", ");
+    // TPC-C cells break the classes out further: NewOrder, local Payment,
+    // remote (multisite) Payment — the nested `local`/`multisite` objects
+    // stay the fold of these, so micro tooling reads every cell.
+    let tpcc_classes = if c.workload == "tpcc" {
+        format!(
+            ",\"neworder\":{},\"payment_local\":{},\"payment_multisite\":{}",
+            class_json(&c.result.neworder, c.result.elapsed),
+            class_json(&c.result.payment_local, c.result.elapsed),
+            class_json(&c.result.payment_multisite, c.result.elapsed),
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "{{\"granularity\":\"{}\",\"instances\":{},\"engine\":\"{}\",\"multisite_pct\":{},\
+        "{{\"workload\":\"{}\",\"warehouses\":{},\"granularity\":\"{}\",\"instances\":{},\
+         \"engine\":\"{}\",\"multisite_pct\":{},\
          \"sites\":{},\
          \"skew\":{},\"committed\":{},\"throughput_tps\":{:.1},\
          \"coordinator_presumed_aborts\":{},\"unclean_instances\":{},\"in_doubt_leaks\":{},\
          \"client_failures\":{},\"pinned\":{},\"elapsed_secs\":{:.3},{},\
-         \"local\":{},\"multisite\":{},\"instance_exits\":[{}]}}",
+         \"local\":{},\"multisite\":{}{tpcc_classes},\"instance_exits\":[{}]}}",
+        c.workload,
+        c.warehouses,
         c.label,
         c.instances,
         c.engine,
@@ -509,10 +578,13 @@ fn cell_json(c: &Cell) -> String {
 fn scrape_lines(c: &Cell, out: &mut String) {
     for (i, (server, snap)) in c.scrapes.iter().enumerate() {
         out.push_str(&format!(
-            "{{\"schema\":\"islands-obs/1\",\"granularity\":\"{}\",\"instances\":{},\
+            "{{\"schema\":\"islands-obs/1\",\"workload\":\"{}\",\"warehouses\":{},\
+             \"granularity\":\"{}\",\"instances\":{},\
              \"engine\":\"{}\",\"multisite_pct\":{},\"sites\":{},\"skew\":{},\
              \"instance\":{i},\"commits\":{},\"aborts\":{},\"prepares\":{},\
              \"decisions\":{},\"in_doubt\":{},{}}}\n",
+            c.workload,
+            c.warehouses,
             c.label,
             c.instances,
             c.engine,
@@ -556,11 +628,14 @@ fn write_json(
         .map(|e| format!("\"{e}\""))
         .collect::<Vec<_>>()
         .join(",");
+    let warehouses = cells.iter().map(|c| c.warehouses).max().unwrap_or(0);
     out.push_str(&format!(
-        "  \"config\": {{\"transport\":\"{}\",\"engines\":[{engines}],\
+        "  \"config\": {{\"workload\":\"{}\",\"warehouses\":{warehouses},\
+         \"transport\":\"{}\",\"engines\":[{engines}],\
          \"clients\":{clients},\"secs\":{secs},\
          \"kind\":\"{}\",\"rows_per_txn\":{},\"rows\":{},\"n_sites\":{n_sites},\
          \"quick\":{}}},\n",
+        args.workload,
         args.transport,
         args.kind.label(),
         args.rows_per_txn,
@@ -603,9 +678,12 @@ fn gate_against_baseline(path: &str, tolerance: f64, cells: &[Cell]) -> Result<(
             str_field(l, "granularity") == Some(c.label.as_str())
                 && int_field(l, "instances") == Some(c.instances as i64)
                 // Baselines written before the engine axis existed carry no
-                // engine field; they were all locked-engine runs.
+                // engine field; they were all locked-engine runs. Likewise
+                // pre-workload-axis baselines were all micro runs.
                 && str_field(l, "engine").unwrap_or(EngineMode::Locked.label())
                     == c.engine.label()
+                && str_field(l, "workload").unwrap_or("micro") == c.workload
+                && int_field(l, "warehouses").unwrap_or(0) == c.warehouses as i64
                 && num_field(l, "multisite_pct") == Some(c.multisite_pct)
                 && int_field(l, "sites") == Some(c.sites as i64)
                 && num_field(l, "skew") == Some(c.skew)
@@ -769,6 +847,23 @@ fn run() -> Result<(), String> {
             args.rows
         ));
     }
+    // TPC-C scale: one warehouse count for the *whole* sweep, so every
+    // granularity runs the identical workload — defaulting to two
+    // warehouses per instance of the finest granularity under comparison.
+    let warehouses = if args.workload == "tpcc" {
+        if args.warehouses > 0 {
+            args.warehouses
+        } else {
+            configs
+                .iter()
+                .map(|c| c.instances as u64)
+                .max()
+                .unwrap_or(1)
+                * 2
+        }
+    } else {
+        0
+    };
     // Enumerate the cells up front. The --sites axis is inert in
     // 0%-multisite cells (no multisite transactions exist to spread), so
     // only its first entry runs there — duplicate deployments would spend
@@ -788,35 +883,54 @@ fn run() -> Result<(), String> {
             }
         }
     }
-    // Pre-flight every planned cell's workload shape through
-    // MicroSpec::check (the single source of truth the generator asserts),
-    // so an unsatisfiable combination is a clean CLI error instead of a
-    // worker panic mid-sweep.
-    for &(_, _, pct, sites, skew) in &plan {
-        cell_spec(&args, pct, sites, skew)
-            .check(n_sites)
+    // Pre-flight every planned cell's workload shape through the spec's own
+    // check (the single source of truth the generator asserts), so an
+    // unsatisfiable combination is a clean CLI error instead of a worker
+    // panic mid-sweep.
+    for &(config, _, pct, sites, skew) in &plan {
+        if args.workload == "tpcc" {
+            TpccSpec {
+                warehouses,
+                remote_pct: pct / 100.0,
+            }
+            .check(config.instances)
             .map_err(|e| {
                 format!(
-                    "multisite={pct}% sites={} skew={skew}: {e}",
-                    sites_label(sites)
+                    "{} x{} multisite={pct}%: {e}",
+                    config.label, config.instances
                 )
             })?;
+        } else {
+            cell_spec(&args, pct, sites, skew)
+                .check(n_sites)
+                .map_err(|e| {
+                    format!(
+                        "multisite={pct}% sites={} skew={skew}: {e}",
+                        sites_label(sites)
+                    )
+                })?;
+        }
     }
 
     let total_cells = plan.len();
+    let scale = if args.workload == "tpcc" {
+        format!("{warehouses} warehouses")
+    } else {
+        format!("{} rows, n_sites={n_sites}", args.rows)
+    };
     println!(
-        "islands-sweep: host {} socket(s) x {} core(s); {} config(s) x {} engine(s) x \
-         {} multisite x {} sites x {} skew = {total_cells} cells ({} clients, {secs}s \
-         each, {} rows, n_sites={n_sites})",
+        "islands-sweep: host {} socket(s) x {} core(s); workload={}; {} config(s) x \
+         {} engine(s) x {} multisite x {} sites x {} skew = {total_cells} cells \
+         ({} clients, {secs}s each, {scale})",
         topo.machine.sockets,
         topo.machine.total_cores(),
+        args.workload,
         configs.len(),
         args.engines.len(),
         multisite.len(),
         args.sites.len(),
         args.skews.len(),
         clients,
-        args.rows,
     );
     for c in &configs {
         println!("  config {}: {} instance process(es)", c.label, c.instances);
@@ -839,11 +953,21 @@ fn run() -> Result<(), String> {
         );
         std::io::stdout().flush().ok();
         match run_cell(
-            &args, config, engine, pct, sites, skew, n_sites, clients, secs, seed,
+            &args, config, engine, warehouses, pct, sites, skew, n_sites, clients, secs, seed,
         ) {
             Ok(cell) => {
+                let breakout = if cell.workload == "tpcc" {
+                    format!(
+                        " (neworder {:.0}, pay-local {:.0}, pay-multi {:.0})",
+                        class_tput(&cell.result.neworder, &cell),
+                        class_tput(&cell.result.payment_local, &cell),
+                        class_tput(&cell.result.payment_multisite, &cell),
+                    )
+                } else {
+                    String::new()
+                };
                 println!(
-                    "{:.0} tps (local {:.0}, multi {:.0}), leaks={}, {}",
+                    "{:.0} tps (local {:.0}, multi {:.0}){breakout}, leaks={}, {}",
                     cell.result.throughput_tps(),
                     class_tput(&cell.result.local, &cell),
                     class_tput(&cell.result.multi, &cell),

@@ -34,12 +34,14 @@ use std::time::Duration;
 
 use islands_bench::drive::{
     class_json, drive, instance_json, percentile, shutdown_deployment, ClassTally, DriveConfig,
-    DriveTarget,
+    DriveTarget, DriveWorkload,
 };
 use islands_core::native::{EngineMode, NativeCluster, NativeClusterConfig};
-use islands_server::deploy::{self, DeployConfig, Deployment, SpawnMode, Transport};
+use islands_server::deploy::{
+    self, DeployConfig, DeployWorkload, Deployment, SpawnMode, Transport,
+};
 use islands_server::{Client, Endpoint, InstanceExit, Server, ServerConfig, ServerHandle};
-use islands_workload::{MicroSpec, OpKind};
+use islands_workload::{MicroSpec, OpKind, TpccSpec};
 
 const USAGE: &str = "loadgen - drive a served islands deployment
 
@@ -62,6 +64,14 @@ OPTIONS:
                         (requires --rows and --instances matching the
                         external server's dataset and partition count; the
                         server is NOT drained afterwards)
+  --workload micro|tpcc micro (default): single-shot read/update batches;
+                        tpcc: NewOrder/Payment multi-step plans partitioned
+                        by warehouse (requires --deploy proc; remote
+                        payments run wire-level 2PC; --multisite PCT is the
+                        remote-payment probability; --kind/--rows-per-txn/
+                        --sites/--skew/--rows are micro-only)
+  --warehouses N        tpcc scale factor (default: 2 x instances; must be
+                        >= instances so every instance owns a warehouse)
   --clients N           concurrent client connections (default 8)
   --secs S              measured duration in seconds (default 2)
   --open RATE           open-loop arrival rate, txn/s aggregate
@@ -91,6 +101,8 @@ OPTIONS:
 struct Args {
     deploy: String,
     engine: EngineMode,
+    workload: String,
+    warehouses: u64,
     transport: String,
     uds_path: Option<String>,
     connect: Option<String>,
@@ -115,6 +127,8 @@ impl Default for Args {
         Args {
             deploy: "proc".into(),
             engine: EngineMode::Locked,
+            workload: "micro".into(),
+            warehouses: 0,
             transport: "uds".into(),
             uds_path: None,
             connect: None,
@@ -150,6 +164,31 @@ impl Args {
             row_size: 64,
         }
     }
+
+    /// Effective TPC-C scale: explicit `--warehouses`, else two per
+    /// instance (enough that remote payments always have somewhere to go).
+    fn tpcc_warehouses(&self) -> u64 {
+        if self.warehouses > 0 {
+            self.warehouses
+        } else {
+            (self.instances as u64) * 2
+        }
+    }
+
+    fn tpcc_spec(&self) -> TpccSpec {
+        TpccSpec {
+            warehouses: self.tpcc_warehouses(),
+            remote_pct: self.multisite_pct / 100.0,
+        }
+    }
+
+    fn drive_workload(&self) -> DriveWorkload {
+        if self.workload == "tpcc" {
+            DriveWorkload::Tpcc(self.tpcc_spec())
+        } else {
+            DriveWorkload::Micro(self.spec())
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -160,6 +199,8 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--deploy" => args.deploy = value("--deploy")?,
             "--engine" => args.engine = EngineMode::parse(&value("--engine")?)?,
+            "--workload" => args.workload = value("--workload")?,
+            "--warehouses" => args.warehouses = num(&value("--warehouses")?)?,
             "--transport" => args.transport = value("--transport")?,
             "--uds-path" => args.uds_path = Some(value("--uds-path")?),
             "--connect" => args.connect = Some(value("--connect")?),
@@ -199,6 +240,26 @@ fn parse_args() -> Result<Args, String> {
     if args.deploy != "proc" && args.deploy != "inproc" {
         return Err(format!("--deploy proc|inproc, got {}", args.deploy));
     }
+    if args.workload != "micro" && args.workload != "tpcc" {
+        return Err(format!("--workload micro|tpcc, got {}", args.workload));
+    }
+    if args.workload == "tpcc" {
+        if args.deploy != "proc" || args.connect.is_some() {
+            return Err(
+                "--workload tpcc needs a spawned multi-process deployment (--deploy proc, \
+                 no --connect): warehouse routing lives in the coordinator"
+                    .into(),
+            );
+        }
+        if args.sites.is_some() {
+            return Err("--sites is micro-only; tpcc's multisite class is remote payments".into());
+        }
+        if args.skew != 0.0 {
+            return Err("--skew is micro-only (tpcc draws warehouses uniformly)".into());
+        }
+    } else if args.warehouses != 0 {
+        return Err("--warehouses applies only with --workload tpcc".into());
+    }
     if args.engine == EngineMode::Serial && (args.deploy != "proc" || args.connect.is_some()) {
         return Err(
             "--engine serial applies to spawned instance processes (--deploy proc, no --connect)"
@@ -235,12 +296,18 @@ fn parse_args() -> Result<Args, String> {
     }
     // The generator's logical-site count is --instances (for --connect too:
     // it must describe the external server's partition count, like --rows
-    // must match its dataset). MicroSpec::check is the single source of
-    // truth for whether each site's range holds enough distinct keys;
-    // failing here keeps it a clean CLI error instead of a worker panic.
-    args.spec()
-        .check(args.instances.max(1) as u64)
-        .map_err(|e| format!("workload shape: {e}"))?;
+    // must match its dataset). The spec's own check is the single source of
+    // truth for whether the shape is satisfiable; failing here keeps it a
+    // clean CLI error instead of a worker panic.
+    if args.workload == "tpcc" {
+        args.tpcc_spec()
+            .check(args.instances)
+            .map_err(|e| format!("workload shape: {e}"))?;
+    } else {
+        args.spec()
+            .check(args.instances.max(1) as u64)
+            .map_err(|e| format!("workload shape: {e}"))?;
+    }
     if !args.secs.is_finite() || args.secs < 0.0 {
         return Err("--secs must be a nonnegative number".into());
     }
@@ -337,6 +404,7 @@ fn write_json(
     elapsed: Duration,
     local: &ClassTally,
     multi: &ClassTally,
+    tpcc: Option<[&ClassTally; 3]>,
     coordinator_presumed_aborts: u64,
     pinned: bool,
     instances: &[InstanceExit],
@@ -353,14 +421,21 @@ fn write_json(
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"islands-loadgen/1\",\n");
+    let warehouses = if args.workload == "tpcc" {
+        args.tpcc_warehouses()
+    } else {
+        0
+    };
     out.push_str(&format!(
-        "  \"config\": {{\"deploy\":\"{}\",\"engine\":\"{}\",\"transport\":\"{}\",\
+        "  \"config\": {{\"deploy\":\"{}\",\"engine\":\"{}\",\"workload\":\"{}\",\
+         \"warehouses\":{warehouses},\"transport\":\"{}\",\
          \"instances\":{},\
          \"clients\":{},\"secs\":{},\"mode\":{mode},\"kind\":\"{}\",\"rows_per_txn\":{},\
          \"multisite_pct\":{},\"sites\":{sites},\"skew\":{},\"rows\":{},\"pinned\":{},\
          \"obs\":{}}},\n",
         args.deploy,
         args.engine,
+        args.workload,
         args.transport,
         args.instances,
         args.clients,
@@ -382,10 +457,20 @@ fn write_json(
         elapsed.as_secs_f64(),
     ));
     out.push_str(&format!(
-        "  \"classes\": {{\n    \"local\": {},\n    \"multisite\": {}\n  }},\n",
+        "  \"classes\": {{\n    \"local\": {},\n    \"multisite\": {}",
         class_json(local, elapsed),
         class_json(multi, elapsed),
     ));
+    if let Some([neworder, payment_local, payment_multisite]) = tpcc {
+        out.push_str(&format!(
+            ",\n    \"neworder\": {},\n    \"payment_local\": {},\n    \
+             \"payment_multisite\": {}",
+            class_json(neworder, elapsed),
+            class_json(payment_local, elapsed),
+            class_json(payment_multisite, elapsed),
+        ));
+    }
+    out.push_str("\n  },\n");
     out.push_str("  \"instances\": [");
     out.push_str(
         &instances
@@ -420,6 +505,13 @@ fn run() -> Result<bool, String> {
                 row_size: 64,
                 retry_limit: args.retry_limit,
                 engine: args.engine,
+                workload: if args.workload == "tpcc" {
+                    DeployWorkload::Tpcc {
+                        warehouses: args.tpcc_warehouses(),
+                    }
+                } else {
+                    DeployWorkload::Micro
+                },
                 pin: args.pin,
                 obs: args.obs,
                 spawn: SpawnMode::SelfExec,
@@ -449,26 +541,43 @@ fn run() -> Result<bool, String> {
         Target::Inproc(_, ep) => format!("{ep} (inproc)"),
         Target::External(ep) => format!("{ep} (external)"),
     };
-    println!(
-        "loadgen: {where_} clients={} secs={} mode={mode} kind={} rows/txn={} \
-         multisite={}% sites={} skew={} rows={} instances={}",
-        args.clients,
-        args.secs,
-        args.kind.label(),
-        args.rows_per_txn,
-        args.multisite_pct,
-        args.sites
-            .map(|k| k.to_string())
-            .unwrap_or_else(|| "any".into()),
-        args.skew,
-        args.rows,
-        args.instances,
-    );
+    if args.workload == "tpcc" {
+        println!(
+            "loadgen: {where_} clients={} secs={} mode={mode} workload=tpcc warehouses={} \
+             remote-payment={}% instances={}",
+            args.clients,
+            args.secs,
+            args.tpcc_warehouses(),
+            args.multisite_pct,
+            args.instances,
+        );
+    } else {
+        println!(
+            "loadgen: {where_} clients={} secs={} mode={mode} kind={} rows/txn={} \
+             multisite={}% sites={} skew={} rows={} instances={}",
+            args.clients,
+            args.secs,
+            args.kind.label(),
+            args.rows_per_txn,
+            args.multisite_pct,
+            args.sites
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "any".into()),
+            args.skew,
+            args.rows,
+            args.instances,
+        );
+    }
     if let Target::Deployment(d) = &target {
         for i in 0..d.instances() {
             let (lo, hi) = d.range(i);
+            let kind = if args.workload == "tpcc" {
+                "warehouses"
+            } else {
+                "keys"
+            };
             println!(
-                "  instance {i}: keys {lo}..{hi} at {}{}",
+                "  instance {i}: {kind} {lo}..{hi} at {}{}",
                 d.endpoint(i),
                 d.cpus_of(i)
                     .map(|c| format!(" cpus {c}"))
@@ -482,7 +591,7 @@ fn run() -> Result<bool, String> {
         ..DriveConfig::closed(
             args.clients,
             args.secs,
-            args.spec(),
+            args.drive_workload(),
             args.instances.max(1) as u64,
         )
     };
@@ -490,7 +599,14 @@ fn run() -> Result<bool, String> {
         Target::Deployment(d) => drive(&DriveTarget::Deployment(d), &cfg)?,
         Target::Inproc(_, ep) | Target::External(ep) => drive(&DriveTarget::Endpoint(ep), &cfg)?,
     };
-    let (mut local, mut multi, elapsed) = (result.local, result.multi, result.elapsed);
+    let elapsed = result.elapsed;
+    let client_failures = result.client_failures;
+    let (mut local, mut multi) = (result.local, result.multi);
+    let (mut neworder, mut payment_local, mut payment_multisite) = (
+        result.neworder,
+        result.payment_local,
+        result.payment_multisite,
+    );
 
     // Report.
     let committed = local.committed + multi.committed;
@@ -511,6 +627,11 @@ fn run() -> Result<bool, String> {
     );
     class_report("local", &mut local, elapsed);
     class_report("multisite", &mut multi, elapsed);
+    if args.workload == "tpcc" {
+        class_report("neworder", &mut neworder, elapsed);
+        class_report("payment_local", &mut payment_local, elapsed);
+        class_report("payment_multisite", &mut payment_multisite, elapsed);
+    }
 
     // Tear down and verify.
     let mut instance_reports: Vec<InstanceExit> = Vec::new();
@@ -582,12 +703,15 @@ fn run() -> Result<bool, String> {
     }
 
     if let Some(path) = &args.json {
+        let tpcc =
+            (args.workload == "tpcc").then_some([&neworder, &payment_local, &payment_multisite]);
         write_json(
             path,
             &args,
             elapsed,
             &local,
             &multi,
+            tpcc,
             coordinator_presumed_aborts,
             pinned,
             &instance_reports,
@@ -596,8 +720,8 @@ fn run() -> Result<bool, String> {
         println!("wrote {path}");
     }
 
-    if result.client_failures > 0 {
-        return Err(format!("{} client(s) failed", result.client_failures));
+    if client_failures > 0 {
+        return Err(format!("{client_failures} client(s) failed"));
     }
     Ok(committed > 0)
 }

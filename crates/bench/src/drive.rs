@@ -23,9 +23,24 @@ use std::time::{Duration, Instant};
 use islands_server::{
     Client, DeployClient, DeployReply, Deployment, Endpoint, InstanceExit, Reply,
 };
-use islands_workload::{MicroGenerator, MicroSpec, TxnRequest};
+use islands_workload::{
+    MicroGenerator, MicroSpec, PlanClass, PlanRequest, TpccGenerator, TpccSpec, TxnRequest,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// The request stream a run drives: the micro-benchmark's single-shot
+/// read/update batches, or TPC-C's multi-step transaction plans
+/// (NewOrder/Payment through the plan codec, remote payments as wire-level
+/// 2PC).
+#[derive(Debug, Clone)]
+pub enum DriveWorkload {
+    /// Single-shot micro-benchmark batches ([`TxnRequest`]).
+    Micro(MicroSpec),
+    /// TPC-C NewOrder/Payment plans ([`PlanRequest`]); the multisite axis is
+    /// the remote-payment probability.
+    Tpcc(TpccSpec),
+}
 
 /// One load-generation run: how many clients, for how long, over which
 /// workload.
@@ -38,11 +53,11 @@ pub struct DriveConfig {
     /// Open-loop aggregate arrival rate in txn/s; `None` is closed loop.
     pub open_rate: Option<f64>,
     /// The workload each client generates.
-    pub spec: MicroSpec,
-    /// Logical sites for request generation — the finest-grained
+    pub workload: DriveWorkload,
+    /// Logical sites for micro request generation — the finest-grained
     /// partitioning under comparison, so every deployment granularity sees
     /// the *same* request stream (the paper uses one logical site per
-    /// core-sized instance).
+    /// core-sized instance). TPC-C ignores it: warehouses are the sites.
     pub n_sites: u64,
     /// Base RNG seed; client `i` derives its own stream from it.
     pub seed: u64,
@@ -50,12 +65,12 @@ pub struct DriveConfig {
 
 impl DriveConfig {
     /// A closed-loop run of `clients` clients for `secs` seconds.
-    pub fn closed(clients: usize, secs: f64, spec: MicroSpec, n_sites: u64) -> Self {
+    pub fn closed(clients: usize, secs: f64, workload: DriveWorkload, n_sites: u64) -> Self {
         DriveConfig {
             clients,
             secs,
             open_rate: None,
-            spec,
+            workload,
             n_sites,
             seed: 0x1517_ab1e,
         }
@@ -98,17 +113,35 @@ impl ClassTally {
 }
 
 /// Per-client tallies, split by class.
+///
+/// Micro runs fill `local`/`multi` directly. TPC-C runs fill the three
+/// TPC-C class tallies; [`drive`] then folds them into `local`/`multi`
+/// (NewOrder and local Payment are local, remote Payment is multisite) so
+/// every consumer of the generic split keeps working.
 #[derive(Debug, Default)]
 pub struct ClientResult {
     pub local: ClassTally,
     pub multi: ClassTally,
+    pub neworder: ClassTally,
+    pub payment_local: ClassTally,
+    pub payment_multisite: ClassTally,
 }
 
 /// Aggregated outcome of one [`drive`] run.
+///
+/// `local`/`multi` always hold the full per-class split (for TPC-C they are
+/// the fold of the three TPC-C tallies, which stay populated alongside).
 #[derive(Debug, Default)]
 pub struct DriveResult {
     pub local: ClassTally,
     pub multi: ClassTally,
+    /// TPC-C NewOrder transactions (always single-site). Empty in micro runs.
+    pub neworder: ClassTally,
+    /// TPC-C Payments whose customer is at the home warehouse.
+    pub payment_local: ClassTally,
+    /// TPC-C Payments through a remote warehouse — the paper's multisite
+    /// class, executed as wire-level 2PC in proc deployments.
+    pub payment_multisite: ClassTally,
     pub elapsed: Duration,
     /// Client threads that failed or panicked (any nonzero is a run error).
     pub client_failures: u64,
@@ -149,55 +182,78 @@ struct Done {
     presumed_abort: bool,
 }
 
+/// Map a single-server reply to the unified outcome shape.
+fn wire_done(reply: Reply) -> io::Result<Done> {
+    match reply {
+        Reply::Committed { distributed, .. } => Ok(Done {
+            committed: true,
+            error: None,
+            distributed,
+            presumed_abort: false,
+        }),
+        Reply::Aborted { .. } => Ok(Done {
+            committed: false,
+            error: None,
+            distributed: false,
+            presumed_abort: false,
+        }),
+        Reply::Error { message } => Ok(Done {
+            committed: false,
+            error: Some(message),
+            distributed: false,
+            presumed_abort: false,
+        }),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected reply {other:?}"),
+        )),
+    }
+}
+
+/// Map a deployment coordinator reply to the unified outcome shape.
+fn proc_done(reply: DeployReply) -> Done {
+    match reply {
+        DeployReply::Outcome(o) => Done {
+            committed: o.committed,
+            error: None,
+            distributed: o.distributed,
+            presumed_abort: o.presumed_abort,
+        },
+        DeployReply::ServerError(message) => Done {
+            committed: false,
+            error: Some(message),
+            distributed: false,
+            presumed_abort: false,
+        },
+        DeployReply::InstanceDown(i) => Done {
+            committed: false,
+            error: Some(format!("instance {i} unreachable")),
+            distributed: false,
+            presumed_abort: false,
+        },
+    }
+}
+
 impl Submitter {
     fn submit(&mut self, req: &TxnRequest) -> io::Result<Done> {
         match self {
-            Submitter::Wire(client) => match client.submit(req)? {
-                Reply::Committed { distributed, .. } => Ok(Done {
-                    committed: true,
-                    error: None,
-                    distributed,
-                    presumed_abort: false,
-                }),
-                Reply::Aborted { .. } => Ok(Done {
-                    committed: false,
-                    error: None,
-                    distributed: false,
-                    presumed_abort: false,
-                }),
-                Reply::Error { message } => Ok(Done {
-                    committed: false,
-                    error: Some(message),
-                    distributed: false,
-                    presumed_abort: false,
-                }),
-                other => Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("unexpected reply {other:?}"),
-                )),
-            },
-            Submitter::Proc(client) => match client.submit(req)? {
-                DeployReply::Outcome(o) => Ok(Done {
-                    committed: o.committed,
-                    error: None,
-                    distributed: o.distributed,
-                    presumed_abort: o.presumed_abort,
-                }),
-                DeployReply::ServerError(message) => Ok(Done {
-                    committed: false,
-                    error: Some(message),
-                    distributed: false,
-                    presumed_abort: false,
-                }),
-                DeployReply::InstanceDown(i) => Ok(Done {
-                    committed: false,
-                    error: Some(format!("instance {i} unreachable")),
-                    distributed: false,
-                    presumed_abort: false,
-                }),
-            },
+            Submitter::Wire(client) => wire_done(client.submit(req)?),
+            Submitter::Proc(client) => Ok(proc_done(client.submit(req)?)),
         }
     }
+
+    fn submit_plan(&mut self, plan: &PlanRequest) -> io::Result<Done> {
+        match self {
+            Submitter::Wire(client) => wire_done(client.submit_plan(plan)?),
+            Submitter::Proc(client) => Ok(proc_done(client.submit_plan(plan)?)),
+        }
+    }
+}
+
+/// Per-client request generator, one variant per [`DriveWorkload`].
+enum Generator {
+    Micro(MicroGenerator),
+    Tpcc(TpccGenerator),
 }
 
 fn drive_client(
@@ -206,7 +262,14 @@ fn drive_client(
     cfg: &DriveConfig,
     deadline: Instant,
 ) -> io::Result<ClientResult> {
-    let gen = MicroGenerator::new(cfg.spec.clone(), cfg.n_sites);
+    let mut gen = match &cfg.workload {
+        DriveWorkload::Micro(spec) => {
+            Generator::Micro(MicroGenerator::new(spec.clone(), cfg.n_sites))
+        }
+        // The client id doubles as the TPC-C insert-key tag, so history and
+        // order keys never collide across concurrent clients.
+        DriveWorkload::Tpcc(spec) => Generator::Tpcc(TpccGenerator::new(*spec, id as u64)),
+    };
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (id as u64) << 17);
     let mut result = ClientResult::default();
 
@@ -237,12 +300,27 @@ fn drive_client(
                 due
             }
         };
-        let req = gen.next(&mut rng);
-        let done = submitter.submit(&req)?;
-        let tally = if req.multisite {
-            &mut result.multi
-        } else {
-            &mut result.local
+        let (done, tally) = match &mut gen {
+            Generator::Micro(g) => {
+                let req = g.next(&mut rng);
+                let done = submitter.submit(&req)?;
+                let tally = if req.multisite {
+                    &mut result.multi
+                } else {
+                    &mut result.local
+                };
+                (done, tally)
+            }
+            Generator::Tpcc(g) => {
+                let plan = g.next(&mut rng);
+                let done = submitter.submit_plan(&plan)?;
+                let tally = match (plan.class, plan.multisite) {
+                    (PlanClass::Payment, true) => &mut result.payment_multisite,
+                    (PlanClass::Payment, false) => &mut result.payment_local,
+                    _ => &mut result.neworder,
+                };
+                (done, tally)
+            }
         };
         if done.committed {
             tally.committed += 1;
@@ -271,6 +349,12 @@ fn drive_client(
 /// clones — alive, orphaning the children). Worker panics are tallied in
 /// [`DriveResult::client_failures`], never unwound past a live deployment.
 pub fn drive(target: &DriveTarget<'_>, cfg: &DriveConfig) -> Result<DriveResult, String> {
+    if matches!(cfg.workload, DriveWorkload::Tpcc(_)) && cfg.clients > 256 {
+        return Err(format!(
+            "tpcc supports at most 256 clients (client ids tag insert keys), got {}",
+            cfg.clients
+        ));
+    }
     let mut submitters = Vec::with_capacity(cfg.clients);
     for id in 0..cfg.clients {
         submitters.push(match target {
@@ -302,6 +386,9 @@ pub fn drive(target: &DriveTarget<'_>, cfg: &DriveConfig) -> Result<DriveResult,
             Ok(Ok(r)) => {
                 result.local.absorb(r.local);
                 result.multi.absorb(r.multi);
+                result.neworder.absorb(r.neworder);
+                result.payment_local.absorb(r.payment_local);
+                result.payment_multisite.absorb(r.payment_multisite);
             }
             Ok(Err(e)) => {
                 result.client_failures += 1;
@@ -313,6 +400,18 @@ pub fn drive(target: &DriveTarget<'_>, cfg: &DriveConfig) -> Result<DriveResult,
             }
         }
     }
+    // Fold the TPC-C classes into the generic local/multisite split so the
+    // reporting shared with micro runs (tables, gates) keeps working:
+    // NewOrder and local Payment are single-site, remote Payment is the
+    // multisite class.
+    let (no, pl, pm) = (
+        result.neworder.clone(),
+        result.payment_local.clone(),
+        result.payment_multisite.clone(),
+    );
+    result.local.absorb(no);
+    result.local.absorb(pl);
+    result.multi.absorb(pm);
     result.elapsed = started.elapsed();
     Ok(result)
 }

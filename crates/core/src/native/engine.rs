@@ -27,9 +27,22 @@ use islands_storage::instance::PrepareVote;
 use islands_storage::store::MemStore;
 use islands_storage::wal::MemLogDevice;
 use islands_storage::{InstanceOptions, StorageError, StorageInstance, TxnHandle};
-use islands_workload::{OpKind, TxnRequest};
+use islands_workload::plan::{PlanRequest, PlanStep, StepOp};
+use islands_workload::{tpcc, OpKind, TxnRequest};
 
 use super::{SubmitOutcome, MICRO_TABLE_NAME};
+
+/// TPC-C mode for a partition: which warehouse sub-range `[w_lo, w_hi)` of
+/// the `warehouses`-warehouse deployment this instance loads and owns.
+#[derive(Debug, Clone)]
+pub struct TpccPartition {
+    /// Total warehouses across the whole deployment.
+    pub warehouses: u64,
+    /// First warehouse this partition owns (inclusive).
+    pub w_lo: u64,
+    /// One past the last warehouse this partition owns (exclusive).
+    pub w_hi: u64,
+}
 
 /// Construction knobs for one partition's engine.
 #[derive(Debug, Clone)]
@@ -40,7 +53,9 @@ pub struct PartitionConfig {
     pub hi: u64,
     /// Payload bytes per row (first 8 bytes hold the audit counter).
     pub row_size: usize,
+    /// Buffer-pool frames for the instance.
     pub buffer_frames: usize,
+    /// 2PL lock-wait timeout.
     pub lock_timeout: Duration,
     /// One worker ⇒ skip locking (the paper's fine-grained optimization).
     pub single_threaded: bool,
@@ -48,6 +63,11 @@ pub struct PartitionConfig {
     /// when concurrent committers can share a flush; a serial executor has
     /// exactly one committer and runs it at zero.
     pub group_window: Duration,
+    /// `Some` switches the partition from the microbenchmark table to the
+    /// TPC-C tables (warehouse/district/customer/stock loaded for the
+    /// warehouse range; history/order created empty). `lo`/`hi`/`row_size`
+    /// are ignored in that mode.
+    pub tpcc: Option<TpccPartition>,
 }
 
 impl Default for PartitionConfig {
@@ -60,6 +80,7 @@ impl Default for PartitionConfig {
             lock_timeout: Duration::from_millis(200),
             single_threaded: false,
             group_window: InstanceOptions::default().group_window,
+            tpcc: None,
         }
     }
 }
@@ -76,18 +97,21 @@ pub enum BranchOutcome {
     No,
 }
 
-/// One shared-nothing partition: a storage instance plus its key range.
+/// One shared-nothing partition: a storage instance plus its key range
+/// (microbenchmark mode) or warehouse range (TPC-C mode).
 pub struct PartitionEngine {
     inst: Arc<StorageInstance>,
     lo: u64,
     hi: u64,
+    row_size: usize,
+    tpcc: Option<TpccPartition>,
 }
 
 impl PartitionEngine {
-    /// Create the instance and load rows `lo..hi` (keys are global).
+    /// Create the instance and load its share of the data: rows `lo..hi` of
+    /// the micro table, or — in TPC-C mode — every table of warehouses
+    /// `w_lo..w_hi` (keys are global in both modes).
     pub fn build(cfg: &PartitionConfig) -> Result<Self, StorageError> {
-        assert!(cfg.lo < cfg.hi, "empty partition {}..{}", cfg.lo, cfg.hi);
-        assert!(cfg.row_size >= 8, "rows hold an 8-byte audit counter");
         let inst = StorageInstance::create(
             Arc::new(MemStore::new()),
             MemLogDevice::new(),
@@ -99,16 +123,56 @@ impl PartitionEngine {
                 ..Default::default()
             },
         );
-        let table = inst.create_table(MICRO_TABLE_NAME, cfg.row_size)?;
-        let payload = vec![0u8; cfg.row_size];
-        for key in cfg.lo..cfg.hi {
-            inst.load_row(&table, key, &payload)?;
+        match &cfg.tpcc {
+            None => {
+                assert!(cfg.lo < cfg.hi, "empty partition {}..{}", cfg.lo, cfg.hi);
+                assert!(cfg.row_size >= 8, "rows hold an 8-byte audit counter");
+                let table = inst.create_table(MICRO_TABLE_NAME, cfg.row_size)?;
+                let payload = vec![0u8; cfg.row_size];
+                for key in cfg.lo..cfg.hi {
+                    inst.load_row(&table, key, &payload)?;
+                }
+            }
+            Some(t) => {
+                assert!(
+                    t.w_lo < t.w_hi && t.w_hi <= t.warehouses,
+                    "bad warehouse range {}..{} of {}",
+                    t.w_lo,
+                    t.w_hi,
+                    t.warehouses
+                );
+                let warehouse = inst.create_table(tpcc::T_WAREHOUSE, tpcc::WAREHOUSE_ROW)?;
+                let district = inst.create_table(tpcc::T_DISTRICT, tpcc::DISTRICT_ROW)?;
+                let customer = inst.create_table(tpcc::T_CUSTOMER, tpcc::CUSTOMER_ROW)?;
+                let stock = inst.create_table(tpcc::T_STOCK, tpcc::STOCK_ROW)?;
+                // Append-only tables start empty; inserts create their rows.
+                inst.create_table(tpcc::T_HISTORY, tpcc::HISTORY_ROW)?;
+                inst.create_table(tpcc::T_ORDER, tpcc::ORDER_ROW)?;
+                let w_row = vec![0u8; tpcc::WAREHOUSE_ROW];
+                let d_row = vec![0u8; tpcc::DISTRICT_ROW];
+                let c_row = vec![0u8; tpcc::CUSTOMER_ROW];
+                let s_row = vec![0u8; tpcc::STOCK_ROW];
+                for w in t.w_lo..t.w_hi {
+                    inst.load_row(&warehouse, w, &w_row)?;
+                    for d in 0..tpcc::DISTRICTS_PER_WAREHOUSE {
+                        inst.load_row(&district, tpcc::district_key(w, d), &d_row)?;
+                        for c in 0..tpcc::CUSTOMERS_PER_DISTRICT {
+                            inst.load_row(&customer, tpcc::customer_key(w, d, c), &c_row)?;
+                        }
+                    }
+                    for s in 0..tpcc::STOCK_PER_WAREHOUSE {
+                        inst.load_row(&stock, tpcc::stock_key(w, s), &s_row)?;
+                    }
+                }
+            }
         }
         inst.checkpoint()?;
         Ok(PartitionEngine {
             inst,
             lo: cfg.lo,
             hi: cfg.hi,
+            row_size: cfg.row_size,
+            tpcc: cfg.tpcc.clone(),
         })
     }
 
@@ -228,13 +292,176 @@ impl PartitionEngine {
         }
     }
 
-    /// Sum of the audit counters across this partition's rows (equals the
-    /// number of committed row updates applied here).
+    /// Catalog name and row width for a plan table id under this engine's
+    /// mode; table ids from the other mode (or unknown ids) are typed
+    /// errors, so a plan routed at the wrong kind of deployment can never
+    /// touch a row.
+    fn plan_table(&self, table: u32) -> Result<(&'static str, usize), StorageError> {
+        use islands_workload::plan as p;
+        match (&self.tpcc, table) {
+            (None, p::MICRO_TABLE) => Ok((MICRO_TABLE_NAME, self.row_size)),
+            (Some(_), p::TPCC_WAREHOUSE) => Ok((tpcc::T_WAREHOUSE, tpcc::WAREHOUSE_ROW)),
+            (Some(_), p::TPCC_DISTRICT) => Ok((tpcc::T_DISTRICT, tpcc::DISTRICT_ROW)),
+            (Some(_), p::TPCC_CUSTOMER) => Ok((tpcc::T_CUSTOMER, tpcc::CUSTOMER_ROW)),
+            (Some(_), p::TPCC_HISTORY) => Ok((tpcc::T_HISTORY, tpcc::HISTORY_ROW)),
+            (Some(_), p::TPCC_ORDER) => Ok((tpcc::T_ORDER, tpcc::ORDER_ROW)),
+            (Some(_), p::TPCC_STOCK) => Ok((tpcc::T_STOCK, tpcc::STOCK_ROW)),
+            (_, t) => Err(StorageError::NoSuchTable(format!(
+                "plan table id {t} not served by this partition"
+            ))),
+        }
+    }
+
+    /// Whether every row `step` covers belongs to this partition.
+    fn owns_step(&self, step: &PlanStep) -> bool {
+        (0..step.rows()).all(|i| {
+            let key = step.key.wrapping_add(i);
+            match &self.tpcc {
+                None => step.table == islands_workload::plan::MICRO_TABLE && self.owns(key),
+                Some(t) => matches!(
+                    tpcc::warehouse_of_table(step.table, key),
+                    Some(w) if (t.w_lo..t.w_hi).contains(&w)
+                ),
+            }
+        })
+    }
+
+    /// Reject plans this partition can never satisfy: an unknown/foreign
+    /// table id or any row outside the owned range — typed errors before a
+    /// single operation runs, mirroring [`check_keys`](Self::check_keys).
+    pub(crate) fn check_plan(&self, plan: &PlanRequest) -> Result<(), StorageError> {
+        for step in &plan.steps {
+            self.plan_table(step.table)?;
+            if !self.owns_step(step) {
+                return Err(StorageError::KeyNotFound(step.key));
+            }
+        }
+        Ok(())
+    }
+
+    /// Run a plan's steps inside `txn`: reads fetch, updates bump the audit
+    /// counter, inserts create a fresh audited row, range reads fetch each
+    /// covered row in order (the dependent-read shape).
+    fn run_plan(&self, txn: &mut TxnHandle, plan: &PlanRequest) -> Result<(), StorageError> {
+        for step in &plan.steps {
+            let (name, width) = self.plan_table(step.table)?;
+            match step.op {
+                StepOp::Read => {
+                    txn.read(name, step.key)?
+                        .ok_or(StorageError::KeyNotFound(step.key))?;
+                }
+                StepOp::Update => {
+                    let mut row = txn
+                        .read(name, step.key)?
+                        .ok_or(StorageError::KeyNotFound(step.key))?;
+                    let v = super::audit_counter(&row) + 1;
+                    row[..8].copy_from_slice(&v.to_le_bytes());
+                    txn.update(name, step.key, &row)?;
+                }
+                StepOp::Insert => {
+                    // A freshly inserted row counts itself: audit_sum equals
+                    // committed row writes (updates + inserts) either way.
+                    let mut row = vec![0u8; width];
+                    row[..8].copy_from_slice(&1u64.to_le_bytes());
+                    txn.insert(name, step.key, &row)?;
+                }
+                StepOp::RangeRead => {
+                    for i in 0..step.span as u64 {
+                        let key = step.key.wrapping_add(i);
+                        txn.read(name, key)?.ok_or(StorageError::KeyNotFound(key))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute a fully-local multi-step plan to completion, retrying
+    /// contention aborts up to `retry_limit` times — the plan analogue of
+    /// [`submit_local`](Self::submit_local).
+    pub fn submit_plan_local(
+        &self,
+        plan: &PlanRequest,
+        retry_limit: u32,
+    ) -> Result<SubmitOutcome, StorageError> {
+        self.check_plan(plan)?;
+        let mut retries = 0u32;
+        loop {
+            let mut txn = self.inst.begin();
+            let attempt = self.run_plan(&mut txn, plan).and_then(|()| txn.commit());
+            match attempt {
+                Ok(()) => {
+                    return Ok(SubmitOutcome {
+                        committed: true,
+                        distributed: false,
+                        retries,
+                    })
+                }
+                Err(StorageError::Deadlock(_))
+                | Err(StorageError::LockTimeout(_))
+                | Err(StorageError::MustAbort(_)) => {
+                    if retries >= retry_limit {
+                        return Ok(SubmitOutcome {
+                            committed: false,
+                            distributed: false,
+                            retries,
+                        });
+                    }
+                    retries += 1;
+                    super::contention_backoff(retries);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Execute one plan branch and run participant phase 1 — the plan
+    /// analogue of [`prepare_branch`](Self::prepare_branch). Dependent reads
+    /// (range scans) run *before* the prepare record is forced, so a parked
+    /// branch holds their S locks alongside its write locks until the
+    /// decision.
+    pub fn prepare_plan_branch(
+        &self,
+        gtid: u64,
+        plan: &PlanRequest,
+    ) -> Result<BranchOutcome, StorageError> {
+        self.check_plan(plan)?;
+        let mut txn = self.inst.begin();
+        if self.run_plan(&mut txn, plan).is_err() {
+            let _ = txn.abort();
+            return Ok(BranchOutcome::No);
+        }
+        match txn.prepare(gtid) {
+            Ok(PrepareVote::Yes) => Ok(BranchOutcome::Prepared(txn)),
+            Ok(PrepareVote::ReadOnly) => Ok(BranchOutcome::ReadOnly),
+            Err(_) => {
+                let _ = txn.abort();
+                Ok(BranchOutcome::No)
+            }
+        }
+    }
+
+    /// Sum of the audit counters across this partition's rows — every table
+    /// in TPC-C mode — equal to the number of committed row writes (updates
+    /// plus inserts) applied here.
     pub fn audit_sum(&self) -> Result<u64, StorageError> {
-        let table = self.inst.table(MICRO_TABLE_NAME)?;
+        let names: &[&str] = match &self.tpcc {
+            None => &[MICRO_TABLE_NAME],
+            Some(_) => &[
+                tpcc::T_WAREHOUSE,
+                tpcc::T_DISTRICT,
+                tpcc::T_CUSTOMER,
+                tpcc::T_STOCK,
+                tpcc::T_HISTORY,
+                tpcc::T_ORDER,
+            ],
+        };
         let mut sum = 0u64;
-        for (_, payload) in table.range(0, u64::MAX)? {
-            sum += super::audit_counter(&payload);
+        for name in names {
+            let table = self.inst.table(name)?;
+            for (_, payload) in table.range(0, u64::MAX)? {
+                sum += super::audit_counter(&payload);
+            }
         }
         Ok(sum)
     }
@@ -325,5 +552,147 @@ mod tests {
             e.prepare_branch(9, &req).unwrap(),
             BranchOutcome::ReadOnly
         ));
+    }
+
+    fn tpcc_engine() -> PartitionEngine {
+        // Instance owning warehouse 2 of a 4-warehouse deployment.
+        PartitionEngine::build(&PartitionConfig {
+            buffer_frames: 8192,
+            tpcc: Some(TpccPartition {
+                warehouses: 4,
+                w_lo: 2,
+                w_hi: 3,
+            }),
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn tpcc_local_payment_plan_commits_and_audits() {
+        let e = tpcc_engine();
+        let p = tpcc::Payment {
+            w_id: 2,
+            d_id: 5,
+            c_w_id: 2,
+            c_d_id: 5,
+            c_id: 17,
+            amount: 9,
+        };
+        let plan = p.plan((2 << 32) | 1, true);
+        let out = e.submit_plan_local(&plan, 4).unwrap();
+        assert!(out.committed);
+        // W + D + C updates + history insert, scan reads add nothing.
+        assert_eq!(e.audit_sum().unwrap(), 4);
+        // Same history key again: a typed duplicate, not a retry loop.
+        assert!(matches!(
+            e.submit_plan_local(&plan, 4),
+            Err(StorageError::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn tpcc_neworder_plan_commits_and_audits() {
+        let e = tpcc_engine();
+        let o = tpcc::NewOrder {
+            w_id: 2,
+            d_id: 0,
+            c_id: 100,
+            items: vec![1, 2, 3, 4, 5],
+        };
+        let out = e.submit_plan_local(&o.plan((2 << 32) | 7), 4).unwrap();
+        assert!(out.committed);
+        // District + 5 stock updates + order insert.
+        assert_eq!(e.audit_sum().unwrap(), 7);
+    }
+
+    #[test]
+    fn misrouted_and_foreign_plans_are_typed_errors() {
+        let e = tpcc_engine();
+        // Warehouse 1 lives elsewhere.
+        let foreign = tpcc::Payment {
+            w_id: 1,
+            d_id: 0,
+            c_w_id: 1,
+            c_d_id: 0,
+            c_id: 0,
+            amount: 1,
+        }
+        .plan(1 << 32, false);
+        assert!(matches!(
+            e.submit_plan_local(&foreign, 0),
+            Err(StorageError::KeyNotFound(_))
+        ));
+        // A micro-table plan against a TPC-C partition (and vice versa) is a
+        // catalog error before any row is touched.
+        let micro_plan = islands_workload::plan::PlanRequest {
+            class: islands_workload::plan::PlanClass::Generic,
+            multisite: false,
+            steps: vec![PlanStep::point(
+                islands_workload::plan::MICRO_TABLE,
+                0,
+                StepOp::Update,
+            )],
+        };
+        assert!(matches!(
+            e.submit_plan_local(&micro_plan, 0),
+            Err(StorageError::NoSuchTable(_))
+        ));
+        let micro_engine = engine();
+        let tpcc_plan = tpcc::NewOrder {
+            w_id: 0,
+            d_id: 0,
+            c_id: 0,
+            items: vec![1],
+        }
+        .plan(0);
+        assert!(matches!(
+            micro_engine.submit_plan_local(&tpcc_plan, 0),
+            Err(StorageError::NoSuchTable(_))
+        ));
+        assert_eq!(e.audit_sum().unwrap(), 0);
+    }
+
+    #[test]
+    fn prepared_plan_branch_parks_with_its_dependent_reads() {
+        let e = tpcc_engine();
+        // Remote-payment branch at the customer side: dependent range read
+        // plus the customer update, prepared and parked.
+        let branch_plan = islands_workload::plan::PlanRequest {
+            class: islands_workload::plan::PlanClass::Payment,
+            multisite: true,
+            steps: vec![
+                PlanStep::range(
+                    islands_workload::plan::TPCC_CUSTOMER,
+                    tpcc::customer_key(2, 3, 16),
+                    4,
+                ),
+                PlanStep::point(
+                    islands_workload::plan::TPCC_CUSTOMER,
+                    tpcc::customer_key(2, 3, 17),
+                    StepOp::Update,
+                ),
+            ],
+        };
+        let BranchOutcome::Prepared(handle) = e.prepare_plan_branch(11, &branch_plan).unwrap()
+        else {
+            panic!("writer branch must prepare");
+        };
+        // The parked branch holds locks over the scanned rows too: a
+        // conflicting update on a row the scan merely *read* cannot commit.
+        let conflicting = islands_workload::plan::PlanRequest {
+            class: islands_workload::plan::PlanClass::Generic,
+            multisite: false,
+            steps: vec![PlanStep::point(
+                islands_workload::plan::TPCC_CUSTOMER,
+                tpcc::customer_key(2, 3, 16),
+                StepOp::Update,
+            )],
+        };
+        let blocked = e.submit_plan_local(&conflicting, 0).unwrap();
+        assert!(!blocked.committed, "scan lock must block the writer");
+        handle.decide(true).unwrap();
+        assert_eq!(e.audit_sum().unwrap(), 1);
+        assert!(e.submit_plan_local(&conflicting, 0).unwrap().committed);
     }
 }

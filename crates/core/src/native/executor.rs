@@ -50,6 +50,7 @@ use std::time::Instant;
 use islands_dtxn::Vote;
 use islands_obs::{metrics, BreakdownCategory, TxnClass};
 use islands_storage::{StorageError, TxnHandle};
+use islands_workload::plan::{PlanRequest, MICRO_TABLE};
 use islands_workload::TxnRequest;
 
 use super::engine::{BranchOutcome, PartitionConfig, PartitionEngine};
@@ -169,9 +170,10 @@ struct Branch {
     handle: TxnHandle,
     /// Producer session that prepared it (the presumed-abort scope).
     session: u64,
-    /// Keys the branch wrote/read: the executor's stand-in for the locks
-    /// the branch would hold under 2PL.
-    keys: Vec<u64>,
+    /// `(table, key)` pairs the branch wrote/read (range reads expanded):
+    /// the executor's stand-in for the locks the branch would hold under
+    /// 2PL.
+    keys: Vec<(u32, u64)>,
     /// When the branch went in-doubt (Prepare→Decision parked time).
     parked_at: Instant,
 }
@@ -192,6 +194,16 @@ enum Job {
         session: u64,
         gtid: u64,
         req: TxnRequest,
+        done: SyncSender<Result<Vote, ExecError>>,
+    },
+    SubmitPlan {
+        plan: PlanRequest,
+        done: SyncSender<Result<SubmitOutcome, StorageError>>,
+    },
+    PreparePlan {
+        session: u64,
+        gtid: u64,
+        plan: PlanRequest,
         done: SyncSender<Result<Vote, ExecError>>,
     },
     Decide {
@@ -392,6 +404,47 @@ impl ExecutorSession {
         wait.recv().map_err(|_| ExecError::Gone)?
     }
 
+    /// Execute one fully-local multi-step plan serially on the executor —
+    /// the plan analogue of [`submit`](Self::submit), with the conflict
+    /// check running over `(table, key)` pairs (range reads expanded).
+    pub fn submit_plan(&self, plan: &PlanRequest) -> Result<SubmitOutcome, ExecError> {
+        let (done, wait) = sync_channel(1);
+        metrics().queue_depth().inc();
+        self.tx
+            .send(Job::SubmitPlan {
+                plan: plan.clone(),
+                done,
+            })
+            .map_err(|_| {
+                metrics().queue_depth().dec();
+                ExecError::Gone
+            })?;
+        wait.recv()
+            .map_err(|_| ExecError::Gone)?
+            .map_err(ExecError::Storage)
+    }
+
+    /// Execute one plan branch and run participant phase 1 on the executor —
+    /// the plan analogue of [`prepare`](Self::prepare). A `Vote::Yes` parks
+    /// the branch with its full `(table, key)` footprint, dependent reads
+    /// included, so conflicting work aborts until the decision.
+    pub fn prepare_plan(&self, gtid: u64, plan: &PlanRequest) -> Result<Vote, ExecError> {
+        let (done, wait) = sync_channel(1);
+        metrics().queue_depth().inc();
+        self.tx
+            .send(Job::PreparePlan {
+                session: self.id,
+                gtid,
+                plan: plan.clone(),
+                done,
+            })
+            .map_err(|_| {
+                metrics().queue_depth().dec();
+                ExecError::Gone
+            })?;
+        wait.recv().map_err(|_| ExecError::Gone)?
+    }
+
     /// Apply a coordinator decision to the in-doubt branch with this gtid.
     pub fn decide(&self, gtid: u64, commit: bool) -> Result<DecideOutcome, ExecError> {
         let (done, wait) = sync_channel(1);
@@ -434,13 +487,23 @@ impl Drop for ExecutorSession {
     }
 }
 
-/// Whether `keys` intersect any in-doubt branch's key set. Branch counts
-/// are small (one per outstanding 2PC transaction on this partition), so a
-/// linear scan beats maintaining an index.
-fn conflicts(branches: &HashMap<u64, Branch>, keys: &[u64]) -> bool {
+/// Whether `keys` intersect any in-doubt branch's `(table, key)` set.
+/// Branch counts are small (one per outstanding 2PC transaction on this
+/// partition), so a linear scan beats maintaining an index.
+fn conflicts(branches: &HashMap<u64, Branch>, keys: &[(u32, u64)]) -> bool {
     branches
         .values()
         .any(|b| keys.iter().any(|k| b.keys.contains(k)))
+}
+
+/// [`conflicts`] for a micro request, whose keys all live in the micro
+/// table; avoids materializing pairs on the fast path.
+fn conflicts_micro(branches: &HashMap<u64, Branch>, keys: &[u64]) -> bool {
+    branches.values().any(|b| {
+        b.keys
+            .iter()
+            .any(|&(t, k)| t == MICRO_TABLE && keys.contains(&k))
+    })
 }
 
 /// The executor thread's serve loop: drain jobs until shutdown, then
@@ -457,7 +520,7 @@ fn serve(engine: &PartitionEngine, rx: &Receiver<Job>) {
                     TxnClass::Local
                 });
                 let _span = islands_obs::enter(BreakdownCategory::XctManagement);
-                let outcome = if conflicts(&branches, &req.keys) {
+                let outcome = if conflicts_micro(&branches, &req.keys) {
                     // Keys held by an in-doubt branch: abort now, exactly as
                     // wait-die would kill the younger conflicting txn.
                     engine.check_keys(&req).map(|()| SubmitOutcome {
@@ -483,7 +546,7 @@ fn serve(engine: &PartitionEngine, rx: &Receiver<Job>) {
                 let _span = islands_obs::enter(BreakdownCategory::XctManagement);
                 let reply = if branches.contains_key(&gtid) {
                     Err(ExecError::DuplicateGtid(gtid))
-                } else if conflicts(&branches, &req.keys) {
+                } else if conflicts_micro(&branches, &req.keys) {
                     engine
                         .check_keys(&req)
                         .map(|()| Vote::No)
@@ -497,7 +560,65 @@ fn serve(engine: &PartitionEngine, rx: &Receiver<Job>) {
                                 Branch {
                                     handle,
                                     session,
-                                    keys: req.keys,
+                                    keys: req.keys.iter().map(|&k| (MICRO_TABLE, k)).collect(),
+                                    parked_at: Instant::now(),
+                                },
+                            );
+                            Ok(Vote::Yes)
+                        }
+                        Ok(BranchOutcome::ReadOnly) => Ok(Vote::ReadOnly),
+                        Ok(BranchOutcome::No) => Ok(Vote::No),
+                        Err(e) => Err(ExecError::Storage(e)),
+                    }
+                };
+                let _ = done.send(reply);
+            }
+            Job::SubmitPlan { plan, done } => {
+                metrics().queue_depth().dec();
+                islands_obs::set_txn_class(if plan.multisite {
+                    TxnClass::Multisite
+                } else {
+                    TxnClass::Local
+                });
+                let _span = islands_obs::enter(BreakdownCategory::XctManagement);
+                let outcome = if conflicts(&branches, &plan.conflict_keys()) {
+                    engine.check_plan(&plan).map(|()| SubmitOutcome {
+                        committed: false,
+                        distributed: false,
+                        retries: 0,
+                    })
+                } else {
+                    engine.submit_plan_local(&plan, 0)
+                };
+                let _ = done.send(outcome);
+            }
+            Job::PreparePlan {
+                session,
+                gtid,
+                plan,
+                done,
+            } => {
+                metrics().queue_depth().dec();
+                islands_obs::set_txn_class(TxnClass::Multisite);
+                let _span = islands_obs::enter(BreakdownCategory::XctManagement);
+                let footprint = plan.conflict_keys();
+                let reply = if branches.contains_key(&gtid) {
+                    Err(ExecError::DuplicateGtid(gtid))
+                } else if conflicts(&branches, &footprint) {
+                    engine
+                        .check_plan(&plan)
+                        .map(|()| Vote::No)
+                        .map_err(ExecError::Storage)
+                } else {
+                    match engine.prepare_plan_branch(gtid, &plan) {
+                        Ok(BranchOutcome::Prepared(handle)) => {
+                            metrics().in_doubt().inc();
+                            branches.insert(
+                                gtid,
+                                Branch {
+                                    handle,
+                                    session,
+                                    keys: footprint,
                                     parked_at: Instant::now(),
                                 },
                             );
@@ -779,5 +900,99 @@ mod tests {
         // branch must not survive as a committed write.
         std::mem::forget(s);
         e.shutdown();
+    }
+
+    fn tpcc_executor() -> PartitionExecutor {
+        use super::super::engine::TpccPartition;
+        PartitionExecutor::spawn(ExecutorConfig {
+            partition: PartitionConfig {
+                buffer_frames: 8192,
+                tpcc: Some(TpccPartition {
+                    warehouses: 2,
+                    w_lo: 0,
+                    w_hi: 1,
+                }),
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn serial_executor_runs_tpcc_plans() {
+        use islands_workload::tpcc;
+        let e = tpcc_executor();
+        let s = e.session();
+        let order = tpcc::NewOrder {
+            w_id: 0,
+            d_id: 2,
+            c_id: 5,
+            items: vec![10, 20],
+        };
+        let out = s.submit_plan(&order.plan(3)).unwrap();
+        assert!(out.committed);
+        // District + 2 stock updates + order insert.
+        assert_eq!(e.audit_sum().unwrap(), 4);
+    }
+
+    #[test]
+    fn parked_plan_branch_guards_its_dependent_reads_per_table() {
+        use islands_workload::plan::{PlanClass, PlanRequest, PlanStep, StepOp, TPCC_CUSTOMER};
+        use islands_workload::tpcc;
+        let e = tpcc_executor();
+        let s = e.session();
+        // Remote-payment customer-side branch: dependent scan of customers
+        // 16..20 plus the customer update, parked in-doubt.
+        let branch = PlanRequest {
+            class: PlanClass::Payment,
+            multisite: true,
+            steps: vec![
+                PlanStep::range(TPCC_CUSTOMER, tpcc::customer_key(0, 1, 16), 4),
+                PlanStep::point(TPCC_CUSTOMER, tpcc::customer_key(0, 1, 17), StepOp::Update),
+            ],
+        };
+        assert!(matches!(s.prepare_plan(21, &branch), Ok(Vote::Yes)));
+        // A plan touching a *scanned* row conflicts and aborts immediately.
+        let scanned = PlanRequest {
+            class: PlanClass::Generic,
+            multisite: false,
+            steps: vec![PlanStep::point(
+                TPCC_CUSTOMER,
+                tpcc::customer_key(0, 1, 19),
+                StepOp::Update,
+            )],
+        };
+        assert!(!s.submit_plan(&scanned).unwrap().committed);
+        // The same row number in a *different table* does not conflict.
+        let other_table = tpcc::NewOrder {
+            w_id: 0,
+            d_id: 1,
+            c_id: 40,
+            items: vec![19],
+        };
+        assert!(s.submit_plan(&other_table.plan(8)).unwrap().committed);
+        // Decision releases the footprint.
+        assert!(matches!(s.decide(21, true), Ok(DecideOutcome::Applied)));
+        assert!(s.submit_plan(&scanned).unwrap().committed);
+    }
+
+    #[test]
+    fn misrouted_plans_are_typed_errors_on_the_executor() {
+        use islands_workload::tpcc;
+        let e = tpcc_executor();
+        let s = e.session();
+        // Warehouse 1 belongs to the other instance.
+        let foreign = tpcc::NewOrder {
+            w_id: 1,
+            d_id: 0,
+            c_id: 0,
+            items: vec![1],
+        };
+        assert!(matches!(
+            s.submit_plan(&foreign.plan(1 << 32)),
+            Err(ExecError::Storage(StorageError::KeyNotFound(_)))
+        ));
+        assert_eq!(e.audit_sum().unwrap(), 0);
     }
 }

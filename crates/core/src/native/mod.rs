@@ -30,7 +30,7 @@ use crate::plan::{plan_micro, OpType, TxnPlan, MICRO_TABLE};
 pub mod engine;
 pub mod executor;
 
-pub use engine::{BranchOutcome, PartitionConfig, PartitionEngine};
+pub use engine::{BranchOutcome, PartitionConfig, PartitionEngine, TpccPartition};
 pub use executor::{
     DecideOutcome, EngineMode, ExecError, ExecutorConfig, ExecutorSession, PartitionExecutor,
 };

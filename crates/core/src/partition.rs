@@ -57,20 +57,28 @@ impl SiteMap for WarehouseSites {
     }
 
     fn site_of(&self, table: u32, key: u64) -> usize {
-        let w = match table {
-            crate::plan::TPCC_WAREHOUSE => key,
-            crate::plan::TPCC_DISTRICT => key / tpcc::DISTRICTS_PER_WAREHOUSE,
-            crate::plan::TPCC_CUSTOMER => {
-                key / (tpcc::DISTRICTS_PER_WAREHOUSE * tpcc::CUSTOMERS_PER_DISTRICT)
-            }
-            // History rows are homed where they are written; key encodes the
-            // warehouse in the high 32 bits.
-            crate::plan::TPCC_HISTORY => key >> 32,
-            t => panic!("unknown tpcc table {t}"),
+        // History and order rows are homed where they are written; their
+        // keys encode the warehouse in the high 32 bits.
+        let w = match tpcc::warehouse_of_table(table, key) {
+            Some(w) => w,
+            None => panic!("unknown tpcc table {table}"),
         };
         debug_assert!(w < self.warehouses, "warehouse {w} out of range");
         ((w as u128 * self.n_sites as u128) / self.warehouses as u128) as usize
     }
+}
+
+/// Warehouse range `[lo, hi)` owned by `site` — the exact inverse of
+/// [`WarehouseSites::site_of`]'s proportional mapping, so a deployment can
+/// tell each instance which warehouses to load without double-owning or
+/// orphaning any warehouse.
+pub fn warehouse_range(warehouses: u64, n_sites: usize, site: usize) -> (u64, u64) {
+    debug_assert!(site < n_sites);
+    let n = n_sites as u128;
+    let w = warehouses as u128;
+    let lo = (site as u128 * w).div_ceil(n) as u64;
+    let hi = ((site as u128 + 1) * w).div_ceil(n) as u64;
+    (lo, hi)
 }
 
 /// Physical instance owning logical `site` when `n_sites` are grouped into
@@ -174,6 +182,32 @@ mod tests {
             7
         );
         assert_eq!(sites.site_of(TPCC_HISTORY, (7u64 << 32) | 99), 7);
+        assert_eq!(sites.site_of(TPCC_ORDER, (7u64 << 32) | 12), 7);
+        assert_eq!(sites.site_of(TPCC_STOCK, tpcc::stock_key(7, 999)), 7);
+    }
+
+    #[test]
+    fn warehouse_range_inverts_site_of_for_awkward_shapes() {
+        for (warehouses, n_sites) in [(4u64, 2usize), (5, 2), (7, 3), (24, 24), (9, 4), (2, 2)] {
+            let sites = WarehouseSites {
+                warehouses,
+                n_sites,
+            };
+            let mut covered = 0u64;
+            for s in 0..n_sites {
+                let (lo, hi) = warehouse_range(warehouses, n_sites, s);
+                assert_eq!(lo, covered, "gap/overlap at site {s}");
+                covered = hi;
+                for w in lo..hi {
+                    assert_eq!(
+                        sites.site_of(crate::plan::TPCC_WAREHOUSE, w),
+                        s,
+                        "{warehouses}w/{n_sites}s: warehouse {w}"
+                    );
+                }
+            }
+            assert_eq!(covered, warehouses, "{warehouses}w/{n_sites}s");
+        }
     }
 
     #[test]

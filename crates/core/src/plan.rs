@@ -1,21 +1,28 @@
 //! Transaction plans: what a transaction does, independent of where it runs.
 
+use islands_workload::plan::{PlanRequest, StepOp};
 use islands_workload::tpcc::{self, Payment};
 use islands_workload::{OpKind, TxnRequest};
 
 /// One row operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpType {
+    /// Fetch the row.
     Read,
+    /// Read-modify-write the row (audit counter +1).
     Update,
+    /// Insert a fresh row (audit counter starts at 1).
     Insert,
 }
 
 /// One operation against `(table, key)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlanOp {
+    /// Table id (see the `MICRO_TABLE` / `TPCC_*` constants).
     pub table: u32,
+    /// Row key.
     pub key: u64,
+    /// Operation applied at `key`.
     pub op: OpType,
 }
 
@@ -23,27 +30,63 @@ pub struct PlanOp {
 /// site owning `ops[0]`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TxnPlan {
+    /// Ordered row operations.
     pub ops: Vec<PlanOp>,
 }
 
 impl TxnPlan {
+    /// Whether every operation is a read.
     pub fn is_read_only(&self) -> bool {
         self.ops.iter().all(|o| o.op == OpType::Read)
     }
 
+    /// Number of writing operations (updates plus inserts).
     pub fn writes(&self) -> usize {
         self.ops.iter().filter(|o| o.op != OpType::Read).count()
     }
 }
 
-/// Table ids used by plans built from the microbenchmark.
-pub const MICRO_TABLE: u32 = 0;
+// Table ids are defined next to the wire codec (`islands_workload::plan`)
+// and re-exported here so every core-layer user keeps its existing paths.
+pub use islands_workload::plan::{
+    MICRO_TABLE, TPCC_CUSTOMER, TPCC_DISTRICT, TPCC_HISTORY, TPCC_ORDER, TPCC_STOCK, TPCC_WAREHOUSE,
+};
 
-/// Table ids for TPC-C-lite plans.
-pub const TPCC_WAREHOUSE: u32 = 1;
-pub const TPCC_DISTRICT: u32 = 2;
-pub const TPCC_CUSTOMER: u32 = 3;
-pub const TPCC_HISTORY: u32 = 4;
+/// Flatten a wire-level multi-step [`PlanRequest`] into a [`TxnPlan`],
+/// expanding range reads into per-row reads (the in-process cluster executes
+/// row-at-a-time, so a span is just its rows).
+pub fn plan_from_request(req: &PlanRequest) -> TxnPlan {
+    let mut ops = Vec::with_capacity(req.steps.len());
+    for s in &req.steps {
+        match s.op {
+            StepOp::Read => ops.push(PlanOp {
+                table: s.table,
+                key: s.key,
+                op: OpType::Read,
+            }),
+            StepOp::Update => ops.push(PlanOp {
+                table: s.table,
+                key: s.key,
+                op: OpType::Update,
+            }),
+            StepOp::Insert => ops.push(PlanOp {
+                table: s.table,
+                key: s.key,
+                op: OpType::Insert,
+            }),
+            StepOp::RangeRead => {
+                for i in 0..s.span as u64 {
+                    ops.push(PlanOp {
+                        table: s.table,
+                        key: s.key.wrapping_add(i),
+                        op: OpType::Read,
+                    });
+                }
+            }
+        }
+    }
+    TxnPlan { ops }
+}
 
 /// Convert a microbenchmark request into a plan over [`MICRO_TABLE`].
 pub fn plan_micro(req: &TxnRequest) -> TxnPlan {

@@ -15,7 +15,7 @@ use std::io::{self, Write};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use islands_workload::TxnRequest;
+use islands_workload::{PlanRequest, TxnRequest};
 
 use crate::server::{Conn, Endpoint};
 use crate::wire::{FrameReader, Reply, Request, WireMessage};
@@ -110,6 +110,22 @@ impl Client {
         let requests: Vec<Request> = txns.iter().cloned().map(Request::Submit).collect();
         self.send(&requests)?;
         (0..txns.len()).map(|_| self.read_reply()).collect()
+    }
+
+    /// Submit one multi-step transaction plan and wait for its outcome.
+    pub fn submit_plan(&mut self, plan: &PlanRequest) -> io::Result<Reply> {
+        self.send(std::slice::from_ref(&Request::SubmitPlan(plan.clone())))?;
+        self.read_reply()
+    }
+
+    /// Scrape the instance's audit sum (total committed row writes across
+    /// every table it serves). Non-disruptive, like [`stats`](Self::stats).
+    pub fn audit(&mut self) -> io::Result<u64> {
+        self.send(&[Request::Audit])?;
+        match self.read_reply()? {
+            Reply::AuditSum { sum } => Ok(sum),
+            other => Err(unexpected("AuditSum", &other)),
+        }
     }
 
     /// Round-trip latency floor: send a ping, time the pong.

@@ -8,7 +8,7 @@
 //! topology up for real:
 //!
 //! * **One process per instance.** Each child runs a
-//!   [`PartitionEngine`](islands_core::native::PartitionEngine) owning a
+//!   [`PartitionEngine`] owning a
 //!   contiguous key range, served over the wire protocol
 //!   ([`Backend::Partition`]). Children are re-executions of the host
 //!   binary ([`SpawnMode::SelfExec`]) or a dedicated `islands-instance`
@@ -34,7 +34,7 @@
 //!   back, locks release, and the instance stays serviceable.
 //!
 //! The coordinator's forced decision log lives in the coordinator process
-//! ([`Deployment::decided`]); `islands_dtxn::recovery` holds the rule a
+//! (`Deployment::decided`); `islands_dtxn::recovery` holds the rule a
 //! restarted participant applies against it, tested in that crate. What
 //! this module adds is the *live* half: no process exits with in-doubt
 //! transactions still holding locks, which the instance processes verify
@@ -50,11 +50,13 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use islands_core::native::{
-    EngineMode, ExecutorConfig, PartitionConfig, PartitionEngine, PartitionExecutor,
+    EngineMode, ExecutorConfig, PartitionConfig, PartitionEngine, PartitionExecutor, TpccPartition,
 };
+use islands_core::partition::{warehouse_range, SiteMap, WarehouseSites};
+use islands_core::plan::MICRO_TABLE;
 use islands_dtxn::{Action, Coordinator, Vote};
 use islands_hwtopo::{island_cpu_lists, HostTopology};
-use islands_workload::{TxnBranch, TxnRequest};
+use islands_workload::{PlanBranch, PlanRequest, TxnBranch, TxnRequest};
 
 use crate::client::Client;
 use crate::server::{Backend, Endpoint, Server, ServerConfig};
@@ -83,6 +85,22 @@ pub enum Transport {
     Uds,
     /// Loopback TCP on ephemeral ports.
     Tcp,
+}
+
+/// What data the instance processes load and serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeployWorkload {
+    /// The single-table microbenchmark: `total_rows` keys range-partitioned
+    /// evenly across instances.
+    Micro,
+    /// TPC-C-lite: warehouses (with their districts, customers, and stock)
+    /// partitioned contiguously across instances via
+    /// [`warehouse_range`]; NewOrder runs local, remote-warehouse Payments
+    /// run wire-level 2PC.
+    Tpcc {
+        /// Scale factor: number of warehouses across the whole deployment.
+        warehouses: u64,
+    },
 }
 
 /// Configuration for a multi-process deployment.
@@ -126,6 +144,8 @@ pub struct DeployConfig {
     /// for overhead A/B measurements; heartbeats and final stats still
     /// print (wire counters are always on).
     pub obs: bool,
+    /// What the instances load and serve (micro table or TPC-C-lite).
+    pub workload: DeployWorkload,
 }
 
 impl DeployConfig {
@@ -155,6 +175,15 @@ impl DeployConfig {
                 self.vote_timeout, self.lock_timeout
             ));
         }
+        if let DeployWorkload::Tpcc { warehouses } = self.workload {
+            if warehouses < self.instances as u64 {
+                return Err(format!(
+                    "{warehouses} warehouses cannot partition across {} instances \
+                     (need warehouses >= instances)",
+                    self.instances
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -176,6 +205,7 @@ impl Default for DeployConfig {
             socket_dir: None,
             stats_every_ms: 500,
             obs: true,
+            workload: DeployWorkload::Micro,
         }
     }
 }
@@ -232,6 +262,32 @@ pub fn split_by_owner(
             }
         });
         branch.keys.push(key);
+    }
+    (order, branches)
+}
+
+/// Split a multi-step plan into per-instance branches, preserving step
+/// order within each branch (`owner` maps `(table, key)` to an instance —
+/// see [`Deployment::owner_of_step`]). Branches keep the plan's class and
+/// are marked multisite, so a parked remote-Payment branch records its
+/// class in each participant's stats.
+pub fn split_plan_by_owner<F: Fn(u32, u64) -> usize>(
+    plan: &PlanRequest,
+    owner: F,
+) -> (Vec<usize>, HashMap<usize, PlanRequest>) {
+    let mut order = Vec::new();
+    let mut branches: HashMap<usize, PlanRequest> = HashMap::new();
+    for step in &plan.steps {
+        let inst = owner(step.table, step.key);
+        let branch = branches.entry(inst).or_insert_with(|| {
+            order.push(inst);
+            PlanRequest {
+                class: plan.class,
+                multisite: true,
+                steps: Vec::new(),
+            }
+        });
+        branch.steps.push(*step);
     }
     (order, branches)
 }
@@ -304,6 +360,7 @@ struct Member {
 pub struct Deployment {
     members: Vec<Member>,
     total_rows: u64,
+    workload: DeployWorkload,
     retry_limit: u32,
     vote_timeout: Duration,
     /// Reply deadline for plain submissions: unlike a vote (one execution
@@ -353,7 +410,15 @@ impl Deployment {
 
         let mut spawned: Vec<Member> = Vec::new();
         let spawn_one = |i: usize| -> io::Result<Member> {
-            let range = range_of(i, cfg.instances, cfg.total_rows);
+            // In TPC-C mode the "range" a member reports is its warehouse
+            // range; the micro row range flags are still passed (the child
+            // ignores them once --warehouses is set).
+            let range = match cfg.workload {
+                DeployWorkload::Micro => range_of(i, cfg.instances, cfg.total_rows),
+                DeployWorkload::Tpcc { warehouses } => {
+                    warehouse_range(warehouses, cfg.instances, i)
+                }
+            };
             let endpoint_spec = match cfg.transport {
                 Transport::Uds => format!(
                     "uds:{}",
@@ -376,14 +441,23 @@ impl Deployment {
             };
             cmd.arg(INSTANCE_CHILD_FLAG)
                 .args(["--endpoint", &endpoint_spec])
-                .args(["--lo", &range.0.to_string()])
-                .args(["--hi", &range.1.to_string()])
                 .args(["--row-size", &cfg.row_size.to_string()])
                 .args(["--retry-limit", &cfg.retry_limit.to_string()])
                 .args(["--lock-ms", &cfg.lock_timeout.as_millis().to_string()])
                 .args(["--stats-every-ms", &cfg.stats_every_ms.to_string()])
                 .stdin(Stdio::null())
                 .stdout(Stdio::piped());
+            match cfg.workload {
+                DeployWorkload::Micro => {
+                    cmd.args(["--lo", &range.0.to_string()])
+                        .args(["--hi", &range.1.to_string()]);
+                }
+                DeployWorkload::Tpcc { warehouses } => {
+                    cmd.args(["--warehouses", &warehouses.to_string()])
+                        .args(["--w-lo", &range.0.to_string()])
+                        .args(["--w-hi", &range.1.to_string()]);
+                }
+            }
             if cfg.single_threaded {
                 cmd.arg("--single-threaded");
             }
@@ -457,6 +531,7 @@ impl Deployment {
         Ok(Deployment {
             members,
             total_rows: cfg.total_rows,
+            workload: cfg.workload,
             retry_limit: cfg.retry_limit,
             vote_timeout: cfg.vote_timeout,
             submit_timeout: cfg.vote_timeout + cfg.lock_timeout * (cfg.retry_limit + 1),
@@ -498,6 +573,28 @@ impl Deployment {
     /// The instance owning `key`.
     pub fn owner_of(&self, key: u64) -> usize {
         owner_of(key, self.members.len(), self.total_rows)
+    }
+
+    /// What the instances are loaded with.
+    pub fn workload(&self) -> DeployWorkload {
+        self.workload
+    }
+
+    /// The instance owning `(table, key)` under the deployment's workload:
+    /// micro keys by row range, TPC-C keys by their warehouse (via the same
+    /// proportional map [`warehouse_range`] inverts for loading).
+    pub fn owner_of_step(&self, table: u32, key: u64) -> usize {
+        match self.workload {
+            DeployWorkload::Micro => {
+                debug_assert_eq!(table, MICRO_TABLE);
+                self.owner_of(key)
+            }
+            DeployWorkload::Tpcc { warehouses } => WarehouseSites {
+                warehouses,
+                n_sites: self.members.len(),
+            }
+            .site_of(table, key),
+        }
     }
 
     fn next_gtid(&self) -> u64 {
@@ -858,7 +955,130 @@ impl DeployClient {
         branches: &HashMap<usize, TxnRequest>,
     ) -> io::Result<TwoPc> {
         let gtid = self.deploy.next_gtid();
-        drive_2pc(self, gtid, parts, branches)
+        drive_2pc(self, gtid, parts, |gtid, to| {
+            Request::Prepare(TxnBranch {
+                gtid,
+                req: branches[&to].clone(),
+            })
+        })
+    }
+
+    /// One round of wire-level 2PC for a plan's branches: the same driver,
+    /// with `PreparePlan` frames carrying each participant's step list.
+    fn try_2pc_plan(
+        &mut self,
+        parts: &[usize],
+        branches: &HashMap<usize, PlanRequest>,
+    ) -> io::Result<TwoPc> {
+        let gtid = self.deploy.next_gtid();
+        drive_2pc(self, gtid, parts, |gtid, to| {
+            Request::PreparePlan(PlanBranch {
+                gtid,
+                plan: branches[&to].clone(),
+            })
+        })
+    }
+
+    /// Route one multi-step plan: single-instance plans go straight to the
+    /// owner as a `SubmitPlan` frame; plans spanning instances (remote-
+    /// warehouse Payments) run wire-level 2PC with `PreparePlan` branches.
+    pub fn submit_plan(&mut self, plan: &PlanRequest) -> io::Result<DeployReply> {
+        let deploy = Arc::clone(&self.deploy);
+        let (order, branches) = split_plan_by_owner(plan, |t, k| deploy.owner_of_step(t, k));
+        if order.len() <= 1 {
+            let target = order.first().copied().unwrap_or(0);
+            return self.submit_plan_single(target, plan);
+        }
+
+        let mut retries = 0u32;
+        loop {
+            match self.try_2pc_plan(&order, &branches)? {
+                TwoPc::Commit => {
+                    return Ok(DeployReply::Outcome(DeployOutcome {
+                        committed: true,
+                        distributed: true,
+                        retries,
+                        presumed_abort: false,
+                    }))
+                }
+                TwoPc::Abort => {
+                    if retries >= self.deploy.retry_limit {
+                        return Ok(DeployReply::Outcome(DeployOutcome {
+                            committed: false,
+                            distributed: true,
+                            retries,
+                            presumed_abort: false,
+                        }));
+                    }
+                    retries += 1;
+                    std::thread::yield_now();
+                }
+                TwoPc::PresumedAbort => {
+                    self.deploy.presumed_aborts.fetch_add(1, Ordering::Relaxed);
+                    return Ok(DeployReply::Outcome(DeployOutcome {
+                        committed: false,
+                        distributed: true,
+                        retries,
+                        presumed_abort: true,
+                    }));
+                }
+                TwoPc::Error(message) => return Ok(DeployReply::ServerError(message)),
+            }
+        }
+    }
+
+    fn submit_plan_single(&mut self, target: usize, plan: &PlanRequest) -> io::Result<DeployReply> {
+        let Ok(conn) = self.conn(target) else {
+            return Ok(DeployReply::InstanceDown(target));
+        };
+        if conn
+            .send_request(&Request::SubmitPlan(plan.clone()))
+            .is_err()
+        {
+            self.mark_dead(target);
+            return Ok(DeployReply::InstanceDown(target));
+        }
+        let deadline = self.deploy.submit_timeout;
+        match self.recv_deadline(target, deadline) {
+            Ok(Reply::Committed {
+                distributed,
+                retries,
+                ..
+            }) => Ok(DeployReply::Outcome(DeployOutcome {
+                committed: true,
+                distributed,
+                retries,
+                presumed_abort: false,
+            })),
+            Ok(Reply::Aborted { retries }) => Ok(DeployReply::Outcome(DeployOutcome {
+                committed: false,
+                distributed: false,
+                retries,
+                presumed_abort: false,
+            })),
+            Ok(Reply::Error { message }) => Ok(DeployReply::ServerError(message)),
+            Ok(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply to submit_plan: {other:?}"),
+            )),
+            Err(_) => {
+                self.mark_dead(target);
+                Ok(DeployReply::InstanceDown(target))
+            }
+        }
+    }
+
+    /// Deployment-wide audit sum: every instance's committed-row-write total
+    /// added up. The consistency check a TPC-C run ends with — the total
+    /// must equal the sum of `write_rows()` over every committed plan (both
+    /// branches of a committed remote Payment included).
+    pub fn audit_total(&mut self) -> io::Result<u64> {
+        let mut sum = 0u64;
+        for i in 0..self.deploy.instances() {
+            let conn = self.conn(i)?;
+            sum += conn.audit()?;
+        }
+        Ok(sum)
     }
 }
 
@@ -966,12 +1186,15 @@ fn collect_acks<L: TwoPcLink>(
 
 /// One full round of 2PC over `link`: prepare fan-out, vote collection,
 /// decision fan-out, ack collection, with participant failures reported to
-/// the [`Coordinator`] state machine as they surface.
-fn drive_2pc<L: TwoPcLink>(
+/// the [`Coordinator`] state machine as they surface. `prepare_frame`
+/// builds participant `to`'s phase-1 frame — a micro [`Request::Prepare`]
+/// or a multi-step [`Request::PreparePlan`]; everything from the votes on
+/// is branch-type-agnostic.
+fn drive_2pc<L: TwoPcLink, F: Fn(u64, usize) -> Request>(
     link: &mut L,
     gtid: u64,
     parts: &[usize],
-    branches: &HashMap<usize, TxnRequest>,
+    prepare_frame: F,
 ) -> io::Result<TwoPc> {
     let (mut coord, prepares) = Coordinator::new(gtid, parts.to_vec());
 
@@ -988,10 +1211,7 @@ fn drive_2pc<L: TwoPcLink>(
             unreachable!("prepare fan-out yields only SendPrepare");
         };
         if unreachable.is_empty() {
-            let frame = Request::Prepare(TxnBranch {
-                gtid,
-                req: branches[&to].clone(),
-            });
+            let frame = prepare_frame(gtid, to);
             match link.send(to, &frame) {
                 Ok(()) => {
                     sent.push(to);
@@ -1100,6 +1320,9 @@ fn run_instance(args: &[String]) -> io::Result<bool> {
     let mut endpoint: Option<Endpoint> = None;
     let mut lo = 0u64;
     let mut hi = 0u64;
+    let mut warehouses = 0u64;
+    let mut w_lo = 0u64;
+    let mut w_hi = 0u64;
     let mut row_size = 64usize;
     let mut retry_limit = 64u32;
     let mut lock_ms = 200u64;
@@ -1127,6 +1350,18 @@ fn run_instance(args: &[String]) -> io::Result<bool> {
             "--hi" => {
                 let v = value("--hi")?;
                 hi = v.parse().map_err(|_| parse_err("--hi", v))?;
+            }
+            "--warehouses" => {
+                let v = value("--warehouses")?;
+                warehouses = v.parse().map_err(|_| parse_err("--warehouses", v))?;
+            }
+            "--w-lo" => {
+                let v = value("--w-lo")?;
+                w_lo = v.parse().map_err(|_| parse_err("--w-lo", v))?;
+            }
+            "--w-hi" => {
+                let v = value("--w-hi")?;
+                w_hi = v.parse().map_err(|_| parse_err("--w-hi", v))?;
             }
             "--row-size" => {
                 let v = value("--row-size")?;
@@ -1159,12 +1394,22 @@ fn run_instance(args: &[String]) -> io::Result<bool> {
     // the gate is per-instance by construction.
     islands_obs::set_enabled(obs);
 
+    // `--warehouses` switches the instance to TPC-C-lite mode: it loads
+    // warehouses `[w_lo, w_hi)` (districts, customers, stock included) and
+    // serves multi-step plans against them; `--lo/--hi` are the micro-table
+    // row range otherwise.
+    let tpcc = (warehouses > 0).then_some(TpccPartition {
+        warehouses,
+        w_lo,
+        w_hi,
+    });
     let partition = PartitionConfig {
         lo,
         hi,
         row_size,
         lock_timeout: Duration::from_millis(lock_ms),
         single_threaded,
+        tpcc,
         ..Default::default()
     };
     // Serial mode: keep a handle to the executor so it can be shut down
@@ -1360,6 +1605,111 @@ mod tests {
     }
 
     #[test]
+    fn split_plan_follows_warehouses_not_raw_keys() {
+        use islands_core::plan::{TPCC_CUSTOMER, TPCC_DISTRICT, TPCC_HISTORY, TPCC_WAREHOUSE};
+        use islands_workload::plan::{PlanClass, PlanStep, StepOp};
+        use islands_workload::tpcc;
+        // 4 warehouses over 2 instances: w 0..2 -> 0, w 2..4 -> 1. A remote
+        // Payment homed at w1 paying a w3 customer splits exactly at the
+        // customer + history steps.
+        let sites = WarehouseSites {
+            warehouses: 4,
+            n_sites: 2,
+        };
+        let plan = PlanRequest {
+            class: PlanClass::Payment,
+            multisite: true,
+            steps: vec![
+                PlanStep::point(TPCC_WAREHOUSE, 1, StepOp::Update),
+                PlanStep::point(TPCC_DISTRICT, tpcc::district_key(1, 4), StepOp::Update),
+                PlanStep::range(TPCC_CUSTOMER, tpcc::customer_key(3, 2, 16), 4),
+                PlanStep::point(TPCC_CUSTOMER, tpcc::customer_key(3, 2, 17), StepOp::Update),
+                PlanStep::point(TPCC_HISTORY, 1 << 32, StepOp::Insert),
+            ],
+        };
+        let (order, branches) = split_plan_by_owner(&plan, |t, k| sites.site_of(t, k));
+        assert_eq!(order, vec![0, 1], "home instance first");
+        assert_eq!(branches[&0].steps.len(), 3, "W + D + history insert");
+        assert_eq!(branches[&1].steps.len(), 2, "customer scan + update");
+        assert!(branches.values().all(|b| b.multisite));
+        assert!(branches.values().all(|b| b.class == PlanClass::Payment));
+        // Step order within each branch is the plan's order.
+        assert_eq!(branches[&1].steps[0].op, StepOp::RangeRead);
+        assert_eq!(branches[&1].steps[1].op, StepOp::Update);
+    }
+
+    #[test]
+    fn scripted_plan_2pc_sends_prepare_plan_frames_and_commits() {
+        use islands_workload::plan::{PlanClass, PlanStep, StepOp};
+        let gtid = 23;
+        let parts = [0usize, 1];
+        let branches: HashMap<usize, PlanRequest> = parts
+            .iter()
+            .map(|&p| {
+                (
+                    p,
+                    PlanRequest {
+                        class: PlanClass::Payment,
+                        multisite: true,
+                        steps: vec![PlanStep::point(
+                            islands_core::plan::TPCC_WAREHOUSE,
+                            p as u64,
+                            StepOp::Update,
+                        )],
+                    },
+                )
+            })
+            .collect();
+        let mut link = ScriptedLink::new(2);
+        for p in parts {
+            link.script(
+                p,
+                Ok(Reply::Vote {
+                    gtid,
+                    vote: Vote::Yes,
+                }),
+            );
+            link.script(p, Ok(Reply::Ack { gtid }));
+        }
+        let out = drive_2pc(&mut link, gtid, &parts, |gtid, to| {
+            Request::PreparePlan(PlanBranch {
+                gtid,
+                plan: branches[&to].clone(),
+            })
+        })
+        .unwrap();
+        assert!(matches!(out, TwoPc::Commit));
+        assert_eq!(link.forced, vec![gtid]);
+        for p in parts {
+            assert!(
+                matches!(&link.sent[p][0], Request::PreparePlan(b) if b.gtid == gtid),
+                "phase 1 to {p} must be a PreparePlan frame"
+            );
+            assert_eq!(
+                link.sent[p][1],
+                Request::Decision { gtid, commit: true },
+                "phase 2 is the shared Decision frame"
+            );
+        }
+    }
+
+    #[test]
+    fn tpcc_deploy_config_validates_warehouse_shapes() {
+        let ok = DeployConfig {
+            instances: 2,
+            workload: DeployWorkload::Tpcc { warehouses: 4 },
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok());
+        let too_few = DeployConfig {
+            instances: 8,
+            workload: DeployWorkload::Tpcc { warehouses: 4 },
+            ..Default::default()
+        };
+        assert!(too_few.validate().is_err());
+    }
+
+    #[test]
     fn stats_line_round_trips() {
         let stats = crate::server::ServerStats {
             connections: 0,
@@ -1528,7 +1878,14 @@ mod tests {
             );
             link.script(p, Ok(Reply::Ack { gtid }));
         }
-        let out = drive_2pc(&mut link, gtid, &parts, &branch_map(&parts)).unwrap();
+        let branches = branch_map(&parts);
+        let out = drive_2pc(&mut link, gtid, &parts, |gtid, to| {
+            Request::Prepare(TxnBranch {
+                gtid,
+                req: branches[&to].clone(),
+            })
+        })
+        .unwrap();
         assert!(matches!(out, TwoPc::Commit));
         assert_eq!(link.forced, vec![gtid], "commit decision must be forced");
         for p in parts {
@@ -1552,7 +1909,14 @@ mod tests {
         );
         link.script(0, Ok(Reply::Ack { gtid }));
         link.script(1, Err(ScriptedLink::timeout()));
-        let out = drive_2pc(&mut link, gtid, &parts, &branch_map(&parts)).unwrap();
+        let branches = branch_map(&parts);
+        let out = drive_2pc(&mut link, gtid, &parts, |gtid, to| {
+            Request::Prepare(TxnBranch {
+                gtid,
+                req: branches[&to].clone(),
+            })
+        })
+        .unwrap();
         assert!(matches!(out, TwoPc::PresumedAbort));
         assert!(link.forced.is_empty(), "presumed abort forces nothing");
         assert_eq!(

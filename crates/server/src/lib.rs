@@ -8,24 +8,24 @@
 //! fronts a cluster with a real served API over Unix domain sockets or TCP:
 //!
 //! * [`wire`] — a hand-rolled length-prefixed wire protocol: framed
-//!   [`Request`](wire::Request)/[`Reply`](wire::Reply) messages carrying
+//!   [`Request`]/[`Reply`] messages carrying
 //!   [`TxnRequest`](islands_workload::TxnRequest) submissions and typed
 //!   commit/abort/latency replies, with a streaming
-//!   [`FrameReader`](wire::FrameReader) that makes pipelining natural and
+//!   [`FrameReader`] that makes pipelining natural and
 //!   rejects oversized or truncated traffic instead of trusting it.
 //! * [`server`] — a multi-threaded acceptor: one session thread per
 //!   connection, request pipelining with a group-commit batch window (all
 //!   replies of a batch flush in one write), live counters, and graceful
 //!   drain via a wire message or the local handle.
 //! * [`client`] — the blocking client library: single connections
-//!   ([`Client`](client::Client)), one-write pipelining, and a
-//!   checkout/checkin [`ClientPool`](client::ClientPool).
+//!   ([`Client`]), one-write pipelining, and a
+//!   checkout/checkin [`ClientPool`].
 //! * [`deploy`] — multi-process deployments: spawn one topology-pinned
 //!   server process per shared-nothing instance
-//!   ([`Deployment`](deploy::Deployment)), route single-site traffic to the
+//!   ([`Deployment`]), route single-site traffic to the
 //!   owner, and run presumed-abort two-phase commit across processes with
 //!   `Prepare`/`Vote`/`Decision`/`Ack` wire frames
-//!   ([`DeployClient`](deploy::DeployClient)).
+//!   ([`DeployClient`]).
 //!
 //! ```no_run
 //! use std::sync::Arc;

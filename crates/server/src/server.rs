@@ -34,10 +34,11 @@ use islands_core::native::{
     BranchOutcome, DecideOutcome, ExecutorSession, NativeCluster, PartitionEngine,
     PartitionExecutor, SubmitOutcome,
 };
+use islands_core::plan::{plan_from_request, MICRO_TABLE};
 use islands_dtxn::{Participant, ParticipantEvent, Vote};
 use islands_obs::{BreakdownCategory, TxnClass};
-use islands_storage::TxnHandle;
-use islands_workload::TxnBranch;
+use islands_storage::{StorageError, TxnHandle};
+use islands_workload::{PlanBranch, TxnBranch};
 
 use crate::wire::{FrameReader, Reply, Request, WireMessage};
 
@@ -785,29 +786,76 @@ fn session_loop(
                             unreachable!("executor backend always has a session")
                         }
                     };
-                    match outcome {
-                        Ok(outcome) => {
-                            let reply = if outcome.committed {
-                                counters.commits.fetch_add(1, Ordering::Relaxed);
-                                Reply::Committed {
-                                    distributed: outcome.distributed,
-                                    retries: outcome.retries,
-                                    server_micros: started.elapsed().as_micros() as u64,
-                                }
+                    encode_submit_outcome(outcome, started, counters, &mut out);
+                    islands_obs::metrics().record_txn(class, started.elapsed().as_nanos() as u64);
+                }
+                Request::SubmitPlan(plan) => {
+                    let class = if plan.multisite {
+                        TxnClass::Multisite
+                    } else {
+                        TxnClass::Local
+                    };
+                    islands_obs::set_txn_class(class);
+                    let started = Instant::now();
+                    let _span = exec
+                        .is_none()
+                        .then(|| islands_obs::enter(BreakdownCategory::XctManagement));
+                    let outcome: Result<SubmitOutcome, String> = match (backend, exec) {
+                        (Backend::Cluster(cluster), _) => {
+                            // The in-process cluster range-partitions only
+                            // the micro table; TPC-C plans belong on
+                            // partition/executor instances.
+                            if plan.steps.iter().all(|s| s.table == MICRO_TABLE) {
+                                cluster
+                                    .submit_plan(&plan_from_request(plan), config.retry_limit)
+                                    .map_err(|e| e.to_string())
                             } else {
-                                counters.aborts.fetch_add(1, Ordering::Relaxed);
-                                Reply::Aborted {
-                                    retries: outcome.retries,
-                                }
-                            };
-                            reply.encode_frame(&mut out);
+                                Err("cluster backend serves only micro-table plans".into())
+                            }
                         }
+                        (Backend::Partition(engine), _) => engine
+                            .submit_plan_local(plan, config.retry_limit)
+                            .map_err(|e| e.to_string()),
+                        (Backend::Executor(_), Some(s)) => {
+                            s.submit_plan(plan).map_err(|e| e.to_string())
+                        }
+                        (Backend::Executor(_), None) => {
+                            unreachable!("executor backend always has a session")
+                        }
+                    };
+                    encode_submit_outcome(outcome, started, counters, &mut out);
+                    islands_obs::metrics().record_txn(class, started.elapsed().as_nanos() as u64);
+                }
+                Request::PreparePlan(branch) => {
+                    counters.prepares.fetch_add(1, Ordering::Relaxed);
+                    islands_obs::set_txn_class(TxnClass::Multisite);
+                    let started = Instant::now();
+                    let _span = exec
+                        .is_none()
+                        .then(|| islands_obs::enter(BreakdownCategory::XctManagement));
+                    let reply = match exec {
+                        Some(s) => handle_prepare_plan_exec(s, branch, counters),
+                        None => handle_prepare_plan(backend, branch, in_doubt, counters),
+                    };
+                    islands_obs::metrics().record_prepare(started.elapsed().as_nanos() as u64);
+                    if matches!(reply, Reply::Error { .. }) {
+                        counters.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    reply.encode_frame(&mut out);
+                }
+                Request::Audit => {
+                    let sum = match backend {
+                        Backend::Cluster(c) => c.audit_sum().map_err(|e| e.to_string()),
+                        Backend::Partition(p) => p.audit_sum().map_err(|e| e.to_string()),
+                        Backend::Executor(e) => e.audit_sum().map_err(|e| e.to_string()),
+                    };
+                    match sum {
+                        Ok(sum) => Reply::AuditSum { sum }.encode_frame(&mut out),
                         Err(message) => {
                             counters.errors.fetch_add(1, Ordering::Relaxed);
                             Reply::Error { message }.encode_frame(&mut out);
                         }
                     }
-                    islands_obs::metrics().record_txn(class, started.elapsed().as_nanos() as u64);
                 }
             }
         }
@@ -841,6 +889,39 @@ fn session_loop(
     Ok(())
 }
 
+/// Encode the reply for a submit-style request (micro batch or multi-step
+/// plan): committed/aborted with retry counts, or the typed storage error's
+/// message for requests the engine can never satisfy.
+fn encode_submit_outcome(
+    outcome: Result<SubmitOutcome, String>,
+    started: Instant,
+    counters: &Counters,
+    out: &mut Vec<u8>,
+) {
+    match outcome {
+        Ok(outcome) => {
+            let reply = if outcome.committed {
+                counters.commits.fetch_add(1, Ordering::Relaxed);
+                Reply::Committed {
+                    distributed: outcome.distributed,
+                    retries: outcome.retries,
+                    server_micros: started.elapsed().as_micros() as u64,
+                }
+            } else {
+                counters.aborts.fetch_add(1, Ordering::Relaxed);
+                Reply::Aborted {
+                    retries: outcome.retries,
+                }
+            };
+            reply.encode_frame(out);
+        }
+        Err(message) => {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+            Reply::Error { message }.encode_frame(out);
+        }
+    }
+}
+
 /// 2PC phase 1: execute the branch, force the prepare record, vote. The
 /// storage layer does the work; the [`Participant`] state machine enforces
 /// protocol order and rides along in the in-doubt map so phase 2 can only
@@ -864,8 +945,56 @@ fn handle_prepare(
             ),
         };
     }
-    let mut participant = Participant::new(branch.gtid);
-    match engine.prepare_branch(branch.gtid, &branch.req) {
+    park_prepare_outcome(
+        branch.gtid,
+        engine.prepare_branch(branch.gtid, &branch.req),
+        in_doubt,
+        counters,
+    )
+}
+
+/// 2PC phase 1 for a multi-step *plan* branch on a locked partition
+/// backend: same protocol, same in-doubt map — a parked plan branch holds
+/// the locks guarding its dependent reads (range scans included) until the
+/// decision frame arrives on this connection.
+fn handle_prepare_plan(
+    backend: &Backend,
+    branch: &PlanBranch,
+    in_doubt: &mut InDoubtBranches,
+    counters: &Counters,
+) -> Reply {
+    let Backend::Partition(engine) = backend else {
+        return Reply::Error {
+            message: "2PC prepare requires a partition instance backend".into(),
+        };
+    };
+    if in_doubt.contains_key(&branch.gtid) {
+        return Reply::Error {
+            message: format!(
+                "gtid {} is already prepared on this connection",
+                branch.gtid
+            ),
+        };
+    }
+    park_prepare_outcome(
+        branch.gtid,
+        engine.prepare_plan_branch(branch.gtid, &branch.plan),
+        in_doubt,
+        counters,
+    )
+}
+
+/// Shared phase-1 tail for micro and plan branches: map the engine's branch
+/// outcome to a vote, parking Yes-voters (with their [`Participant`] state
+/// machine) in the session's in-doubt map.
+fn park_prepare_outcome(
+    gtid: u64,
+    outcome: Result<BranchOutcome, StorageError>,
+    in_doubt: &mut InDoubtBranches,
+    counters: &Counters,
+) -> Reply {
+    let mut participant = Participant::new(gtid);
+    match outcome {
         Ok(BranchOutcome::Prepared(handle)) => {
             let ev = participant.on_prepare(true, true);
             debug_assert!(matches!(
@@ -875,10 +1004,10 @@ fn handle_prepare(
                     ..
                 }
             ));
-            in_doubt.insert(branch.gtid, (participant, handle));
+            in_doubt.insert(gtid, (participant, handle));
             counters.in_doubt.fetch_add(1, Ordering::Relaxed);
             Reply::Vote {
-                gtid: branch.gtid,
+                gtid,
                 vote: Vote::Yes,
             }
         }
@@ -892,7 +1021,7 @@ fn handle_prepare(
                 }
             ));
             Reply::Vote {
-                gtid: branch.gtid,
+                gtid,
                 vote: Vote::ReadOnly,
             }
         }
@@ -903,7 +1032,7 @@ fn handle_prepare(
                 ParticipantEvent::SendVote { vote: Vote::No, .. }
             ));
             Reply::Vote {
-                gtid: branch.gtid,
+                gtid,
                 vote: Vote::No,
             }
         }
@@ -963,6 +1092,31 @@ fn handle_decision(
 /// relays the vote and keeps the gauges.
 fn handle_prepare_exec(exec: &ExecutorSession, branch: &TxnBranch, counters: &Counters) -> Reply {
     match exec.prepare(branch.gtid, &branch.req) {
+        Ok(vote) => {
+            if vote == Vote::Yes {
+                counters.in_doubt.fetch_add(1, Ordering::Relaxed);
+            }
+            Reply::Vote {
+                gtid: branch.gtid,
+                vote,
+            }
+        }
+        Err(e) => Reply::Error {
+            message: e.to_string(),
+        },
+    }
+}
+
+/// 2PC phase 1 for a multi-step *plan* branch on a serial-executor backend:
+/// the branch (dependent reads and all) executes and parks on the
+/// partition's executor thread; the session relays the vote and keeps the
+/// gauges, exactly as for micro branches.
+fn handle_prepare_plan_exec(
+    exec: &ExecutorSession,
+    branch: &PlanBranch,
+    counters: &Counters,
+) -> Reply {
+    match exec.prepare_plan(branch.gtid, &branch.plan) {
         Ok(vote) => {
             if vote == Vote::Yes {
                 counters.in_doubt.fetch_add(1, Ordering::Relaxed);

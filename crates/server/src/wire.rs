@@ -23,7 +23,7 @@ use std::io::{self, Read};
 
 use islands_dtxn::Vote;
 use islands_obs::Snapshot;
-use islands_workload::{CodecError, TxnBranch, TxnRequest};
+use islands_workload::{CodecError, PlanBranch, PlanRequest, TxnBranch, TxnRequest};
 
 use crate::server::ServerStats;
 
@@ -43,6 +43,9 @@ const TAG_DRAIN: u8 = 0x03;
 const TAG_PREPARE: u8 = 0x04;
 const TAG_DECISION: u8 = 0x05;
 const TAG_STATS_REQUEST: u8 = 0x06;
+const TAG_SUBMIT_PLAN: u8 = 0x07;
+const TAG_PREPARE_PLAN: u8 = 0x08;
+const TAG_AUDIT: u8 = 0x09;
 // Reply tags (server -> client) have the high bit set. 0x86/0x87 are the
 // participant->coordinator half of wire-level 2PC.
 const TAG_COMMITTED: u8 = 0x81;
@@ -53,6 +56,7 @@ const TAG_DRAINING: u8 = 0x85;
 const TAG_VOTE: u8 = 0x86;
 const TAG_ACK: u8 = 0x87;
 const TAG_STATS_REPLY: u8 = 0x88;
+const TAG_AUDIT_REPLY: u8 = 0x89;
 
 /// Fixed [`ServerStats`] prefix of a stats-reply body: 9 × u64 LE.
 const SERVER_STATS_LEN: usize = 72;
@@ -160,6 +164,18 @@ pub enum Request {
     /// Scrape the server's live counters and observability snapshot
     /// ([`Reply::Stats`]) without disturbing the run.
     Stats,
+    /// Run this multi-step transaction plan (TPC-C NewOrder/Payment or a
+    /// generic step list) to completion and report the outcome. The
+    /// multi-plan analogue of [`Request::Submit`].
+    SubmitPlan(PlanRequest),
+    /// 2PC phase 1 for one *plan* branch: the multi-step analogue of
+    /// [`Request::Prepare`]. A Yes-voting participant parks the branch —
+    /// including the locks guarding its dependent reads — until the
+    /// [`Request::Decision`] frame (phase 2 is shared with micro branches).
+    PreparePlan(PlanBranch),
+    /// Scrape the audit sum (total committed row writes across every
+    /// table) for consistency checks; answered with [`Reply::AuditSum`].
+    Audit,
 }
 
 /// Server → client message.
@@ -204,6 +220,12 @@ pub enum Reply {
         server: ServerStats,
         /// Metrics-registry snapshot from `islands-obs`.
         obs: Box<Snapshot>,
+    },
+    /// Answer to [`Request::Audit`]: the storage-level audit invariant.
+    AuditSum {
+        /// Sum of per-row audit counters over every table this instance
+        /// serves — equals total committed row writes (updates + inserts).
+        sum: u64,
     },
 }
 
@@ -281,6 +303,15 @@ impl WireMessage for Request {
                 buf.push(*commit as u8);
             }
             Request::Stats => buf.push(TAG_STATS_REQUEST),
+            Request::SubmitPlan(plan) => {
+                buf.push(TAG_SUBMIT_PLAN);
+                plan.encode_into(buf);
+            }
+            Request::PreparePlan(branch) => {
+                buf.push(TAG_PREPARE_PLAN);
+                branch.encode_into(buf);
+            }
+            Request::Audit => buf.push(TAG_AUDIT),
         }
     }
 
@@ -326,6 +357,20 @@ impl WireMessage for Request {
             TAG_STATS_REQUEST => {
                 exactly(tag, body, 0)?;
                 Ok(Request::Stats)
+            }
+            TAG_SUBMIT_PLAN => {
+                let (plan, used) = PlanRequest::decode_from(body)?;
+                exactly(tag, body, used)?;
+                Ok(Request::SubmitPlan(plan))
+            }
+            TAG_PREPARE_PLAN => {
+                let (branch, used) = PlanBranch::decode_from(body)?;
+                exactly(tag, body, used)?;
+                Ok(Request::PreparePlan(branch))
+            }
+            TAG_AUDIT => {
+                exactly(tag, body, 0)?;
+                Ok(Request::Audit)
             }
             other => Err(WireError::UnknownTag(other)),
         }
@@ -389,6 +434,10 @@ impl WireMessage for Reply {
                     buf.extend_from_slice(&v.to_le_bytes());
                 }
                 obs.encode_into(buf);
+            }
+            Reply::AuditSum { sum } => {
+                buf.push(TAG_AUDIT_REPLY);
+                buf.extend_from_slice(&sum.to_le_bytes());
             }
         }
     }
@@ -480,6 +529,10 @@ impl WireMessage for Reply {
                     },
                     obs: Box::new(obs),
                 })
+            }
+            TAG_AUDIT_REPLY => {
+                exactly(tag, body, 8)?;
+                Ok(Reply::AuditSum { sum: u64_le(body) })
             }
             other => Err(WireError::UnknownTag(other)),
         }
@@ -592,6 +645,18 @@ mod tests {
         })
     }
 
+    fn sample_plan() -> PlanRequest {
+        use islands_workload::plan::{PlanClass, PlanStep, StepOp, TPCC_CUSTOMER, TPCC_WAREHOUSE};
+        PlanRequest {
+            class: PlanClass::Payment,
+            multisite: true,
+            steps: vec![
+                PlanStep::point(TPCC_WAREHOUSE, 3, StepOp::Update),
+                PlanStep::range(TPCC_CUSTOMER, 900, 4),
+            ],
+        }
+    }
+
     #[test]
     fn requests_round_trip() {
         for r in [
@@ -614,6 +679,12 @@ mod tests {
                 gtid: 7,
                 commit: false,
             },
+            Request::SubmitPlan(sample_plan()),
+            Request::PreparePlan(PlanBranch {
+                gtid: 314,
+                plan: sample_plan(),
+            }),
+            Request::Audit,
         ] {
             let mut frame = Vec::new();
             r.encode_frame(&mut frame);
@@ -651,6 +722,7 @@ mod tests {
                 vote: Vote::ReadOnly,
             },
             Reply::Ack { gtid: 1 << 60 },
+            Reply::AuditSum { sum: u64::MAX - 7 },
         ] {
             let mut frame = Vec::new();
             r.encode_frame(&mut frame);

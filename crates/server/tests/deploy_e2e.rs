@@ -6,8 +6,11 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
-use islands_server::deploy::{DeployConfig, DeployReply, Deployment, SpawnMode, Transport};
+use islands_server::deploy::{
+    DeployConfig, DeployReply, DeployWorkload, Deployment, SpawnMode, Transport,
+};
 use islands_server::{Client, EngineMode, Request};
+use islands_workload::tpcc::{NewOrder, Payment};
 use islands_workload::{OpKind, TxnBranch, TxnRequest};
 
 fn config(instances: usize, transport: Transport) -> DeployConfig {
@@ -318,4 +321,89 @@ fn serial_engine_deployment_commits_local_and_multisite_and_drains_clean() {
     }
     // 1 local commit + 2 committed update branches.
     assert_eq!(commits, 3);
+}
+
+#[test]
+fn tpcc_neworder_and_remote_payment_audit_consistent_in_both_engines() {
+    // TPC-C over the wire, end to end: a two-instance deployment serving
+    // warehouses 0..2 (instance 0) and 2..4 (instance 1). NewOrders are
+    // single-home plans on the owner's fast path; remote-warehouse Payments
+    // split into two PreparePlan branches and run real wire-level 2PC. The
+    // closing invariant is the audit identity: committed row writes across
+    // the whole deployment grow by exactly the `write_rows()` sum of the
+    // committed plans — both branches of every remote Payment included,
+    // nothing double-counted, nothing leaked in doubt.
+    for engine in [EngineMode::Locked, EngineMode::Serial] {
+        let deploy = Arc::new(
+            Deployment::spawn(&DeployConfig {
+                engine,
+                workload: DeployWorkload::Tpcc { warehouses: 4 },
+                ..config(2, Transport::Uds)
+            })
+            .unwrap(),
+        );
+        let mut client = deploy.client().unwrap();
+        let before = client.audit_total().unwrap();
+
+        let mut expected = 0u64;
+        // NewOrders homed at warehouse 0: never distributed.
+        for i in 0..10u64 {
+            let no = NewOrder {
+                w_id: 0,
+                d_id: i % 10,
+                c_id: (i * 17) % 3000,
+                items: vec![i % 1000, (i * 7 + 1) % 1000, 999],
+            };
+            let plan = no.plan(i); // order key (0 << 32) | i
+            let done = outcome(client.submit_plan(&plan).unwrap());
+            assert!(done.committed, "[{engine:?}] NewOrder {i}: {done:?}");
+            assert!(!done.distributed, "[{engine:?}] NewOrder is single-home");
+            expected += plan.write_rows();
+        }
+        // Remote Payments: home warehouse 1 (instance 0), customer at
+        // warehouse 3 (instance 1) — every one crosses the wire as 2PC.
+        // Half select the customer by name (range read on the branch).
+        for i in 0..10u64 {
+            let pay = Payment {
+                w_id: 1,
+                d_id: i % 10,
+                c_w_id: 3,
+                c_d_id: (i + 3) % 10,
+                c_id: (i * 31) % 3000,
+                amount: 100 + i,
+            };
+            assert!(pay.is_remote());
+            let plan = pay.plan((1 << 32) | (0x100 + i), i % 2 == 0);
+            assert!(plan.multisite);
+            let done = outcome(client.submit_plan(&plan).unwrap());
+            assert!(done.committed, "[{engine:?}] remote Payment {i}: {done:?}");
+            assert!(done.distributed, "[{engine:?}] Payment must run wire 2PC");
+            expected += plan.write_rows();
+        }
+        assert_eq!(deploy.decided_commits(), 10, "[{engine:?}] one per Payment");
+        assert_eq!(deploy.presumed_aborts(), 0);
+
+        let after = client.audit_total().unwrap();
+        assert_eq!(
+            after - before,
+            expected,
+            "[{engine:?}] audit delta must equal committed write_rows"
+        );
+
+        drop(client);
+        let reports = Arc::try_unwrap(deploy)
+            .ok()
+            .expect("no other refs")
+            .shutdown();
+        for r in &reports {
+            assert!(
+                r.clean,
+                "[{engine:?}] instance {} unclean: {}",
+                r.index, r.detail
+            );
+            let stats = r.stats.expect("stats parsed");
+            assert_eq!(stats.in_doubt, 0, "[{engine:?}] in-doubt leak");
+            assert_eq!(stats.presumed_aborts, 0);
+        }
+    }
 }

@@ -7,7 +7,9 @@ use islands_dtxn::Vote;
 use islands_obs::{HistSnapshot, Snapshot, BUCKETS, NCATS, NCLASSES};
 use islands_server::wire::{FrameReader, Reply, Request, WireError, WireMessage, FRAME_HEADER};
 use islands_server::{ServerStats, MAX_FRAME};
-use islands_workload::{OpKind, TxnBranch, TxnRequest};
+use islands_workload::{
+    OpKind, PlanBranch, PlanClass, PlanRequest, PlanStep, StepOp, TxnBranch, TxnRequest,
+};
 use proptest::prelude::*;
 
 fn txn_request() -> impl Strategy<Value = TxnRequest> {
@@ -23,15 +25,53 @@ fn txn_request() -> impl Strategy<Value = TxnRequest> {
         })
 }
 
+fn plan_step() -> impl Strategy<Value = PlanStep> {
+    prop_oneof![
+        (
+            0u32..8,
+            any::<u64>(),
+            prop_oneof![
+                Just(StepOp::Read),
+                Just(StepOp::Update),
+                Just(StepOp::Insert)
+            ],
+        )
+            .prop_map(|(table, key, op)| PlanStep::point(table, key, op)),
+        (0u32..8, any::<u64>(), 1u8..=255)
+            .prop_map(|(table, key, span)| PlanStep::range(table, key, span)),
+    ]
+}
+
+fn plan_request() -> impl Strategy<Value = PlanRequest> {
+    (
+        prop_oneof![
+            Just(PlanClass::Generic),
+            Just(PlanClass::NewOrder),
+            Just(PlanClass::Payment)
+        ],
+        any::<bool>(),
+        prop::collection::vec(plan_step(), 0..24),
+    )
+        .prop_map(|(class, multisite, steps)| PlanRequest {
+            class,
+            multisite,
+            steps,
+        })
+}
+
 fn request() -> impl Strategy<Value = Request> {
     prop_oneof![
         txn_request().prop_map(Request::Submit),
         Just(Request::Ping),
         Just(Request::Drain),
         Just(Request::Stats),
+        Just(Request::Audit),
         (any::<u64>(), txn_request())
             .prop_map(|(gtid, req)| Request::Prepare(TxnBranch { gtid, req })),
         (any::<u64>(), any::<bool>()).prop_map(|(gtid, commit)| Request::Decision { gtid, commit }),
+        plan_request().prop_map(Request::SubmitPlan),
+        (any::<u64>(), plan_request())
+            .prop_map(|(gtid, plan)| Request::PreparePlan(PlanBranch { gtid, plan })),
     ]
 }
 
@@ -117,6 +157,7 @@ fn reply() -> impl Strategy<Value = Reply> {
             server,
             obs: Box::new(obs),
         }),
+        any::<u64>().prop_map(|sum| Reply::AuditSum { sum }),
     ]
 }
 

@@ -26,14 +26,28 @@ pub const MAX_KEYS_PER_REQUEST: u32 = 4096;
 /// Why a byte slice failed to decode as a request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
-    /// Input ended before the structure was complete: (needed, had).
-    Truncated { needed: usize, had: usize },
+    /// Input ended before the structure was complete.
+    Truncated {
+        /// Bytes the decoder needed to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        had: usize,
+    },
     /// Unknown [`OpKind`] discriminant.
     BadKind(u8),
     /// Multisite flag was neither 0 nor 1.
     BadFlag(u8),
     /// Key count exceeds [`MAX_KEYS_PER_REQUEST`].
     TooManyKeys(u32),
+    /// Unknown [`StepOp`](crate::plan::StepOp) discriminant in a plan step.
+    BadOp(u8),
+    /// Unknown [`PlanClass`](crate::plan::PlanClass) discriminant.
+    BadClass(u8),
+    /// Span byte inconsistent with the step op: nonzero on a point op, or
+    /// zero on a range read.
+    BadSpan(u8),
+    /// Step count exceeds [`MAX_STEPS_PER_PLAN`](crate::plan::MAX_STEPS_PER_PLAN).
+    TooManySteps(u32),
 }
 
 impl std::fmt::Display for CodecError {
@@ -46,6 +60,18 @@ impl std::fmt::Display for CodecError {
             CodecError::BadFlag(v) => write!(f, "multisite flag must be 0/1, got {v}"),
             CodecError::TooManyKeys(n) => {
                 write!(f, "{n} keys exceeds limit {MAX_KEYS_PER_REQUEST}")
+            }
+            CodecError::BadOp(b) => write!(f, "unknown plan step op discriminant {b}"),
+            CodecError::BadClass(b) => write!(f, "unknown plan class discriminant {b}"),
+            CodecError::BadSpan(s) => {
+                write!(f, "span {s} inconsistent with step op (range reads only)")
+            }
+            CodecError::TooManySteps(n) => {
+                write!(
+                    f,
+                    "{n} steps exceeds limit {}",
+                    crate::plan::MAX_STEPS_PER_PLAN
+                )
             }
         }
     }

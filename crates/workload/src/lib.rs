@@ -10,19 +10,25 @@
 //!
 //! Requests mix the two types with a configurable multisite percentage, and
 //! home sites / row choices can be skewed with a Zipfian distribution
-//! (Section 7.3). [`tpcc`] adds a scaled-down TPC-C with the Payment
-//! transaction used in Figures 3 and 7. [`codec`] gives [`TxnRequest`] a
-//! stable byte form so served deployments can ship requests over sockets.
+//! (Section 7.3). [`tpcc`] adds a scaled-down TPC-C with the NewOrder and
+//! Payment transactions used in Figures 3 and 7. [`codec`] gives
+//! [`TxnRequest`] a stable byte form so served deployments can ship
+//! requests over sockets, and [`plan`] generalizes the request model to
+//! multi-step, multi-table transaction plans (the shape TPC-C needs).
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod codec;
+pub mod plan;
 pub mod spec;
 pub mod tpcc;
 pub mod zipf;
 
 pub use codec::{CodecError, TxnBranch, MAX_KEYS_PER_REQUEST};
+pub use plan::{PlanBranch, PlanClass, PlanRequest, PlanStep, StepOp, MAX_STEPS_PER_PLAN};
 pub use spec::{MicroGenerator, MicroSpec, OpKind, TxnRequest};
+pub use tpcc::{TpccGenerator, TpccSpec};
 pub use zipf::Zipf;
 
 /// Default row payload size: 240 000 rows ≈ 60 MB in the paper's dataset,

@@ -7,11 +7,14 @@ use crate::zipf::Zipf;
 /// Read or update transactions (the paper's two microbenchmarks).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
+    /// Read-only: fetch each row.
     Read,
+    /// Read-modify-write: bump each row's audit counter.
     Update,
 }
 
 impl OpKind {
+    /// Stable report/JSON label.
     pub fn label(self) -> &'static str {
         match self {
             OpKind::Read => "read-only",
@@ -23,6 +26,7 @@ impl OpKind {
 /// One microbenchmark configuration (one curve point in Figures 9–14).
 #[derive(Debug, Clone)]
 pub struct MicroSpec {
+    /// Read-only or update transactions.
     pub kind: OpKind,
     /// Rows touched per transaction (`N`).
     pub rows_per_txn: usize,
@@ -59,6 +63,7 @@ impl MicroSpec {
         }
     }
 
+    /// Set the Zipfian skew factor (builder style).
     pub fn with_skew(mut self, skew: f64) -> Self {
         self.skew = skew;
         self
@@ -132,6 +137,7 @@ impl MicroSpec {
         Ok(())
     }
 
+    /// Set the dataset size in rows (builder style).
     pub fn with_rows(mut self, total_rows: u64) -> Self {
         self.total_rows = total_rows;
         self
@@ -143,7 +149,9 @@ impl MicroSpec {
 /// different physical instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TxnRequest {
+    /// Operation applied to every key.
     pub kind: OpKind,
+    /// Rows touched, home site's row first.
     pub keys: Vec<u64>,
     /// Whether this request was generated as a multisite transaction.
     pub multisite: bool,
@@ -178,6 +186,7 @@ impl MicroGenerator {
         }
     }
 
+    /// The spec this generator draws from.
     pub fn spec(&self) -> &MicroSpec {
         &self.spec
     }

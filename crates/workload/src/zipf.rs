@@ -20,6 +20,8 @@ pub struct Zipf {
 }
 
 impl Zipf {
+    /// A distribution over `0..n` with skew `theta`; panics on `n == 0` or
+    /// `theta` outside `[0, 1]`.
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0);
         assert!((0.0..=1.0).contains(&theta), "skew out of range");
@@ -66,10 +68,12 @@ impl Zipf {
         sum
     }
 
+    /// Number of items.
     pub fn n(&self) -> u64 {
         self.n
     }
 
+    /// Effective skew (1.0 is nudged below the formula's pole).
     pub fn theta(&self) -> f64 {
         self.theta
     }

@@ -1,9 +1,47 @@
-//! Property-based tests on workload generation invariants.
+//! Property-based tests on workload generation invariants and the plan
+//! codec (round trips, chunked reassembly, typed truncation failures).
 
-use islands_workload::{MicroGenerator, MicroSpec, OpKind, Zipf};
+use islands_workload::{
+    CodecError, MicroGenerator, MicroSpec, OpKind, PlanBranch, PlanClass, PlanRequest, PlanStep,
+    StepOp, Zipf,
+};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+fn plan_step() -> impl Strategy<Value = PlanStep> {
+    prop_oneof![
+        (
+            0u32..8,
+            any::<u64>(),
+            prop_oneof![
+                Just(StepOp::Read),
+                Just(StepOp::Update),
+                Just(StepOp::Insert)
+            ],
+        )
+            .prop_map(|(table, key, op)| PlanStep::point(table, key, op)),
+        (0u32..8, any::<u64>(), 1u8..=255)
+            .prop_map(|(table, key, span)| PlanStep::range(table, key, span)),
+    ]
+}
+
+fn plan_request() -> impl Strategy<Value = PlanRequest> {
+    (
+        prop_oneof![
+            Just(PlanClass::Generic),
+            Just(PlanClass::NewOrder),
+            Just(PlanClass::Payment)
+        ],
+        any::<bool>(),
+        prop::collection::vec(plan_step(), 0..24),
+    )
+        .prop_map(|(class, multisite, steps)| PlanRequest {
+            class,
+            multisite,
+            steps,
+        })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -106,6 +144,93 @@ proptest! {
             sites.dedup();
             prop_assert_eq!(sites.len() as u64, k);
             prop_assert!(sites.contains(&home));
+        }
+    }
+
+    /// Any plan survives an encode/decode round trip exactly, reports its
+    /// encoded length truthfully, and leaves trailing bytes untouched.
+    #[test]
+    fn plans_round_trip(p in plan_request(), gtid in any::<u64>(), trailing in 0usize..9) {
+        let mut buf = Vec::new();
+        p.encode_into(&mut buf);
+        prop_assert_eq!(buf.len(), p.encoded_len());
+        buf.extend(std::iter::repeat_n(0xAAu8, trailing));
+        let (back, used) = PlanRequest::decode_from(&buf).expect("valid plan");
+        prop_assert_eq!(&back, &p);
+        prop_assert_eq!(used, p.encoded_len());
+        // The 2PC branch wrapper round-trips the same way.
+        let branch = PlanBranch { gtid, plan: p };
+        let mut bbuf = Vec::new();
+        branch.encode_into(&mut bbuf);
+        prop_assert_eq!(bbuf.len(), branch.encoded_len());
+        let (bback, bused) = PlanBranch::decode_from(&bbuf).expect("valid branch");
+        prop_assert_eq!(bback, branch);
+        prop_assert_eq!(bused, bbuf.len());
+    }
+
+    /// A byte stream of back-to-back plans reassembles exactly under any
+    /// chunked arrival: incomplete prefixes report `Truncated` with
+    /// `needed > had` (never a panic, never a wrong plan), and every plan
+    /// pops out once its final byte lands.
+    #[test]
+    fn plan_streams_reassemble_from_any_chunking(
+        plans in prop::collection::vec(plan_request(), 1..8),
+        chunk in 1usize..48,
+    ) {
+        let mut bytes = Vec::new();
+        for p in &plans {
+            p.encode_into(&mut bytes);
+        }
+        let mut buf: Vec<u8> = Vec::new();
+        let mut decoded = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            buf.extend_from_slice(piece);
+            loop {
+                match PlanRequest::decode_from(&buf) {
+                    Ok((p, used)) => {
+                        decoded.push(p);
+                        buf.drain(..used);
+                    }
+                    Err(CodecError::Truncated { needed, had }) => {
+                        prop_assert_eq!(had, buf.len());
+                        prop_assert!(needed > had, "needed {needed} <= had {had}");
+                        break;
+                    }
+                    Err(e) => prop_assert!(false, "unexpected error class {e:?}"),
+                }
+            }
+        }
+        prop_assert_eq!(decoded, plans);
+        prop_assert_eq!(buf.len(), 0, "stream fully consumed");
+    }
+
+    /// Every strict prefix of a valid plan or branch encoding fails with the
+    /// typed `Truncated` error pointing past the cut — the invariant the
+    /// wire layer's framing relies on.
+    #[test]
+    fn plan_strict_prefixes_fail_typed(p in plan_request(), gtid in any::<u64>()) {
+        let mut buf = Vec::new();
+        p.encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            match PlanRequest::decode_from(&buf[..cut]) {
+                Err(CodecError::Truncated { needed, had }) => {
+                    prop_assert_eq!(had, cut);
+                    prop_assert!(needed > cut, "needed {needed} at cut {cut}");
+                }
+                other => prop_assert!(false, "cut {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+        let branch = PlanBranch { gtid, plan: p };
+        let mut bbuf = Vec::new();
+        branch.encode_into(&mut bbuf);
+        for cut in 0..bbuf.len() {
+            match PlanBranch::decode_from(&bbuf[..cut]) {
+                Err(CodecError::Truncated { needed, had }) => {
+                    prop_assert_eq!(had, cut);
+                    prop_assert!(needed > cut, "branch needed {needed} at cut {cut}");
+                }
+                other => prop_assert!(false, "branch cut {cut}: got {other:?}"),
+            }
         }
     }
 
