@@ -430,7 +430,7 @@ fn run_cell(
     };
     let mut scrapes = Vec::with_capacity(deployment.instances());
     for i in 0..deployment.instances() {
-        let (server, snap) = Client::connect(deployment.endpoint(i))
+        let (server, snap) = Client::connect(&deployment.endpoint(i))
             .and_then(|mut c| c.stats())
             .map_err(|e| format!("scrape instance {i}: {e}"))?;
         obs.merge(&snap);

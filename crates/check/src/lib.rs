@@ -29,9 +29,16 @@ use std::path::{Path, PathBuf};
 pub const ALLOWLIST_FILE: &str = "lint-allow.txt";
 
 /// Crates whose non-test source must not call `.unwrap()` / `.expect(` —
-/// the server, the 2PC protocol, and the deployment/engine layer, where a
-/// panic tears down a partition or wedges a global transaction.
-const NO_UNWRAP_SCOPES: &[&str] = &["crates/server/src/", "crates/dtxn/src/", "crates/core/src/"];
+/// the server, the 2PC protocol, the deployment/engine layer, and the WAL
+/// (append, replay, and in-doubt recovery), where a panic tears down a
+/// partition, wedges a global transaction, or turns a survivable crash
+/// into an unrecoverable one.
+const NO_UNWRAP_SCOPES: &[&str] = &[
+    "crates/server/src/",
+    "crates/dtxn/src/",
+    "crates/core/src/",
+    "crates/storage/src/wal/",
+];
 
 /// Files containing accept/submit hot loops, where a `thread::sleep` hides
 /// latency bugs that the paper's measurements would surface.
@@ -52,7 +59,7 @@ const NO_LOCK_SCOPES: &[&str] = &["crates/obs/src/"];
 pub const RULES: &[(&str, &str)] = &[
     (
         "no-unwrap",
-        "no .unwrap()/.expect( in non-test server/dtxn/core code",
+        "no .unwrap()/.expect( in non-test server/dtxn/core/wal code",
     ),
     (
         "no-subms-timeout",
@@ -345,6 +352,27 @@ mod tests {
         assert_eq!(r.findings[0].rule, "no-unwrap");
         assert_eq!(r.findings[0].file, "crates/server/src/conn.rs");
         assert_eq!(r.findings[0].line, 1);
+    }
+
+    #[test]
+    fn seeded_unwrap_in_wal_recovery_path_is_flagged() {
+        // The WAL subtree is in scope (a panic mid-replay makes a
+        // survivable crash unrecoverable); the rest of the storage crate
+        // is not.
+        let t = TempTree::new();
+        t.write("crates/storage/src/lib.rs", CLEAN_LIB);
+        t.write(
+            "crates/storage/src/wal/recovery.rs",
+            "pub fn replay(b: &[u8]) -> u8 { b.first().copied().unwrap() }\n",
+        );
+        t.write(
+            "crates/storage/src/heap.rs",
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        );
+        let r = run_lint(&t.root).unwrap();
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "no-unwrap");
+        assert_eq!(r.findings[0].file, "crates/storage/src/wal/recovery.rs");
     }
 
     #[test]

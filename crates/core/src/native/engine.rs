@@ -20,12 +20,14 @@
 //! translating, so a request routed to the wrong process is a typed error,
 //! never a silent write to the wrong row.
 
-use std::sync::Arc;
-use std::time::Duration;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
-use islands_storage::instance::PrepareVote;
+use islands_storage::instance::{InDoubt, PrepareVote};
 use islands_storage::store::MemStore;
-use islands_storage::wal::MemLogDevice;
+use islands_storage::wal::{FileLogDevice, LogDevice, MemLogDevice};
 use islands_storage::{InstanceOptions, StorageError, StorageInstance, TxnHandle};
 use islands_workload::plan::{PlanRequest, PlanStep, StepOp};
 use islands_workload::{tpcc, OpKind, TxnRequest};
@@ -68,6 +70,12 @@ pub struct PartitionConfig {
     /// warehouse range; history/order created empty). `lo`/`hi`/`row_size`
     /// are ignored in that mode.
     pub tpcc: Option<TpccPartition>,
+    /// `Some(path)` puts the instance's WAL on a file instead of memory.
+    /// When the file already holds log records from a previous incarnation,
+    /// [`PartitionEngine::build`] replays them: committed work is redone,
+    /// losers are undone, and prepared-but-undecided 2PC branches are parked
+    /// back on the engine awaiting coordinator resolution.
+    pub wal: Option<PathBuf>,
 }
 
 impl Default for PartitionConfig {
@@ -81,6 +89,7 @@ impl Default for PartitionConfig {
             single_threaded: false,
             group_window: InstanceOptions::default().group_window,
             tpcc: None,
+            wal: None,
         }
     }
 }
@@ -97,6 +106,18 @@ pub enum BranchOutcome {
     No,
 }
 
+/// A 2PC branch surfaced by restart replay: prepared by the previous
+/// incarnation, parked here until the coordinator's decision arrives (over
+/// the wire or via startup resolution). Its key footprint blocks new
+/// conflicting work exactly as the old incarnation's X locks did.
+struct RecoveredBranch {
+    branch: InDoubt,
+    /// Footprint in plan-table-id space, comparable against
+    /// [`PlanRequest::conflict_keys`] and micro keys.
+    keys: Vec<(u32, u64)>,
+    parked_at: Instant,
+}
+
 /// One shared-nothing partition: a storage instance plus its key range
 /// (microbenchmark mode) or warehouse range (TPC-C mode).
 pub struct PartitionEngine {
@@ -105,16 +126,36 @@ pub struct PartitionEngine {
     hi: u64,
     row_size: usize,
     tpcc: Option<TpccPartition>,
+    /// In-doubt branches re-parked by restart replay, keyed by gtid.
+    recovered: Mutex<HashMap<u64, RecoveredBranch>>,
 }
 
 impl PartitionEngine {
     /// Create the instance and load its share of the data: rows `lo..hi` of
     /// the micro table, or — in TPC-C mode — every table of warehouses
     /// `w_lo..w_hi` (keys are global in both modes).
+    ///
+    /// With [`PartitionConfig::wal`] set and prior log records on the file,
+    /// this is a **restart**: the page store is volatile, so the partition
+    /// is rebuilt fresh (the table-creation order below is deterministic,
+    /// giving the same table ids the old incarnation logged under) and the
+    /// old WAL is replayed over it — committed transactions redone, losers
+    /// undone, surviving in-doubt branches parked for resolution via
+    /// [`resolve_recovered`](Self::resolve_recovered).
     pub fn build(cfg: &PartitionConfig) -> Result<Self, StorageError> {
+        // Capture the previous incarnation's log *before* the new instance
+        // starts appending to the same device.
+        let (device, prior): (Arc<dyn LogDevice>, Vec<u8>) = match &cfg.wal {
+            None => (MemLogDevice::new(), Vec::new()),
+            Some(path) => {
+                let dev = FileLogDevice::open(path)?;
+                let prior = dev.read_all()?;
+                (dev, prior)
+            }
+        };
         let inst = StorageInstance::create(
             Arc::new(MemStore::new()),
-            MemLogDevice::new(),
+            device,
             InstanceOptions {
                 buffer_frames: cfg.buffer_frames,
                 single_threaded: cfg.single_threaded,
@@ -166,14 +207,126 @@ impl PartitionEngine {
                 }
             }
         }
-        inst.checkpoint()?;
-        Ok(PartitionEngine {
+        let engine = PartitionEngine {
             inst,
             lo: cfg.lo,
             hi: cfg.hi,
             row_size: cfg.row_size,
             tpcc: cfg.tpcc.clone(),
+            recovered: Mutex::new(HashMap::new()),
+        };
+        if prior.is_empty() {
+            engine.inst.checkpoint()?;
+        } else {
+            // Restart path: replay instead of checkpointing, so a crash
+            // during this build leaves the old log intact for the next try.
+            let started = Instant::now();
+            let in_doubt = engine.inst.replay_log(&prior)?;
+            let metrics = islands_obs::metrics();
+            let mut map = engine.recovered_map();
+            for branch in in_doubt {
+                let keys = engine.plan_space_keys(&branch);
+                metrics.in_doubt().inc();
+                map.insert(
+                    branch.gtid,
+                    RecoveredBranch {
+                        branch,
+                        keys,
+                        parked_at: started,
+                    },
+                );
+            }
+            drop(map);
+            metrics.record_recovery(started.elapsed().as_nanos() as u64);
+        }
+        Ok(engine)
+    }
+
+    /// Poison-tolerant access to the recovered-branch map (a panicked
+    /// session thread must not wedge recovery resolution).
+    fn recovered_map(&self) -> MutexGuard<'_, HashMap<u64, RecoveredBranch>> {
+        self.recovered.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Translate a recovered branch's catalog-table-id footprint into
+    /// plan-table-id space so it compares against incoming requests. An
+    /// unknown catalog id keeps its raw value — at worst a false conflict,
+    /// never a missed one.
+    fn plan_space_keys(&self, branch: &InDoubt) -> Vec<(u32, u64)> {
+        use islands_workload::plan as p;
+        branch
+            .keys()
+            .into_iter()
+            .map(|(cat_id, key)| {
+                let plan_id = match self.inst.table_by_id(cat_id) {
+                    Some(t) => match t.name.as_str() {
+                        MICRO_TABLE_NAME => p::MICRO_TABLE,
+                        tpcc::T_WAREHOUSE => p::TPCC_WAREHOUSE,
+                        tpcc::T_DISTRICT => p::TPCC_DISTRICT,
+                        tpcc::T_CUSTOMER => p::TPCC_CUSTOMER,
+                        tpcc::T_HISTORY => p::TPCC_HISTORY,
+                        tpcc::T_ORDER => p::TPCC_ORDER,
+                        tpcc::T_STOCK => p::TPCC_STOCK,
+                        _ => cat_id,
+                    },
+                    None => cat_id,
+                };
+                (plan_id, key)
+            })
+            .collect()
+    }
+
+    /// Gtids of in-doubt branches parked by restart replay, still awaiting
+    /// a decision (sorted for deterministic resolution order).
+    pub fn recovered_gtids(&self) -> Vec<u64> {
+        let mut gtids: Vec<u64> = self.recovered_map().keys().copied().collect();
+        gtids.sort_unstable();
+        gtids
+    }
+
+    /// Whether any parked recovered branch's footprint intersects `keys`
+    /// (plan-table-id space).
+    pub fn recovered_conflict(&self, keys: &[(u32, u64)]) -> bool {
+        let map = self.recovered_map();
+        if map.is_empty() {
+            return false;
+        }
+        map.values()
+            .any(|rb| rb.keys.iter().any(|k| keys.contains(k)))
+    }
+
+    /// [`recovered_conflict`](Self::recovered_conflict) for micro-table
+    /// requests, whose keys are bare row ids.
+    pub fn recovered_conflict_micro(&self, keys: &[u64]) -> bool {
+        let map = self.recovered_map();
+        if map.is_empty() {
+            return false;
+        }
+        map.values().any(|rb| {
+            rb.keys
+                .iter()
+                .any(|&(t, k)| t == islands_workload::plan::MICRO_TABLE && keys.contains(&k))
         })
+    }
+
+    /// Apply the coordinator's decision to a branch parked by restart
+    /// replay: redo its operations on commit, its undo images on abort.
+    /// Returns `Ok(false)` when no recovered branch holds `gtid` (the
+    /// normal case once resolution has drained).
+    pub fn resolve_recovered(&self, gtid: u64, commit: bool) -> Result<bool, StorageError> {
+        let Some(rb) = self.recovered_map().remove(&gtid) else {
+            return Ok(false);
+        };
+        if let Err(e) = self.inst.resolve_in_doubt(&rb.branch, commit) {
+            // Leave the branch parked so a later retry can still decide it.
+            self.recovered_map().insert(gtid, rb);
+            return Err(e);
+        }
+        let metrics = islands_obs::metrics();
+        metrics.in_doubt().dec();
+        metrics.record_parked(rb.parked_at.elapsed().as_nanos() as u64);
+        metrics.record_in_doubt_resolved(commit);
+        Ok(true)
     }
 
     /// The key range `[lo, hi)` this partition owns.
@@ -239,6 +392,21 @@ impl PartitionEngine {
         self.check_keys(req)?;
         let mut retries = 0u32;
         loop {
+            // A recovered in-doubt branch covering one of our keys is a
+            // contention abort, not an error: the branch resolves soon, so
+            // raced submits retry under the normal backoff.
+            if self.recovered_conflict_micro(&req.keys) {
+                if retries >= retry_limit {
+                    return Ok(SubmitOutcome {
+                        committed: false,
+                        distributed: false,
+                        retries,
+                    });
+                }
+                retries += 1;
+                super::contention_backoff(retries);
+                continue;
+            }
             let mut txn = self.inst.begin();
             let attempt = self.run_ops(&mut txn, req).and_then(|()| txn.commit());
             match attempt {
@@ -277,6 +445,11 @@ impl PartitionEngine {
         req: &TxnRequest,
     ) -> Result<BranchOutcome, StorageError> {
         self.check_keys(req)?;
+        // Rows claimed by a recovered in-doubt branch are as locked as the
+        // old incarnation left them: vote No, the coordinator retries.
+        if self.recovered_conflict_micro(&req.keys) {
+            return Ok(BranchOutcome::No);
+        }
         let mut txn = self.inst.begin();
         if self.run_ops(&mut txn, req).is_err() {
             let _ = txn.abort();
@@ -387,6 +560,18 @@ impl PartitionEngine {
         self.check_plan(plan)?;
         let mut retries = 0u32;
         loop {
+            if self.recovered_conflict(&plan.conflict_keys()) {
+                if retries >= retry_limit {
+                    return Ok(SubmitOutcome {
+                        committed: false,
+                        distributed: false,
+                        retries,
+                    });
+                }
+                retries += 1;
+                super::contention_backoff(retries);
+                continue;
+            }
             let mut txn = self.inst.begin();
             let attempt = self.run_plan(&mut txn, plan).and_then(|()| txn.commit());
             match attempt {
@@ -426,6 +611,9 @@ impl PartitionEngine {
         plan: &PlanRequest,
     ) -> Result<BranchOutcome, StorageError> {
         self.check_plan(plan)?;
+        if self.recovered_conflict(&plan.conflict_keys()) {
+            return Ok(BranchOutcome::No);
+        }
         let mut txn = self.inst.begin();
         if self.run_plan(&mut txn, plan).is_err() {
             let _ = txn.abort();
@@ -694,5 +882,91 @@ mod tests {
         handle.decide(true).unwrap();
         assert_eq!(e.audit_sum().unwrap(), 1);
         assert!(e.submit_plan_local(&conflicting, 0).unwrap().committed);
+    }
+
+    /// Unique scratch WAL path for one test (fresh per run).
+    fn temp_wal(name: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "islands-engine-wal-{}-{}.log",
+            std::process::id(),
+            name
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn rebuild_over_the_wal_replays_and_parks_in_doubt_branches() {
+        let path = temp_wal("rebuild");
+        let cfg = PartitionConfig {
+            lo: 100,
+            hi: 200,
+            row_size: 16,
+            buffer_frames: 256,
+            group_window: Duration::ZERO,
+            wal: Some(path.clone()),
+            ..Default::default()
+        };
+        {
+            let e = PartitionEngine::build(&cfg).unwrap();
+            assert!(e.recovered_gtids().is_empty());
+            // Committed work that must survive the crash.
+            assert!(e.submit_local(&update(&[110]), 0).unwrap().committed);
+            // A prepared branch whose decision never arrives: forget the
+            // handle so no abort is logged — exactly what kill -9 leaves.
+            let BranchOutcome::Prepared(handle) = e.prepare_branch(42, &update(&[120])).unwrap()
+            else {
+                panic!("writer branch must prepare");
+            };
+            std::mem::forget(handle);
+        }
+        // "Restart": same config, same WAL file, fresh volatile store.
+        let e2 = PartitionEngine::build(&cfg).unwrap();
+        assert_eq!(e2.recovered_gtids(), vec![42]);
+        // Committed update redone; the in-doubt write is withheld.
+        assert_eq!(e2.audit_sum().unwrap(), 1);
+        // The parked branch's footprint blocks new work on its row...
+        assert!(!e2.submit_local(&update(&[120]), 0).unwrap().committed);
+        assert!(matches!(
+            e2.prepare_branch(43, &update(&[120])).unwrap(),
+            BranchOutcome::No
+        ));
+        // ...but not elsewhere.
+        assert!(e2.submit_local(&update(&[150]), 0).unwrap().committed);
+        // Commit decision applies the branch; unknown gtids report false.
+        assert!(e2.resolve_recovered(42, true).unwrap());
+        assert!(!e2.resolve_recovered(42, true).unwrap());
+        assert!(!e2.resolve_recovered(999, false).unwrap());
+        assert_eq!(e2.audit_sum().unwrap(), 3);
+        assert!(e2.submit_local(&update(&[120]), 0).unwrap().committed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn abort_resolution_discards_the_recovered_branch() {
+        let path = temp_wal("abort");
+        let cfg = PartitionConfig {
+            lo: 0,
+            hi: 50,
+            row_size: 16,
+            buffer_frames: 256,
+            group_window: Duration::ZERO,
+            wal: Some(path.clone()),
+            ..Default::default()
+        };
+        {
+            let e = PartitionEngine::build(&cfg).unwrap();
+            let BranchOutcome::Prepared(handle) = e.prepare_branch(7, &update(&[10])).unwrap()
+            else {
+                panic!("writer branch must prepare");
+            };
+            std::mem::forget(handle);
+        }
+        let e2 = PartitionEngine::build(&cfg).unwrap();
+        assert_eq!(e2.recovered_gtids(), vec![7]);
+        assert!(e2.resolve_recovered(7, false).unwrap());
+        assert_eq!(e2.audit_sum().unwrap(), 0);
+        assert!(e2.recovered_gtids().is_empty());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -220,6 +220,11 @@ enum Job {
     AuditSum {
         done: SyncSender<Result<u64, StorageError>>,
     },
+    /// Gtids of in-doubt branches the engine re-parked during restart
+    /// replay (each resolves through a normal `Decide`).
+    RecoveredGtids {
+        done: SyncSender<Vec<u64>>,
+    },
     /// Register the engine into a `lockcheck` ownership scope (runs on the
     /// executor thread like everything else that touches the engine).
     #[cfg(feature = "lockcheck")]
@@ -331,6 +336,18 @@ impl PartitionExecutor {
         wait.recv()
             .map_err(|_| ExecError::Gone)?
             .map_err(ExecError::Storage)
+    }
+
+    /// Gtids of in-doubt branches restart replay re-parked on the engine,
+    /// still awaiting a coordinator decision. Resolve each with
+    /// [`ExecutorSession::decide`] — the decision falls through to the
+    /// recovered branch when no live branch holds the gtid.
+    pub fn recovered_gtids(&self) -> Result<Vec<u64>, ExecError> {
+        let (done, wait) = sync_channel(1);
+        self.tx
+            .send(Job::RecoveredGtids { done })
+            .map_err(|_| ExecError::Gone)?;
+        wait.recv().map_err(|_| ExecError::Gone)
     }
 
     /// Stop the executor: drain the queue up to this point, presume-abort
@@ -643,8 +660,14 @@ fn serve(engine: &PartitionEngine, rx: &Receiver<Job>) {
                             Err(e) => DecideOutcome::Failed(e.to_string()),
                         }
                     }
-                    None if !commit => DecideOutcome::AbortNoop,
-                    None => DecideOutcome::UnknownCommit,
+                    // No live branch: the gtid may belong to an in-doubt
+                    // branch re-parked by restart replay.
+                    None => match engine.resolve_recovered(gtid, commit) {
+                        Ok(true) => DecideOutcome::Applied,
+                        Ok(false) if !commit => DecideOutcome::AbortNoop,
+                        Ok(false) => DecideOutcome::UnknownCommit,
+                        Err(e) => DecideOutcome::Failed(e.to_string()),
+                    },
                 };
                 let _ = done.send(outcome);
             }
@@ -666,6 +689,9 @@ fn serve(engine: &PartitionEngine, rx: &Receiver<Job>) {
             }
             Job::AuditSum { done } => {
                 let _ = done.send(engine.audit_sum());
+            }
+            Job::RecoveredGtids { done } => {
+                let _ = done.send(engine.recovered_gtids());
             }
             #[cfg(feature = "lockcheck")]
             Job::SetLockcheckScope { scope, done } => {
@@ -975,6 +1001,54 @@ mod tests {
         // Decision releases the footprint.
         assert!(matches!(s.decide(21, true), Ok(DecideOutcome::Applied)));
         assert!(s.submit_plan(&scanned).unwrap().committed);
+    }
+
+    #[test]
+    fn restart_replay_parks_branches_resolvable_through_decide() {
+        let path = std::env::temp_dir().join(format!(
+            "islands-exec-wal-{}-restart.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let partition = PartitionConfig {
+            lo: 100,
+            hi: 200,
+            row_size: 16,
+            buffer_frames: 256,
+            wal: Some(path.clone()),
+            ..Default::default()
+        };
+        // First incarnation prepares a branch and "crashes" (the forgotten
+        // handle never logs a decision, like kill -9 after Prepare-ack).
+        {
+            let eng = PartitionEngine::build(&PartitionConfig {
+                single_threaded: true,
+                group_window: std::time::Duration::ZERO,
+                ..partition.clone()
+            })
+            .unwrap();
+            let BranchOutcome::Prepared(handle) = eng.prepare_branch(77, &update(&[150])).unwrap()
+            else {
+                panic!("writer branch must prepare");
+            };
+            std::mem::forget(handle);
+        }
+        let e2 = PartitionExecutor::spawn(ExecutorConfig {
+            partition,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(e2.recovered_gtids().unwrap(), vec![77]);
+        let s = e2.session();
+        // The recovered branch guards its key against new work.
+        assert!(!s.submit(&update(&[150])).unwrap().committed);
+        assert!(matches!(s.prepare(78, &update(&[150])), Ok(Vote::No)));
+        // A normal decision resolves it through the executor.
+        assert!(matches!(s.decide(77, true), Ok(DecideOutcome::Applied)));
+        assert!(e2.recovered_gtids().unwrap().is_empty());
+        assert_eq!(e2.audit_sum().unwrap(), 1);
+        assert!(s.submit(&update(&[150])).unwrap().committed);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! The coordinator's durable decision log.
+//!
+//! Presumed abort lets the coordinator force **only commit** decisions: an
+//! in-doubt participant that finds no record for its gtid here must abort.
+//! [`DecisionLog`] is that log as a file — an append-only stream of 9-byte
+//! `[gtid u64 LE][commit u8]` records (the same shape as the wire `Decision`
+//! frame body), fsynced before any `Decision` message leaves the
+//! coordinator, plus the in-memory gtid → commit view recovery resolution
+//! reads.
+//!
+//! Abort records are accepted too (they sharpen observability: a logged
+//! abort is distinguishable from a presumed one) but nothing depends on
+//! them surviving, exactly as the protocol allows.
+//!
+//! A crash can tear the final record; [`DecisionLog::open`] stops at the
+//! last whole record, so a torn tail costs at most one *unforced* decision —
+//! forced ones were fsynced before anyone acted on them.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+
+use crate::recovery::{resolve_in_doubt, RecoveredOutcome};
+use crate::Gtid;
+
+/// Bytes per decision record: gtid + commit flag.
+pub const RECORD_LEN: usize = 9;
+
+struct Inner {
+    file: File,
+    decisions: HashMap<Gtid, bool>,
+}
+
+/// File-backed presumed-abort decision log (see module docs).
+pub struct DecisionLog {
+    inner: Mutex<Inner>,
+    path: PathBuf,
+}
+
+impl DecisionLog {
+    /// Open (creating if absent) the decision log at `path` and load every
+    /// whole record; a torn trailing record is ignored, never an error.
+    pub fn open(path: &Path) -> io::Result<DecisionLog> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(path)?;
+        let bytes = std::fs::read(path)?;
+        // Cut a torn trailing record off the file too, so appends from this
+        // incarnation keep the record stream aligned.
+        let aligned = bytes.len() - bytes.len() % RECORD_LEN;
+        if aligned != bytes.len() {
+            file.set_len(aligned as u64)?;
+            file.sync_data()?;
+        }
+        let mut decisions = HashMap::new();
+        for rec in bytes.chunks_exact(RECORD_LEN) {
+            let gtid = u64::from_le_bytes([
+                rec[0], rec[1], rec[2], rec[3], rec[4], rec[5], rec[6], rec[7],
+            ]);
+            decisions.insert(gtid, rec[8] != 0);
+        }
+        Ok(DecisionLog {
+            inner: Mutex::new(Inner { file, decisions }),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Where the log lives on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Durably record a decision: append and fsync before returning, so the
+    /// caller may act on the decision (send `Decision` frames, ack clients)
+    /// knowing recovery will reach the same verdict. Idempotent per gtid.
+    pub fn force(&self, gtid: Gtid, commit: bool) -> io::Result<()> {
+        let mut inner = self.lock();
+        if inner.decisions.get(&gtid) == Some(&commit) {
+            return Ok(());
+        }
+        let mut rec = [0u8; RECORD_LEN];
+        rec[..8].copy_from_slice(&gtid.to_le_bytes());
+        rec[8] = commit as u8;
+        inner.file.write_all(&rec)?;
+        inner.file.sync_data()?;
+        inner.decisions.insert(gtid, commit);
+        Ok(())
+    }
+
+    /// The presumed-abort verdict for one gtid: commit only if a commit
+    /// record survives; everything else aborts.
+    pub fn outcome(&self, gtid: Gtid) -> RecoveredOutcome {
+        resolve_in_doubt(&self.lock().decisions, gtid)
+    }
+
+    /// Snapshot of every logged decision (gtid → commit).
+    pub fn decisions(&self) -> HashMap<Gtid, bool> {
+        self.lock().decisions.clone()
+    }
+
+    /// Number of distinct gtids with a logged decision.
+    pub fn len(&self) -> usize {
+        self.lock().decisions.len()
+    }
+
+    /// Whether no decision has been logged yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().decisions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_log(name: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "islands-decisions-{}-{}.log",
+            std::process::id(),
+            name
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn decisions_survive_reopen() {
+        let path = temp_log("reopen");
+        {
+            let log = DecisionLog::open(&path).unwrap();
+            assert!(log.is_empty());
+            log.force(7, true).unwrap();
+            log.force(9, false).unwrap();
+            log.force(7, true).unwrap(); // idempotent re-force
+            assert_eq!(log.len(), 2);
+        }
+        let log = DecisionLog::open(&path).unwrap();
+        assert_eq!(log.outcome(7), RecoveredOutcome::Commit);
+        assert_eq!(log.outcome(9), RecoveredOutcome::LoggedAbort);
+        assert_eq!(log.outcome(1234), RecoveredOutcome::PresumedAbort);
+        assert_eq!(log.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_drops_only_the_last_record() {
+        let path = temp_log("torn");
+        {
+            let log = DecisionLog::open(&path).unwrap();
+            log.force(1, true).unwrap();
+            log.force(2, true).unwrap();
+        }
+        // Tear the final record mid-write.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(2 * RECORD_LEN - 4);
+        std::fs::write(&path, &bytes).unwrap();
+        let log = DecisionLog::open(&path).unwrap();
+        assert_eq!(log.outcome(1), RecoveredOutcome::Commit);
+        assert_eq!(
+            log.outcome(2),
+            RecoveredOutcome::PresumedAbort,
+            "the torn decision was never acted on, so presumed abort holds"
+        );
+        // The reopened log keeps appending correctly after the tear.
+        log.force(3, true).unwrap();
+        let log2 = DecisionLog::open(&path).unwrap();
+        assert_eq!(log2.outcome(3), RecoveredOutcome::Commit);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn latest_record_for_a_gtid_wins() {
+        let path = temp_log("latest");
+        {
+            let log = DecisionLog::open(&path).unwrap();
+            log.force(5, false).unwrap();
+            log.force(5, true).unwrap();
+        }
+        let log = DecisionLog::open(&path).unwrap();
+        assert_eq!(log.outcome(5), RecoveredOutcome::Commit);
+        let _ = std::fs::remove_file(&path);
+    }
+}

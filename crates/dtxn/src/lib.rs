@@ -23,11 +23,13 @@
 #![forbid(unsafe_code)]
 
 pub mod coordinator;
+pub mod decision_log;
 pub mod mc;
 pub mod participant;
 pub mod recovery;
 
 pub use coordinator::{Action, Coordinator, CoordinatorState};
+pub use decision_log::DecisionLog;
 pub use participant::{Participant, ParticipantEvent, ParticipantState};
 pub use recovery::{resolve_in_doubt, RecoveredOutcome};
 

@@ -304,6 +304,15 @@ pub struct Metrics {
     queue_depth: Gauge,
     /// Prepared-but-undecided branches right now.
     in_doubt: Gauge,
+    /// Completed restart replays (one per recovered instance incarnation).
+    recoveries: Counter,
+    /// Recovered in-doubt branches resolved to commit.
+    in_doubt_commit: Counter,
+    /// Recovered in-doubt branches resolved to abort (including presumed
+    /// abort on unknown gtid).
+    in_doubt_abort: Counter,
+    /// Wall time of each restart replay (WAL scan + redo/undo + re-park).
+    recovery_us: Hist,
 }
 
 impl Metrics {
@@ -326,6 +335,10 @@ impl Metrics {
             parked_us: H,
             queue_depth: Gauge::new(),
             in_doubt: Gauge::new(),
+            recoveries: CTR,
+            in_doubt_commit: CTR,
+            in_doubt_abort: CTR,
+            recovery_us: H,
         }
     }
 
@@ -390,6 +403,23 @@ impl Metrics {
         &self.in_doubt
     }
 
+    /// One instance finished its restart replay after `ns` of wall time.
+    /// Recoveries are rare and always worth counting, so this records even
+    /// when the registry is disabled.
+    pub fn record_recovery(&self, ns: u64) {
+        self.recoveries.inc();
+        self.recovery_us.record_ns(ns);
+    }
+
+    /// A recovered in-doubt branch reached its outcome.
+    pub fn record_in_doubt_resolved(&self, commit: bool) {
+        if commit {
+            self.in_doubt_commit.inc();
+        } else {
+            self.in_doubt_abort.inc();
+        }
+    }
+
     /// Point-in-time copy of everything (torn across concurrent writers by
     /// at most one in-flight transaction — fine for scraping).
     pub fn snapshot(&self) -> Snapshot {
@@ -410,6 +440,10 @@ impl Metrics {
         snap.prepare_us = self.prepare_us.snapshot();
         snap.decision_us = self.decision_us.snapshot();
         snap.parked_us = self.parked_us.snapshot();
+        snap.recoveries = self.recoveries.get();
+        snap.in_doubt_commit = self.in_doubt_commit.get();
+        snap.in_doubt_abort = self.in_doubt_abort.get();
+        snap.recovery_us = self.recovery_us.snapshot();
         snap
     }
 }

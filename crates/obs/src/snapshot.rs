@@ -10,13 +10,15 @@
 use crate::hist::{HistSnapshot, BUCKETS};
 use crate::{BreakdownCategory, TxnClass, NCATS, NCLASSES};
 
-/// Snapshot codec version (the first byte of the encoding).
-pub const SNAPSHOT_VERSION: u8 = 1;
+/// Snapshot codec version (the first byte of the encoding). v2 added the
+/// crash-recovery block: recoveries / in-doubt resolution counters and the
+/// recovery-duration histogram.
+pub const SNAPSHOT_VERSION: u8 = 2;
 
 /// Exact encoded size: version + enabled flag + the u64 payload.
-/// 2 gauges + 2 txn counters + 2×5 phase cells + 5 histograms of
-/// (count + sum + BUCKETS) u64s.
-pub const ENCODED_LEN: usize = 2 + 8 * (2 + NCLASSES + NCLASSES * NCATS + 5 * (2 + BUCKETS));
+/// 2 gauges + 3 recovery counters + 2 txn counters + 2×5 phase cells +
+/// 6 histograms of (count + sum + BUCKETS) u64s.
+pub const ENCODED_LEN: usize = 2 + 8 * (2 + 3 + NCLASSES + NCLASSES * NCATS + 6 * (2 + BUCKETS));
 
 /// A copy of the whole registry at one instant.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +36,14 @@ pub struct Snapshot {
     pub prepare_us: HistSnapshot,
     pub decision_us: HistSnapshot,
     pub parked_us: HistSnapshot,
+    /// Completed restart replays.
+    pub recoveries: u64,
+    /// Recovered in-doubt branches resolved to commit.
+    pub in_doubt_commit: u64,
+    /// Recovered in-doubt branches resolved to abort.
+    pub in_doubt_abort: u64,
+    /// Wall time of each restart replay.
+    pub recovery_us: HistSnapshot,
 }
 
 impl Default for Snapshot {
@@ -48,6 +58,10 @@ impl Default for Snapshot {
             prepare_us: HistSnapshot::default(),
             decision_us: HistSnapshot::default(),
             parked_us: HistSnapshot::default(),
+            recoveries: 0,
+            in_doubt_commit: 0,
+            in_doubt_abort: 0,
+            recovery_us: HistSnapshot::default(),
         }
     }
 }
@@ -73,6 +87,10 @@ impl Snapshot {
         self.prepare_us.merge(&other.prepare_us);
         self.decision_us.merge(&other.decision_us);
         self.parked_us.merge(&other.parked_us);
+        self.recoveries += other.recoveries;
+        self.in_doubt_commit += other.in_doubt_commit;
+        self.in_doubt_abort += other.in_doubt_abort;
+        self.recovery_us.merge(&other.recovery_us);
     }
 
     /// Total attributed nanoseconds for `cat` across both classes.
@@ -119,6 +137,9 @@ impl Snapshot {
         let mut put = |v: u64| out.extend_from_slice(&v.to_le_bytes());
         put(self.queue_depth);
         put(self.in_doubt);
+        put(self.recoveries);
+        put(self.in_doubt_commit);
+        put(self.in_doubt_abort);
         for &t in &self.txns {
             put(t);
         }
@@ -136,13 +157,14 @@ impl Snapshot {
         }
     }
 
-    fn hists(&self) -> [&HistSnapshot; 5] {
+    fn hists(&self) -> [&HistSnapshot; 6] {
         [
             &self.txn_us[0],
             &self.txn_us[1],
             &self.prepare_us,
             &self.decision_us,
             &self.parked_us,
+            &self.recovery_us,
         ]
     }
 
@@ -167,6 +189,9 @@ impl Snapshot {
         };
         let queue_depth = take();
         let in_doubt = take();
+        let recoveries = take();
+        let in_doubt_commit = take();
+        let in_doubt_abort = take();
         let mut txns = [0u64; NCLASSES];
         for t in txns.iter_mut() {
             *t = take();
@@ -193,6 +218,7 @@ impl Snapshot {
         let prepare_us = hist(&mut take);
         let decision_us = hist(&mut take);
         let parked_us = hist(&mut take);
+        let recovery_us = hist(&mut take);
         Ok(Snapshot {
             enabled,
             queue_depth,
@@ -203,6 +229,10 @@ impl Snapshot {
             prepare_us,
             decision_us,
             parked_us,
+            recoveries,
+            in_doubt_commit,
+            in_doubt_abort,
+            recovery_us,
         })
     }
 
@@ -219,6 +249,10 @@ impl Snapshot {
         f.push_str(&format!(
             "\"obs_enabled\":{},\"queue_depth\":{},\"parked_now\":{}",
             self.enabled, self.queue_depth, self.in_doubt
+        ));
+        f.push_str(&format!(
+            ",\"recoveries_total\":{},\"in_doubt_resolved_commit\":{},\"in_doubt_resolved_abort\":{}",
+            self.recoveries, self.in_doubt_commit, self.in_doubt_abort
         ));
         for class in TxnClass::ALL {
             let ci = class.index();
@@ -244,6 +278,7 @@ impl Snapshot {
             ("prepare", &self.prepare_us),
             ("decision", &self.decision_us),
             ("parked", &self.parked_us),
+            ("recovery", &self.recovery_us),
         ] {
             f.push_str(&format!(
                 ",\"{0}_count\":{1},\"{0}_p50_us\":{2},\"{0}_p99_us\":{3}",
@@ -266,6 +301,9 @@ mod tests {
             queue_depth: 3,
             in_doubt: 1,
             txns: [100, 25],
+            recoveries: 2,
+            in_doubt_commit: 4,
+            in_doubt_abort: 3,
             ..Snapshot::default()
         };
         for (c, row) in s.phase_ns.iter_mut().enumerate() {
@@ -280,6 +318,7 @@ mod tests {
         s.prepare_us = one_sample(250_000);
         s.decision_us = one_sample(125_000);
         s.parked_us = one_sample(2_000_000);
+        s.recovery_us = one_sample(4_000_000);
         s
     }
 
@@ -358,6 +397,10 @@ mod tests {
             "\"prepare_count\":1",
             "\"decision_count\":1",
             "\"queue_depth\":3",
+            "\"recoveries_total\":2",
+            "\"in_doubt_resolved_commit\":4",
+            "\"in_doubt_resolved_abort\":3",
+            "\"recovery_count\":1",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -43,9 +43,10 @@
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
-use std::path::PathBuf;
+use std::os::unix::net::UnixListener;
+use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdout, Command, Stdio};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -54,13 +55,13 @@ use islands_core::native::{
 };
 use islands_core::partition::{warehouse_range, SiteMap, WarehouseSites};
 use islands_core::plan::MICRO_TABLE;
-use islands_dtxn::{Action, Coordinator, Vote};
+use islands_dtxn::{Action, Coordinator, DecisionLog, Vote};
 use islands_hwtopo::{island_cpu_lists, HostTopology};
 use islands_workload::{PlanBranch, PlanRequest, TxnBranch, TxnRequest};
 
 use crate::client::Client;
-use crate::server::{Backend, Endpoint, Server, ServerConfig};
-use crate::wire::{Reply, Request};
+use crate::server::{Backend, Conn, Endpoint, Server, ServerConfig};
+use crate::wire::{FrameReader, Reply, Request, WireMessage};
 
 /// First argument that turns a host binary into an instance child (see
 /// [`run_instance_child_if_requested`]).
@@ -146,6 +147,14 @@ pub struct DeployConfig {
     pub obs: bool,
     /// What the instances load and serve (micro table or TPC-C-lite).
     pub workload: DeployWorkload,
+    /// Directory for durable state, or `None` for a volatile deployment.
+    /// When set, each instance writes a WAL (`instance-<i>.wal`) it replays
+    /// on restart, the coordinator forces commit decisions to
+    /// `coordinator.decisions` before any `Decision` frame leaves, and a
+    /// resolver socket answers a recovering instance's
+    /// [`Request::ResolveGtid`] queries from that log (unknown gtid ⇒
+    /// presumed abort).
+    pub wal_dir: Option<PathBuf>,
 }
 
 impl DeployConfig {
@@ -206,6 +215,7 @@ impl Default for DeployConfig {
             stats_every_ms: 500,
             obs: true,
             workload: DeployWorkload::Micro,
+            wal_dir: None,
         }
     }
 }
@@ -347,10 +357,234 @@ pub struct InstanceExit {
     pub detail: String,
 }
 
-struct Member {
+/// The coordinator's decision verdicts: an in-memory gtid → commit map,
+/// optionally written through a durable [`DecisionLog`] *before* any
+/// `Decision` frame leaves the coordinator. Resolution queries apply the
+/// presumed-abort rule: no record means abort.
+struct DecisionStore {
+    decided: Mutex<HashMap<u64, bool>>,
+    log: Option<DecisionLog>,
+}
+
+impl DecisionStore {
+    /// Volatile store, or (with a wal dir) one backed by
+    /// `<wal_dir>/coordinator.decisions` — reopening over an existing log
+    /// resumes its verdicts, which is what lets a restarted deployment keep
+    /// answering for transactions it decided in a previous life.
+    fn open(wal_dir: Option<&Path>) -> io::Result<DecisionStore> {
+        match wal_dir {
+            None => Ok(DecisionStore {
+                decided: Mutex::new(HashMap::new()),
+                log: None,
+            }),
+            Some(dir) => {
+                let log = DecisionLog::open(&dir.join("coordinator.decisions"))?;
+                Ok(DecisionStore {
+                    decided: Mutex::new(log.decisions()),
+                    log: Some(log),
+                })
+            }
+        }
+    }
+
+    /// Durably record a decision. Fail-stop on a log write error: acting on
+    /// an unforced commit would let a coordinator crash contradict it, which
+    /// is the one thing presumed abort must never allow.
+    fn force(&self, gtid: u64, commit: bool) {
+        if let Some(log) = &self.log {
+            if let Err(e) = log.force(gtid, commit) {
+                panic!("coordinator decision log write failed: {e}");
+            }
+        }
+        lock_clean(&self.decided).insert(gtid, commit);
+    }
+
+    /// The presumed-abort verdict for one gtid: commit only if a commit
+    /// decision was forced.
+    fn commit_verdict(&self, gtid: u64) -> bool {
+        lock_clean(&self.decided)
+            .get(&gtid)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    fn decided_count(&self) -> u64 {
+        lock_clean(&self.decided).len() as u64
+    }
+}
+
+/// The coordinator-side resolver: a UDS listener answering
+/// [`Request::ResolveGtid`] frames from the decision store, so a restarted
+/// instance can settle the in-doubt branches its WAL replay parked. One
+/// thread per connection; connections are rare (instance startups only).
+struct Resolver {
     endpoint: Endpoint,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Resolver {
+    fn spawn(socket: PathBuf, store: Arc<DecisionStore>) -> io::Result<Resolver> {
+        let _ = std::fs::remove_file(&socket);
+        let listener = UnixListener::bind(&socket)?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("islands-resolver".into())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let store = Arc::clone(&store);
+                                let shutdown = Arc::clone(&shutdown);
+                                let _ = std::thread::Builder::new()
+                                    .name("islands-resolver-conn".into())
+                                    .spawn(move || {
+                                        let _ = resolver_session(stream, &store, &shutdown);
+                                    });
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })?
+        };
+        Ok(Resolver {
+            endpoint: Endpoint::Uds(socket),
+            shutdown,
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+impl Drop for Resolver {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        remove_uds_file(&self.endpoint);
+    }
+}
+
+/// Serve one resolver connection until EOF: `ResolveGtid` frames answered
+/// with `Resolved` verdicts, `Ping` with `Pong`; anything else is an error
+/// reply (the resolver is not an instance server).
+fn resolver_session(
+    stream: std::os::unix::net::UnixStream,
+    store: &DecisionStore,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut conn = Conn::Uds(stream);
+    let mut reader = FrameReader::new();
+    let mut out = Vec::new();
+    loop {
+        out.clear();
+        loop {
+            match reader.next_message::<Request>() {
+                Ok(Some(Request::ResolveGtid { gtid })) => Reply::Resolved {
+                    gtid,
+                    commit: store.commit_verdict(gtid),
+                }
+                .encode_frame(&mut out),
+                Ok(Some(Request::Ping)) => Reply::Pong.encode_frame(&mut out),
+                Ok(Some(other)) => Reply::Error {
+                    message: format!("resolver answers only ResolveGtid, got {other:?}"),
+                }
+                .encode_frame(&mut out),
+                Ok(None) => break,
+                Err(e) => {
+                    Reply::Error {
+                        message: format!("protocol error: {e}"),
+                    }
+                    .encode_frame(&mut out);
+                    conn.write_all(&out)?;
+                    return Ok(());
+                }
+            }
+        }
+        if !out.is_empty() {
+            conn.write_all(&out)?;
+            conn.flush()?;
+        }
+        match reader.fill_from(&mut conn) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Where in the 2PC exchange a scripted fault kills its victim (always
+/// relative to the victim's own frames).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// Before the victim's `Prepare` frame is sent: nothing durable exists
+    /// on the victim; the transaction presumed-aborts.
+    PrePrepare,
+    /// After the victim voted Yes (its prepared branch is durable in its
+    /// WAL), before its `Decision` frame is sent — the canonical in-doubt
+    /// window.
+    PostPreparePreDecision,
+    /// After the victim's `Decision` frame was written, before its ack is
+    /// read.
+    PostDecisionPreAck,
+}
+
+impl FaultPoint {
+    /// Parse the CLI spelling (`pre-prepare`, `post-prepare`,
+    /// `post-decision`).
+    pub fn parse(s: &str) -> Result<FaultPoint, String> {
+        match s {
+            "pre-prepare" => Ok(FaultPoint::PrePrepare),
+            "post-prepare" => Ok(FaultPoint::PostPreparePreDecision),
+            "post-decision" => Ok(FaultPoint::PostDecisionPreAck),
+            other => Err(format!(
+                "fault point must be pre-prepare, post-prepare, or post-decision; got {other}"
+            )),
+        }
+    }
+
+    /// The CLI spelling back (round-trips with [`parse`](Self::parse)).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultPoint::PrePrepare => "pre-prepare",
+            FaultPoint::PostPreparePreDecision => "post-prepare",
+            FaultPoint::PostDecisionPreAck => "post-decision",
+        }
+    }
+}
+
+/// One scripted fault: SIGKILL `victim` the next time the coordinator
+/// reaches `point` in a 2PC exchange involving it. Armed once via
+/// [`Deployment::arm_fault`]; fires at most once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub point: FaultPoint,
+    pub victim: usize,
+}
+
+struct Member {
+    endpoint: Mutex<Endpoint>,
     range: (u64, u64),
     cpus: Option<String>,
+    /// Child argv (after the executable), kept verbatim so
+    /// [`Deployment::restart_instance`] respawns the same instance — same
+    /// key range, same WAL path, same pins.
+    args: Vec<String>,
     child: Mutex<Child>,
     stdout: Mutex<BufReader<ChildStdout>>,
 }
@@ -359,6 +593,7 @@ struct Member {
 /// [`shutdown`](Self::shutdown) has not already reaped.
 pub struct Deployment {
     members: Vec<Member>,
+    exe: PathBuf,
     total_rows: u64,
     workload: DeployWorkload,
     retry_limit: u32,
@@ -375,10 +610,17 @@ pub struct Deployment {
     presumed_aborts: AtomicU64,
     /// The coordinator's forced decision log: gtid → commit. Presumed abort
     /// forces commits only, so this holds every committed gtid and nothing
-    /// else (an in-memory stand-in for the coordinator's log device;
-    /// `islands_dtxn::recovery::resolve_in_doubt` is the rule participants
-    /// apply against it).
-    decided: Mutex<HashMap<u64, bool>>,
+    /// else. With [`DeployConfig::wal_dir`] set it is written through a
+    /// durable [`DecisionLog`]; `islands_dtxn::recovery::resolve_in_doubt`
+    /// is the rule participants apply against it.
+    decisions: Arc<DecisionStore>,
+    /// The resolver socket answering recovering instances (wal deployments
+    /// only). Dropped last-ish: children are killed first in both shutdown
+    /// paths, so nothing is left asking.
+    resolver: Option<Resolver>,
+    /// A scripted fault waiting to fire (see [`FaultPlan`]).
+    fault: Mutex<Option<FaultPlan>>,
+    faults_fired: AtomicU64,
 }
 
 impl Deployment {
@@ -408,17 +650,22 @@ impl Deployment {
         static DEPLOY_SEQ: AtomicU64 = AtomicU64::new(0);
         let seq = DEPLOY_SEQ.fetch_add(1, Ordering::Relaxed);
 
-        let mut spawned: Vec<Member> = Vec::new();
-        let spawn_one = |i: usize| -> io::Result<Member> {
-            // In TPC-C mode the "range" a member reports is its warehouse
-            // range; the micro row range flags are still passed (the child
-            // ignores them once --warehouses is set).
-            let range = match cfg.workload {
-                DeployWorkload::Micro => range_of(i, cfg.instances, cfg.total_rows),
-                DeployWorkload::Tpcc { warehouses } => {
-                    warehouse_range(warehouses, cfg.instances, i)
-                }
-            };
+        // Durable half: the coordinator's decision log and its resolver
+        // socket come up before any child spawns, so a child that restarts
+        // into recovery always finds someone to ask.
+        if let Some(dir) = &cfg.wal_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let decisions = Arc::new(DecisionStore::open(cfg.wal_dir.as_deref())?);
+        let resolver = match &cfg.wal_dir {
+            Some(_) => Some(Resolver::spawn(
+                socket_dir.join(format!("islands-coord-{}-{seq}.sock", std::process::id())),
+                Arc::clone(&decisions),
+            )?),
+            None => None,
+        };
+
+        let child_args = |i: usize, range: (u64, u64)| -> Vec<String> {
             let endpoint_spec = match cfg.transport {
                 Transport::Uds => format!(
                     "uds:{}",
@@ -431,66 +678,79 @@ impl Deployment {
                 ),
                 Transport::Tcp => "tcp:127.0.0.1:0".to_string(),
             };
-            let mut cmd = match (taskset, &pins[i]) {
-                (true, Some(cpus)) => {
-                    let mut c = Command::new("taskset");
-                    c.arg("-c").arg(cpus).arg(&exe);
-                    c
-                }
-                _ => Command::new(&exe),
-            };
-            cmd.arg(INSTANCE_CHILD_FLAG)
-                .args(["--endpoint", &endpoint_spec])
-                .args(["--row-size", &cfg.row_size.to_string()])
-                .args(["--retry-limit", &cfg.retry_limit.to_string()])
-                .args(["--lock-ms", &cfg.lock_timeout.as_millis().to_string()])
-                .args(["--stats-every-ms", &cfg.stats_every_ms.to_string()])
-                .stdin(Stdio::null())
-                .stdout(Stdio::piped());
+            let mut args = vec![
+                INSTANCE_CHILD_FLAG.to_string(),
+                "--endpoint".into(),
+                endpoint_spec,
+                "--row-size".into(),
+                cfg.row_size.to_string(),
+                "--retry-limit".into(),
+                cfg.retry_limit.to_string(),
+                "--lock-ms".into(),
+                cfg.lock_timeout.as_millis().to_string(),
+                "--stats-every-ms".into(),
+                cfg.stats_every_ms.to_string(),
+            ];
             match cfg.workload {
                 DeployWorkload::Micro => {
-                    cmd.args(["--lo", &range.0.to_string()])
-                        .args(["--hi", &range.1.to_string()]);
+                    args.extend(["--lo".into(), range.0.to_string()]);
+                    args.extend(["--hi".into(), range.1.to_string()]);
                 }
                 DeployWorkload::Tpcc { warehouses } => {
-                    cmd.args(["--warehouses", &warehouses.to_string()])
-                        .args(["--w-lo", &range.0.to_string()])
-                        .args(["--w-hi", &range.1.to_string()]);
+                    args.extend(["--warehouses".into(), warehouses.to_string()]);
+                    args.extend(["--w-lo".into(), range.0.to_string()]);
+                    args.extend(["--w-hi".into(), range.1.to_string()]);
                 }
             }
+            if let Some(dir) = &cfg.wal_dir {
+                args.extend([
+                    "--wal".into(),
+                    dir.join(format!("instance-{i}.wal")).display().to_string(),
+                ]);
+            }
+            if let Some(r) = &resolver {
+                args.extend(["--coord".into(), r.endpoint.to_string()]);
+            }
             if cfg.single_threaded {
-                cmd.arg("--single-threaded");
+                args.push("--single-threaded".into());
             }
             if !cfg.obs {
-                cmd.arg("--no-obs");
+                args.push("--no-obs".into());
             }
             if cfg.engine == EngineMode::Serial {
-                cmd.args(["--engine", EngineMode::Serial.label()]);
+                args.extend(["--engine".into(), EngineMode::Serial.label().into()]);
                 // The child's executor thread re-pins itself to the same
                 // island list the process is wrapped in (keeps the pin if
                 // something else in the child widens the process mask).
                 if let (true, Some(cpus)) = (taskset, &pins[i]) {
-                    cmd.args(["--pin-cpus", cpus]);
+                    args.extend(["--pin-cpus".into(), cpus.clone()]);
                 }
             }
-            let mut child = cmd.spawn()?;
-            let stdout = child
-                .stdout
-                .take()
-                .ok_or_else(|| io::Error::other("child stdout was not piped"))?;
-            let stdout = BufReader::new(stdout);
-            Ok(Member {
-                endpoint: Endpoint::Uds(PathBuf::new()), // patched after READY
-                range,
-                cpus: pins[i].clone(),
-                child: Mutex::new(child),
-                stdout: Mutex::new(stdout),
-            })
+            args
         };
 
-        for i in 0..cfg.instances {
-            match spawn_one(i) {
-                Ok(m) => spawned.push(m),
+        let mut spawned: Vec<Member> = Vec::new();
+        for (i, pin) in pins.iter().enumerate().take(cfg.instances) {
+            // In TPC-C mode the "range" a member reports is its warehouse
+            // range; the micro row range flags are still passed (the child
+            // ignores them once --warehouses is set).
+            let range = match cfg.workload {
+                DeployWorkload::Micro => range_of(i, cfg.instances, cfg.total_rows),
+                DeployWorkload::Tpcc { warehouses } => {
+                    warehouse_range(warehouses, cfg.instances, i)
+                }
+            };
+            let args = child_args(i, range);
+            let cpus = if taskset { pin.clone() } else { None };
+            match spawn_child(&exe, cpus.as_deref(), &args) {
+                Ok((child, stdout)) => spawned.push(Member {
+                    endpoint: Mutex::new(Endpoint::Uds(PathBuf::new())), // patched after READY
+                    range,
+                    cpus: pin.clone(),
+                    args,
+                    child: Mutex::new(child),
+                    stdout: Mutex::new(stdout),
+                }),
                 Err(e) => {
                     for m in &spawned {
                         let mut c = lock_clean(&m.child);
@@ -505,11 +765,16 @@ impl Deployment {
         // Collect READY lines (children bind and load in parallel above).
         let mut members = Vec::with_capacity(spawned.len());
         let mut failure: Option<String> = None;
-        for (i, mut member) in spawned.drain(..).enumerate() {
+        for (i, member) in spawned.drain(..).enumerate() {
             if failure.is_none() {
-                match read_ready_line(&member) {
+                let ready = {
+                    let mut stdout = lock_clean(&member.stdout);
+                    let mut child = lock_clean(&member.child);
+                    read_ready(&mut stdout, &mut child)
+                };
+                match ready {
                     Ok(endpoint) => {
-                        member.endpoint = endpoint;
+                        *lock_clean(&member.endpoint) = endpoint;
                         members.push(member);
                         continue;
                     }
@@ -530,6 +795,7 @@ impl Deployment {
         }
         Ok(Deployment {
             members,
+            exe,
             total_rows: cfg.total_rows,
             workload: cfg.workload,
             retry_limit: cfg.retry_limit,
@@ -538,7 +804,10 @@ impl Deployment {
             pinned: taskset,
             next_gtid: AtomicU64::new(1),
             presumed_aborts: AtomicU64::new(0),
-            decided: Mutex::new(HashMap::new()),
+            decisions,
+            resolver,
+            fault: Mutex::new(None),
+            faults_fired: AtomicU64::new(0),
         })
     }
 
@@ -560,9 +829,17 @@ impl Deployment {
         self.members[i].cpus.as_deref()
     }
 
-    /// The endpoint instance `i` listens on.
-    pub fn endpoint(&self, i: usize) -> &Endpoint {
-        &self.members[i].endpoint
+    /// The endpoint instance `i` listens on. A clone, not a reference: a
+    /// concurrent [`restart_instance`](Self::restart_instance) may swap the
+    /// live endpoint (TCP children re-bind an ephemeral port).
+    pub fn endpoint(&self, i: usize) -> Endpoint {
+        lock_clean(&self.members[i].endpoint).clone()
+    }
+
+    /// The resolver socket recovering instances query, when this deployment
+    /// has one ([`DeployConfig::wal_dir`] set).
+    pub fn resolver_endpoint(&self) -> Option<Endpoint> {
+        self.resolver.as_ref().map(|r| r.endpoint.clone())
     }
 
     /// The key range instance `i` owns.
@@ -608,7 +885,36 @@ impl Deployment {
 
     /// Number of commit decisions forced to the coordinator log.
     pub fn decided_commits(&self) -> u64 {
-        lock_clean(&self.decided).len() as u64
+        self.decisions.decided_count()
+    }
+
+    /// Arm a scripted fault: the next 2PC exchange that reaches
+    /// `plan.point` with `plan.victim` as a participant SIGKILLs the victim
+    /// at exactly that point. One-shot; re-arm for another fault.
+    pub fn arm_fault(&self, plan: FaultPlan) {
+        *lock_clean(&self.fault) = Some(plan);
+    }
+
+    /// How many scripted faults have fired.
+    pub fn faults_fired(&self) -> u64 {
+        self.faults_fired.load(Ordering::Relaxed)
+    }
+
+    fn maybe_fire_fault(&self, point: FaultPoint, to: usize) {
+        let fire = {
+            let mut armed = lock_clean(&self.fault);
+            match *armed {
+                Some(plan) if plan.point == point && plan.victim == to => {
+                    *armed = None;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if fire {
+            let _ = self.kill_instance(to);
+            self.faults_fired.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Open one coordinator connection set (one socket per instance).
@@ -616,8 +922,9 @@ impl Deployment {
     pub fn client(self: &Arc<Self>) -> io::Result<DeployClient> {
         let mut conns = Vec::with_capacity(self.members.len());
         for m in &self.members {
+            let endpoint = lock_clean(&m.endpoint).clone();
             conns.push(Some(Client::connect_with_retry(
-                &m.endpoint,
+                &endpoint,
                 Duration::from_secs(2),
             )?));
         }
@@ -627,13 +934,50 @@ impl Deployment {
         })
     }
 
-    /// Test hook: SIGKILL instance `i` (no drain, no cleanup) to exercise
-    /// the presumed-abort paths.
+    /// SIGKILL instance `i` (no drain, no cleanup) — the fault injector's
+    /// hammer, also usable directly from tests to exercise the
+    /// presumed-abort paths.
     pub fn kill_instance(&self, i: usize) -> io::Result<()> {
         let mut child = lock_clean(&self.members[i].child);
         child.kill()?;
         child.wait()?;
         Ok(())
+    }
+
+    /// Respawn instance `i` on its original key range, WAL path, and pins,
+    /// and wait for it to report READY. The stale socket file a killed
+    /// child leaves behind is removed first — the replacement must bind
+    /// fresh, not inherit a path some client still holds a dead connection
+    /// to. On a WAL deployment the child replays its log before READY, so
+    /// when this returns, its surviving in-doubt branches are already
+    /// resolved against the coordinator's decision log.
+    pub fn restart_instance(&self, i: usize) -> io::Result<()> {
+        let m = &self.members[i];
+        {
+            // Make sure the old incarnation is dead and reaped before its
+            // replacement binds (idempotent after kill_instance).
+            let mut child = lock_clean(&m.child);
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        remove_uds_file(&lock_clean(&m.endpoint).clone());
+        let cpus = if self.pinned { m.cpus.as_deref() } else { None };
+        let (mut child, mut stdout) = spawn_child(&self.exe, cpus, &m.args)?;
+        match read_ready(&mut stdout, &mut child) {
+            Ok(endpoint) => {
+                *lock_clean(&m.endpoint) = endpoint;
+                *lock_clean(&m.child) = child;
+                *lock_clean(&m.stdout) = stdout;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                Err(io::Error::other(format!(
+                    "instance {i} never became ready after restart: {e}"
+                )))
+            }
+        }
     }
 
     /// Drain every instance, wait for the processes to exit, and report how
@@ -644,8 +988,8 @@ impl Deployment {
         let mut reports = Vec::with_capacity(members.len());
         for (i, member) in members.into_iter().enumerate() {
             let mut detail = String::new();
-            let drained = match Client::connect(&member.endpoint).and_then(|mut c| c.drain_server())
-            {
+            let endpoint = unwrap_clean(member.endpoint);
+            let drained = match Client::connect(&endpoint).and_then(|mut c| c.drain_server()) {
                 Ok(()) => true,
                 Err(e) => {
                     detail = format!("drain failed: {e}");
@@ -698,7 +1042,7 @@ impl Deployment {
             }
             // A cleanly drained child unlinks its own socket file; a killed
             // one cannot, so the parent (which chose the path) sweeps up.
-            remove_uds_file(&member.endpoint);
+            remove_uds_file(&endpoint);
             reports.push(InstanceExit {
                 index: i,
                 clean,
@@ -718,8 +1062,10 @@ impl Drop for Deployment {
             let mut c = lock_clean(&m.child);
             let _ = c.kill();
             let _ = c.wait();
-            remove_uds_file(&m.endpoint);
+            remove_uds_file(&lock_clean(&m.endpoint));
         }
+        // The resolver field drops after this body: children are dead by
+        // then, so nothing is left mid-query.
     }
 }
 
@@ -758,13 +1104,38 @@ fn wait_with_timeout(child: &mut Child, timeout: Duration) -> io::Result<std::pr
     }
 }
 
-fn read_ready_line(member: &Member) -> io::Result<Endpoint> {
-    let mut stdout = lock_clean(&member.stdout);
+/// Start one instance child (optionally wrapped in `taskset -c cpus`) with
+/// its stdout piped for the READY/STATS protocol.
+fn spawn_child(
+    exe: &Path,
+    cpus: Option<&str>,
+    args: &[String],
+) -> io::Result<(Child, BufReader<ChildStdout>)> {
+    let mut cmd = match cpus {
+        Some(cpus) => {
+            let mut c = Command::new("taskset");
+            c.arg("-c").arg(cpus).arg(exe);
+            c
+        }
+        None => Command::new(exe),
+    };
+    cmd.args(args).stdin(Stdio::null()).stdout(Stdio::piped());
+    let mut child = cmd.spawn()?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| io::Error::other("child stdout was not piped"))?;
+    Ok((child, BufReader::new(stdout)))
+}
+
+/// Block until the child prints its `READY <endpoint>` handshake line (or
+/// dies, which surfaces its exit status).
+fn read_ready(stdout: &mut BufReader<ChildStdout>, child: &mut Child) -> io::Result<Endpoint> {
     let mut line = String::new();
     loop {
         line.clear();
         if stdout.read_line(&mut line)? == 0 {
-            let status = lock_clean(&member.child)
+            let status = child
                 .try_wait()?
                 .map(|s| format!("exited {s}"))
                 .unwrap_or_else(|| "stdout closed".into());
@@ -829,11 +1200,40 @@ pub struct DeployClient {
     conns: Vec<Option<Client>>,
 }
 
+/// First pause of the reconnect backoff ladder.
+const RECONNECT_BACKOFF_START: Duration = Duration::from_millis(1);
+/// Per-attempt pause cap: the ladder doubles 1 → 2 → … → 64 ms, then stays.
+const RECONNECT_BACKOFF_CAP: Duration = Duration::from_millis(64);
+/// Default total reconnect budget per [`DeployClient::conn`] call — long
+/// enough to ride out an instance respawn, short enough that a permanently
+/// dead instance still surfaces as [`DeployReply::InstanceDown`] promptly.
+const RECONNECT_BUDGET: Duration = Duration::from_secs(1);
+
+/// Connect with capped exponential backoff: immediate first attempt, then
+/// doubling pauses up to [`RECONNECT_BACKOFF_CAP`], giving up (with the
+/// last error) once `budget` is spent.
+fn connect_backoff(endpoint: &Endpoint, budget: Duration) -> io::Result<Client> {
+    let deadline = Instant::now() + budget;
+    let mut pause = RECONNECT_BACKOFF_START;
+    loop {
+        match Client::connect(endpoint) {
+            Ok(c) => return Ok(c),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => {
+                std::thread::sleep(pause);
+                pause = (pause * 2).min(RECONNECT_BACKOFF_CAP);
+            }
+        }
+    }
+}
+
 impl DeployClient {
     fn conn(&mut self, i: usize) -> io::Result<&mut Client> {
         if self.conns[i].is_none() {
-            // One reconnect attempt; a dead instance fails fast here.
-            self.conns[i] = Some(Client::connect(self.deploy.endpoint(i))?);
+            // Reconnect with backoff: a raced submit that lands while
+            // instance `i` restarts rides out the respawn instead of
+            // failing on the first refused connect.
+            self.conns[i] = Some(connect_backoff(&self.deploy.endpoint(i), RECONNECT_BUDGET)?);
         }
         self.conns[i]
             .as_mut()
@@ -1100,7 +1500,25 @@ trait TwoPcLink {
 
 impl TwoPcLink for DeployClient {
     fn send(&mut self, to: usize, frame: &Request) -> io::Result<()> {
-        self.conn(to).and_then(|c| c.send_request(frame))
+        // Scripted fault injection hooks: the kill lands exactly between
+        // protocol steps, so the drill hits the same in-doubt windows every
+        // run instead of whenever a signal happens to land.
+        match frame {
+            Request::Prepare(_) | Request::PreparePlan(_) => {
+                self.deploy.maybe_fire_fault(FaultPoint::PrePrepare, to);
+            }
+            Request::Decision { .. } => {
+                self.deploy
+                    .maybe_fire_fault(FaultPoint::PostPreparePreDecision, to);
+            }
+            _ => {}
+        }
+        let sent = self.conn(to).and_then(|c| c.send_request(frame));
+        if sent.is_ok() && matches!(frame, Request::Decision { .. }) {
+            self.deploy
+                .maybe_fire_fault(FaultPoint::PostDecisionPreAck, to);
+        }
+        sent
     }
 
     fn recv(&mut self, from: usize) -> io::Result<Reply> {
@@ -1112,7 +1530,9 @@ impl TwoPcLink for DeployClient {
     }
 
     fn force_commit(&mut self, gtid: u64) {
-        lock_clean(&self.deploy.decided).insert(gtid, true);
+        // Write-through BEFORE any Decision frame leaves: recovery must
+        // reach the same verdict the live protocol acted on.
+        self.deploy.decisions.force(gtid, true);
     }
 }
 
@@ -1331,6 +1751,8 @@ fn run_instance(args: &[String]) -> io::Result<bool> {
     let mut pin_cpus: Option<String> = None;
     let mut stats_every_ms = 500u64;
     let mut obs = true;
+    let mut wal: Option<PathBuf> = None;
+    let mut coord: Option<Endpoint> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -1381,6 +1803,11 @@ fn run_instance(args: &[String]) -> io::Result<bool> {
                 engine_mode = EngineMode::parse(v).map_err(io::Error::other)?;
             }
             "--pin-cpus" => pin_cpus = Some(value("--pin-cpus")?.clone()),
+            "--wal" => wal = Some(PathBuf::from(value("--wal")?)),
+            "--coord" => {
+                let v = value("--coord")?;
+                coord = Some(Endpoint::parse(v).map_err(io::Error::other)?);
+            }
             "--stats-every-ms" => {
                 let v = value("--stats-every-ms")?;
                 stats_every_ms = v.parse().map_err(|_| parse_err("--stats-every-ms", v))?;
@@ -1410,16 +1837,21 @@ fn run_instance(args: &[String]) -> io::Result<bool> {
         lock_timeout: Duration::from_millis(lock_ms),
         single_threaded,
         tpcc,
+        wal,
         ..Default::default()
     };
     // Serial mode: keep a handle to the executor so it can be shut down
-    // (and its thread joined) after the server drains.
+    // (and its thread joined) after the server drains. Locked mode keeps
+    // the engine handle for recovery resolution and leak accounting.
     let mut executor: Option<Arc<PartitionExecutor>> = None;
+    let mut engine: Option<Arc<PartitionEngine>> = None;
     let backend = match engine_mode {
         EngineMode::Locked => {
-            let engine = PartitionEngine::build(&partition)
+            let built = PartitionEngine::build(&partition)
                 .map_err(|e| io::Error::other(format!("partition build failed: {e}")))?;
-            Backend::Partition(Arc::new(engine))
+            let built = Arc::new(built);
+            engine = Some(Arc::clone(&built));
+            Backend::Partition(built)
         }
         EngineMode::Serial => {
             // The child process is already taskset-pinned to its island's
@@ -1436,6 +1868,33 @@ fn run_instance(args: &[String]) -> io::Result<bool> {
             Backend::Executor(exec)
         }
     };
+
+    // Crash recovery rejoin, before READY: WAL replay parked any branch
+    // that was prepared-but-undecided when the previous incarnation died.
+    // Ask the coordinator's resolver for each verdict (presumed abort: an
+    // unknown gtid answers abort). Without a reachable coordinator the
+    // branches stay parked — never presume abort unilaterally; the leak is
+    // then visible in the drain accounting below.
+    let recovered = recovered_gtids(&engine, &executor)?;
+    if !recovered.is_empty() {
+        match &coord {
+            Some(coord) => {
+                if let Err(e) = resolve_with_coordinator(coord, &recovered, &engine, &executor) {
+                    eprintln!(
+                        "islands-instance: in-doubt resolution failed \
+                         ({} branch(es) stay parked): {e}",
+                        recovered_gtids(&engine, &executor)?.len()
+                    );
+                }
+            }
+            None => eprintln!(
+                "islands-instance: {} recovered in-doubt branch(es) but no \
+                 --coord to resolve against; leaving them parked",
+                recovered.len()
+            ),
+        }
+    }
+
     let handle = Server::spawn_backend(
         backend,
         endpoint,
@@ -1471,11 +1930,15 @@ fn run_instance(args: &[String]) -> io::Result<bool> {
         });
         (stop_tx, printer)
     });
-    let stats = handle.join()?;
+    let mut stats = handle.join()?;
     if let Some((stop_tx, printer)) = heartbeat {
         drop(stop_tx);
         let _ = printer.join();
     }
+    // Recovered branches the resolver never settled are in-doubt leaks just
+    // like session-parked ones: fold them into the drain accounting before
+    // the executor (whose thread answers the query) shuts down.
+    stats.in_doubt += recovered_gtids(&engine, &executor)?.len() as u64;
     // All sessions have exited (join waits for them), so the Arc the
     // acceptor held is gone: reclaim the executor and join its thread.
     if let Some(exec) = executor {
@@ -1487,6 +1950,82 @@ fn run_instance(args: &[String]) -> io::Result<bool> {
     writeln!(out, "{}", format_stats(&stats))?;
     out.flush()?;
     Ok(stats.in_doubt != 0)
+}
+
+/// The gtids of in-doubt branches WAL replay parked on this instance's
+/// engine (whichever mode owns it).
+fn recovered_gtids(
+    engine: &Option<Arc<PartitionEngine>>,
+    executor: &Option<Arc<PartitionExecutor>>,
+) -> io::Result<Vec<u64>> {
+    match (engine, executor) {
+        (Some(e), _) => Ok(e.recovered_gtids()),
+        (_, Some(x)) => x
+            .recovered_gtids()
+            .map_err(|e| io::Error::other(e.to_string())),
+        _ => Ok(Vec::new()),
+    }
+}
+
+/// Ask the coordinator's resolver for each parked gtid's verdict and apply
+/// it. Stops at the first failure, leaving the remaining branches parked
+/// for a later attempt (or the drain leak check).
+fn resolve_with_coordinator(
+    coord: &Endpoint,
+    gtids: &[u64],
+    engine: &Option<Arc<PartitionEngine>>,
+    executor: &Option<Arc<PartitionExecutor>>,
+) -> io::Result<()> {
+    let mut conn = Client::connect_with_retry(coord, Duration::from_secs(5))?;
+    conn.set_read_timeout(Some(Duration::from_secs(5)))?;
+    for &gtid in gtids {
+        conn.send_request(&Request::ResolveGtid { gtid })?;
+        let commit = match conn.recv_reply()? {
+            Reply::Resolved { gtid: g, commit } if g == gtid => commit,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("resolver answered {other:?} for gtid {gtid}"),
+                ))
+            }
+        };
+        apply_verdict(gtid, commit, engine, executor)?;
+    }
+    Ok(())
+}
+
+/// Apply one resolved verdict to the parked branch.
+fn apply_verdict(
+    gtid: u64,
+    commit: bool,
+    engine: &Option<Arc<PartitionEngine>>,
+    executor: &Option<Arc<PartitionExecutor>>,
+) -> io::Result<()> {
+    match (engine, executor) {
+        (Some(e), _) => {
+            e.resolve_recovered(gtid, commit)
+                .map_err(|e| io::Error::other(format!("resolving gtid {gtid}: {e}")))?;
+            Ok(())
+        }
+        (_, Some(x)) => {
+            // A throwaway session: Decide falls through to the engine's
+            // recovered map on the executor thread. The session prepared
+            // nothing, so closing it on drop rolls back nothing.
+            use islands_core::native::DecideOutcome;
+            let session = x.session();
+            match session.decide(gtid, commit) {
+                Ok(DecideOutcome::Applied | DecideOutcome::AbortNoop) => Ok(()),
+                Ok(DecideOutcome::UnknownCommit) => Err(io::Error::other(format!(
+                    "commit verdict for gtid {gtid} found no parked branch"
+                ))),
+                Ok(DecideOutcome::Failed(m)) => {
+                    Err(io::Error::other(format!("resolving gtid {gtid}: {m}")))
+                }
+                Err(e) => Err(io::Error::other(format!("resolving gtid {gtid}: {e}"))),
+            }
+        }
+        _ => Ok(()),
+    }
 }
 
 #[cfg(test)]
@@ -1940,5 +2479,79 @@ mod tests {
                 .iter()
                 .all(|p| p.as_deref().is_some_and(|s| !s.is_empty())));
         }
+    }
+
+    #[test]
+    fn fault_point_parse_round_trips_and_rejects_junk() {
+        for point in [
+            FaultPoint::PrePrepare,
+            FaultPoint::PostPreparePreDecision,
+            FaultPoint::PostDecisionPreAck,
+        ] {
+            assert_eq!(FaultPoint::parse(point.label()), Ok(point));
+        }
+        assert!(FaultPoint::parse("mid-prepare").is_err());
+        assert!(FaultPoint::parse("").is_err());
+    }
+
+    #[test]
+    fn decision_store_reopen_resumes_verdicts() {
+        let dir = std::env::temp_dir().join(format!(
+            "islands-decision-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let store = DecisionStore::open(Some(&dir)).unwrap();
+        store.force(7, true);
+        store.force(8, false);
+        assert!(store.commit_verdict(7));
+        assert!(!store.commit_verdict(8));
+        drop(store);
+
+        // A second coordinator life over the same directory keeps answering
+        // for decisions from the first, and still presumes abort for gtids
+        // nobody ever decided.
+        let reopened = DecisionStore::open(Some(&dir)).unwrap();
+        assert_eq!(reopened.decided_count(), 2);
+        assert!(reopened.commit_verdict(7));
+        assert!(!reopened.commit_verdict(8));
+        assert!(
+            !reopened.commit_verdict(9),
+            "unknown gtid must presume abort"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn connect_backoff_waits_out_a_late_binding_listener() {
+        let sock = std::env::temp_dir().join(format!(
+            "islands-backoff-{}-{:?}.sock",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&sock);
+
+        // Nothing listens and nothing will: the budget must bound the wait.
+        let endpoint = Endpoint::Uds(sock.clone());
+        assert!(connect_backoff(&endpoint, Duration::from_millis(50)).is_err());
+
+        // A listener that binds late — the restart window — must be reached
+        // by a connect that starts before the bind.
+        let binder = {
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(100));
+                let listener = UnixListener::bind(&sock).unwrap();
+                let _ = listener.accept();
+            })
+        };
+        assert!(
+            connect_backoff(&endpoint, Duration::from_secs(5)).is_ok(),
+            "backoff must outlast a 100ms bind delay"
+        );
+        binder.join().unwrap();
+        let _ = std::fs::remove_file(&sock);
     }
 }

@@ -843,6 +843,20 @@ fn session_loop(
                     }
                     reply.encode_frame(&mut out);
                 }
+                Request::ResolveGtid { gtid } => {
+                    // Outcome resolution is the coordinator's job (it owns
+                    // the decision log); an instance server has no authority
+                    // to answer, and presuming abort here would let a
+                    // misdirected query contradict a forced commit.
+                    counters.errors.fetch_add(1, Ordering::Relaxed);
+                    Reply::Error {
+                        message: format!(
+                            "gtid {gtid} resolution is answered by the coordinator, \
+                             not an instance server"
+                        ),
+                    }
+                    .encode_frame(&mut out);
+                }
                 Request::Audit => {
                     let sum = match backend {
                         Backend::Cluster(c) => c.audit_sum().map_err(|e| e.to_string()),

@@ -46,6 +46,7 @@ const TAG_STATS_REQUEST: u8 = 0x06;
 const TAG_SUBMIT_PLAN: u8 = 0x07;
 const TAG_PREPARE_PLAN: u8 = 0x08;
 const TAG_AUDIT: u8 = 0x09;
+const TAG_RESOLVE_GTID: u8 = 0x0A;
 // Reply tags (server -> client) have the high bit set. 0x86/0x87 are the
 // participant->coordinator half of wire-level 2PC.
 const TAG_COMMITTED: u8 = 0x81;
@@ -57,6 +58,7 @@ const TAG_VOTE: u8 = 0x86;
 const TAG_ACK: u8 = 0x87;
 const TAG_STATS_REPLY: u8 = 0x88;
 const TAG_AUDIT_REPLY: u8 = 0x89;
+const TAG_RESOLVED: u8 = 0x8A;
 
 /// Fixed [`ServerStats`] prefix of a stats-reply body: 9 × u64 LE.
 const SERVER_STATS_LEN: usize = 72;
@@ -176,6 +178,13 @@ pub enum Request {
     /// Scrape the audit sum (total committed row writes across every
     /// table) for consistency checks; answered with [`Reply::AuditSum`].
     Audit,
+    /// A recovering participant asks the coordinator's decision log for the
+    /// fate of an in-doubt gtid; answered with [`Reply::Resolved`]. Under
+    /// presumed abort an unknown gtid resolves to abort.
+    ResolveGtid {
+        /// Global transaction id of the in-doubt branch.
+        gtid: u64,
+    },
 }
 
 /// Server → client message.
@@ -226,6 +235,15 @@ pub enum Reply {
         /// Sum of per-row audit counters over every table this instance
         /// serves — equals total committed row writes (updates + inserts).
         sum: u64,
+    },
+    /// Answer to [`Request::ResolveGtid`]: the coordinator's durable verdict
+    /// for the in-doubt gtid (`commit == false` covers logged aborts and
+    /// the presumed-abort default for unknown gtids alike).
+    Resolved {
+        /// Global transaction id the verdict is for.
+        gtid: u64,
+        /// True only when the decision log holds a forced commit.
+        commit: bool,
     },
 }
 
@@ -312,6 +330,10 @@ impl WireMessage for Request {
                 branch.encode_into(buf);
             }
             Request::Audit => buf.push(TAG_AUDIT),
+            Request::ResolveGtid { gtid } => {
+                buf.push(TAG_RESOLVE_GTID);
+                buf.extend_from_slice(&gtid.to_le_bytes());
+            }
         }
     }
 
@@ -371,6 +393,10 @@ impl WireMessage for Request {
             TAG_AUDIT => {
                 exactly(tag, body, 0)?;
                 Ok(Request::Audit)
+            }
+            TAG_RESOLVE_GTID => {
+                exactly(tag, body, 8)?;
+                Ok(Request::ResolveGtid { gtid: u64_le(body) })
             }
             other => Err(WireError::UnknownTag(other)),
         }
@@ -438,6 +464,11 @@ impl WireMessage for Reply {
             Reply::AuditSum { sum } => {
                 buf.push(TAG_AUDIT_REPLY);
                 buf.extend_from_slice(&sum.to_le_bytes());
+            }
+            Reply::Resolved { gtid, commit } => {
+                buf.push(TAG_RESOLVED);
+                buf.extend_from_slice(&gtid.to_le_bytes());
+                buf.push(*commit as u8);
             }
         }
     }
@@ -533,6 +564,24 @@ impl WireMessage for Reply {
             TAG_AUDIT_REPLY => {
                 exactly(tag, body, 8)?;
                 Ok(Reply::AuditSum { sum: u64_le(body) })
+            }
+            TAG_RESOLVED => {
+                exactly(tag, body, 9)?;
+                let commit = match body[8] {
+                    0 => false,
+                    1 => true,
+                    _ => {
+                        return Err(WireError::BadBody {
+                            tag,
+                            needed: 9,
+                            had: body.len(),
+                        })
+                    }
+                };
+                Ok(Reply::Resolved {
+                    gtid: u64_le(body),
+                    commit,
+                })
             }
             other => Err(WireError::UnknownTag(other)),
         }
@@ -685,6 +734,7 @@ mod tests {
                 plan: sample_plan(),
             }),
             Request::Audit,
+            Request::ResolveGtid { gtid: 0xDEAD_BEEF },
         ] {
             let mut frame = Vec::new();
             r.encode_frame(&mut frame);
@@ -723,6 +773,14 @@ mod tests {
             },
             Reply::Ack { gtid: 1 << 60 },
             Reply::AuditSum { sum: u64::MAX - 7 },
+            Reply::Resolved {
+                gtid: 55,
+                commit: true,
+            },
+            Reply::Resolved {
+                gtid: 56,
+                commit: false,
+            },
         ] {
             let mut frame = Vec::new();
             r.encode_frame(&mut frame);
@@ -756,6 +814,19 @@ mod tests {
         *payload.last_mut().unwrap() = 2; // not a bool
         assert!(matches!(
             Request::decode_payload(&payload),
+            Err(WireError::BadBody { .. })
+        ));
+
+        let mut frame = Vec::new();
+        Reply::Resolved {
+            gtid: 5,
+            commit: false,
+        }
+        .encode_frame(&mut frame);
+        let mut payload = frame[FRAME_HEADER..].to_vec();
+        *payload.last_mut().unwrap() = 3; // not a bool
+        assert!(matches!(
+            Reply::decode_payload(&payload),
             Err(WireError::BadBody { .. })
         ));
     }

@@ -6,10 +6,12 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+use islands_dtxn::Vote;
 use islands_server::deploy::{
-    DeployConfig, DeployReply, DeployWorkload, Deployment, SpawnMode, Transport,
+    DeployConfig, DeployReply, DeployWorkload, Deployment, FaultPlan, FaultPoint, SpawnMode,
+    Transport,
 };
-use islands_server::{Client, EngineMode, Request};
+use islands_server::{Client, Endpoint, EngineMode, Reply, Request};
 use islands_workload::tpcc::{NewOrder, Payment};
 use islands_workload::{OpKind, TxnBranch, TxnRequest};
 
@@ -41,6 +43,32 @@ fn outcome(reply: DeployReply) -> islands_server::DeployOutcome {
         DeployReply::Outcome(o) => o,
         other => panic!("expected an outcome, got {other:?}"),
     }
+}
+
+/// A fresh per-test WAL directory under the system temp dir; any leftovers
+/// from a previous run of the same test are removed first.
+fn temp_wal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("islands-e2e-wal-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Submit until the request commits. After an instance restart the deploy
+/// client's cached connection is stale: the first send observes the dead
+/// socket (`InstanceDown` or an I/O error), the retry reconnects with
+/// backoff. A request that keeps aborting — e.g. against a branch whose
+/// footprint was never released — exhausts the budget and panics.
+fn submit_until_committed(
+    client: &mut islands_server::DeployClient,
+    req: &TxnRequest,
+) -> islands_server::DeployOutcome {
+    for _ in 0..40 {
+        match client.submit(req) {
+            Ok(DeployReply::Outcome(o)) if o.committed => return o,
+            Ok(_) | Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    panic!("request never committed: {req:?}");
 }
 
 #[test]
@@ -164,7 +192,7 @@ fn coordinator_crash_between_prepare_and_decision_leaves_no_leak() {
 
     // A raw wire client plays a coordinator that prepares and then crashes.
     {
-        let mut coord = Client::connect(deploy.endpoint(0)).unwrap();
+        let mut coord = Client::connect(&deploy.endpoint(0)).unwrap();
         coord
             .send_request(&Request::Prepare(TxnBranch {
                 gtid: 77,
@@ -221,7 +249,7 @@ fn midrun_stats_scrape_sees_live_counters_and_populated_breakdown() {
     load(40);
 
     // Scrape instance 0 mid-run on a dedicated connection.
-    let mut probe = Client::connect(deploy.endpoint(0)).unwrap();
+    let mut probe = Client::connect(&deploy.endpoint(0)).unwrap();
     let (s1, o1) = probe.stats().unwrap();
     assert!(o1.enabled, "obs must be on by default");
     assert!(s1.commits > 0, "first scrape must see commits: {s1:?}");
@@ -405,5 +433,220 @@ fn tpcc_neworder_and_remote_payment_audit_consistent_in_both_engines() {
             assert_eq!(stats.in_doubt, 0, "[{engine:?}] in-doubt leak");
             assert_eq!(stats.presumed_aborts, 0);
         }
+    }
+}
+
+#[test]
+fn resolver_socket_answers_decided_commit_and_presumes_abort_for_unknown() {
+    // The in-doubt resolution wire path in isolation: a deployment with a
+    // WAL directory exposes the coordinator's resolver socket, which must
+    // answer `ResolveGtid` from the durable decision log — commit for a
+    // forced decision, abort (presumed) for any gtid it has never heard of.
+    let wal_dir = temp_wal_dir("resolver");
+    let deploy = Arc::new(
+        Deployment::spawn(&DeployConfig {
+            wal_dir: Some(wal_dir.clone()),
+            ..config(2, Transport::Uds)
+        })
+        .unwrap(),
+    );
+    let mut client = deploy.client().unwrap();
+    // Gtid 1: a committed multisite update, forced to the decision log.
+    assert!(outcome(client.submit(&update(&[10, 350])).unwrap()).committed);
+    assert_eq!(deploy.decided_commits(), 1);
+
+    let ep = deploy
+        .resolver_endpoint()
+        .expect("wal_dir deployments expose a resolver");
+    let mut raw = Client::connect(&ep).unwrap();
+    raw.send_request(&Request::ResolveGtid { gtid: 1 }).unwrap();
+    match raw.recv_reply().unwrap() {
+        Reply::Resolved { gtid: 1, commit } => assert!(commit, "forced commit must resolve commit"),
+        other => panic!("unexpected reply {other:?}"),
+    }
+    raw.send_request(&Request::ResolveGtid { gtid: 4242 })
+        .unwrap();
+    match raw.recv_reply().unwrap() {
+        Reply::Resolved { gtid: 4242, commit } => {
+            assert!(!commit, "unknown gtid must presume abort")
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    drop(raw);
+    drop(client);
+    let reports = Arc::try_unwrap(deploy)
+        .ok()
+        .expect("no other refs")
+        .shutdown();
+    assert!(reports.iter().all(|r| r.clean), "{reports:?}");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+#[test]
+fn restart_instance_reclaims_stale_socket_and_serves_again() {
+    // Regression: SIGKILL leaves the instance's UDS socket file behind. A
+    // respawn on the same path must reclaim it (not fail with AddrInUse,
+    // not leave a dead file that eats the next connection) and the
+    // deployment's cached client must recover through its reconnect path.
+    let deploy = Arc::new(Deployment::spawn(&config(1, Transport::Uds)).unwrap());
+    let sock = match deploy.endpoint(0) {
+        Endpoint::Uds(p) => p,
+        other => panic!("uds deployment, got {other:?}"),
+    };
+    let mut client = deploy.client().unwrap();
+    assert!(outcome(client.submit(&update(&[5])).unwrap()).committed);
+
+    deploy.kill_instance(0).unwrap();
+    assert!(sock.exists(), "SIGKILL must leave the socket file behind");
+    deploy.restart_instance(0).unwrap();
+
+    // A fresh connection reaches the rebound socket immediately...
+    let mut fresh = Client::connect(&deploy.endpoint(0)).unwrap();
+    fresh.ping().unwrap();
+    // ...and the deploy client's stale cached connection retries through.
+    let done = submit_until_committed(&mut client, &update(&[7]));
+    assert!(!done.distributed);
+
+    drop(fresh);
+    drop(client);
+    let reports = Arc::try_unwrap(deploy)
+        .ok()
+        .expect("no other refs")
+        .shutdown();
+    assert!(
+        reports[0].clean,
+        "restarted instance unclean: {}",
+        reports[0].detail
+    );
+    assert_eq!(reports[0].stats.expect("stats parsed").in_doubt, 0);
+}
+
+#[test]
+fn killed_participant_rejoins_and_resolves_in_doubt_in_both_engines() {
+    // The headline crash drill. Per engine mode: a two-instance WAL-backed
+    // deployment loses instance 1 to a scripted SIGKILL *after* it voted
+    // Yes (prepare records durable) but *before* the commit decision
+    // reaches it, with a second branch prepared by a coordinator that never
+    // decides. After `restart_instance` the rejoined process must have
+    // replayed its WAL, asked the coordinator's resolver, and settled both
+    // ways: the decided gtid commits, the undecided one presumed-aborts —
+    // then keep serving local and 2PC traffic with the audit identity
+    // intact and nothing left in doubt at drain.
+    for engine in [EngineMode::Locked, EngineMode::Serial] {
+        let wal_dir = temp_wal_dir(&format!("rejoin-{engine:?}"));
+        let deploy = Arc::new(
+            Deployment::spawn(&DeployConfig {
+                engine,
+                wal_dir: Some(wal_dir.clone()),
+                ..config(2, Transport::Uds)
+            })
+            .unwrap(),
+        );
+        let mut client = deploy.client().unwrap();
+        let base = client.audit_total().unwrap();
+
+        // Gtid 1: baseline multisite commit, both instances healthy.
+        assert!(
+            outcome(client.submit(&update(&[10, 350])).unwrap()).committed,
+            "[{engine:?}] baseline"
+        );
+
+        // The undecided branch: a raw coordinator prepares gtid 9001 on
+        // instance 1 and then goes silent *without disconnecting* — a
+        // disconnect would trigger the live presumed-abort path; staying
+        // connected keeps the branch in doubt until the SIGKILL.
+        let mut zombie = Client::connect(&deploy.endpoint(1)).unwrap();
+        zombie
+            .send_request(&Request::Prepare(TxnBranch {
+                gtid: 9001,
+                req: update(&[370]),
+            }))
+            .unwrap();
+        match zombie.recv_reply().unwrap() {
+            Reply::Vote {
+                gtid: 9001,
+                vote: Vote::Yes,
+            } => {}
+            other => panic!("[{engine:?}] unexpected reply {other:?}"),
+        }
+
+        // Gtid 2: the scripted fault kills instance 1 after both Yes votes
+        // are in but before the decision frame goes out. The coordinator
+        // forces the commit decision first, so this transaction *is*
+        // committed — the victim just never hears it until recovery asks.
+        deploy.arm_fault(FaultPlan {
+            point: FaultPoint::PostPreparePreDecision,
+            victim: 1,
+        });
+        let decided = outcome(client.submit(&update(&[20, 360])).unwrap());
+        assert!(
+            decided.committed,
+            "[{engine:?}] forced commit must stand: {decided:?}"
+        );
+        assert!(decided.distributed);
+        assert_eq!(deploy.faults_fired(), 1, "[{engine:?}] fault must fire");
+        assert_eq!(deploy.decided_commits(), 2);
+        drop(zombie); // the instance is dead; this disconnect reaches nobody
+
+        // Rejoin: replay the WAL (parking gtids 2 and 9001), dial the
+        // resolver before READY, settle both branches.
+        deploy.restart_instance(1).unwrap();
+
+        // Key 370 commits only if gtid 9001's presumed abort released its
+        // parked footprint; the submit also walks the client's stale-socket
+        // reconnect path.
+        let freed = submit_until_committed(&mut client, &update(&[370]));
+        assert!(!freed.distributed);
+
+        // Audit identity across the deployment: baseline (2 rows) + the
+        // decided gtid's two branches (2 rows — instance 1's applied during
+        // recovery) + key 370 (1 row); the aborted branch contributes 0.
+        assert_eq!(
+            client.audit_total().unwrap() - base,
+            5,
+            "[{engine:?}] audit after rejoin"
+        );
+
+        // The rejoined instance's own metrics tell the recovery story.
+        let mut probe = Client::connect(&deploy.endpoint(1)).unwrap();
+        let (_, snap) = probe.stats().unwrap();
+        assert_eq!(snap.recoveries, 1, "[{engine:?}] one WAL replay");
+        assert_eq!(
+            snap.in_doubt_commit, 1,
+            "[{engine:?}] decided gtid resolved commit"
+        );
+        assert_eq!(
+            snap.in_doubt_abort, 1,
+            "[{engine:?}] undecided gtid presumed abort"
+        );
+        drop(probe);
+
+        // And it serves wire 2PC again: same keys as the decided gtid.
+        let again = outcome(client.submit(&update(&[20, 360])).unwrap());
+        assert!(
+            again.committed && again.distributed,
+            "[{engine:?}] rejoined 2PC: {again:?}"
+        );
+        assert_eq!(client.audit_total().unwrap() - base, 7);
+
+        drop(client);
+        let reports = Arc::try_unwrap(deploy)
+            .ok()
+            .expect("no other refs")
+            .shutdown();
+        for r in &reports {
+            assert!(
+                r.clean,
+                "[{engine:?}] instance {} unclean: {}",
+                r.index, r.detail
+            );
+            assert_eq!(
+                r.stats.expect("stats parsed").in_doubt,
+                0,
+                "[{engine:?}] in-doubt leak at drain"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&wal_dir);
     }
 }

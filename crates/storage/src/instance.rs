@@ -64,6 +64,29 @@ pub struct InDoubt {
     pub undo: Vec<UndoOp>,
 }
 
+impl InDoubt {
+    /// Key footprint `(table, key)` this branch will touch when resolved —
+    /// the rows new transactions must not write while it is parked undecided
+    /// (the branch's old incarnation held X locks on exactly these).
+    pub fn keys(&self) -> Vec<(u32, u64)> {
+        let mut keys: Vec<(u32, u64)> = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                RedoOp::Insert { table, key, .. } | RedoOp::Update { table, key, .. } => {
+                    (*table, *key)
+                }
+            })
+            .chain(self.undo.iter().map(|op| match op {
+                UndoOp::Revert { table, key, .. } | UndoOp::Remove { table, key } => (*table, *key),
+            }))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+}
+
 /// The database instance.
 pub struct StorageInstance {
     pub opts: InstanceOptions,
@@ -375,6 +398,58 @@ impl StorageInstance {
             })
             .collect();
         Ok((inst, in_doubt))
+    }
+
+    /// Replay a full WAL byte stream into this freshly rebuilt instance —
+    /// the restart path for deployments whose page store is volatile and
+    /// whose only durable state is the WAL file.
+    ///
+    /// The caller rebuilds the instance exactly as at first boot (same
+    /// table-creation order, same unlogged initial load), then hands the
+    /// prior log here. Unlike [`recover`](Self::recover), there is no
+    /// snapshot to start from: the rebuilt initial load *is* the base image,
+    /// so the whole log is analyzed from offset 0 and checkpoint records are
+    /// ignored. Committed work is redone (idempotently), losers are undone,
+    /// and surviving prepared 2PC branches come back as [`InDoubt`] for the
+    /// deployment layer to resolve via [`resolve_in_doubt`](Self::resolve_in_doubt).
+    pub fn replay_log(&self, log: &[u8]) -> Result<Vec<InDoubt>> {
+        let analysis = analyze(log, 0)?;
+        {
+            let cat = self.catalog.read();
+            for (_, _, op) in &analysis.redo {
+                Self::apply_redo(&cat, op)?;
+            }
+            for (_, _, op) in analysis.undo.iter().rev() {
+                Self::apply_undo(&cat, op)?;
+            }
+        }
+        // Never reuse a transaction id the old incarnation logged under —
+        // losers included, or a new txn's records would alias a dead one's.
+        let max_seen = analysis
+            .committed
+            .iter()
+            .chain(analysis.aborted.iter())
+            .chain(analysis.in_doubt.keys())
+            .map(|t| t.0)
+            .chain(analysis.undo.iter().map(|&(_, t, _)| t.0))
+            .max()
+            .unwrap_or(0);
+        self.next_txn.fetch_max(max_seen + 1, Ordering::SeqCst);
+        let in_doubt = analysis
+            .in_doubt
+            .into_iter()
+            .map(|(txn, gtid)| InDoubt {
+                txn,
+                gtid,
+                ops: analysis.in_doubt_ops.get(&txn).cloned().unwrap_or_default(),
+                undo: analysis
+                    .in_doubt_undo
+                    .get(&txn)
+                    .cloned()
+                    .unwrap_or_default(),
+            })
+            .collect();
+        Ok(in_doubt)
     }
 
     fn apply_redo(cat: &Catalog, op: &RedoOp) -> Result<()> {
@@ -835,6 +910,62 @@ mod tests {
         inst.resolve_in_doubt(&in_doubt[0], true).unwrap();
         let mut txn = inst.begin();
         assert_eq!(txn.read("a", 1).unwrap(), Some(vec![5u8; 8]));
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn replay_log_rebuilds_a_volatile_instance_from_the_wal_alone() {
+        // First incarnation: volatile store, durable-ish log device we keep.
+        let dev = MemLogDevice::new();
+        let log_bytes;
+        {
+            let inst =
+                StorageInstance::create(Arc::new(MemStore::new()), dev.clone(), small_opts());
+            let t = inst.create_table("a", 8).unwrap();
+            for k in 0..4u64 {
+                inst.load_row(&t, k, &[0u8; 8]).unwrap();
+            }
+            inst.checkpoint().unwrap();
+            let mut txn = inst.begin();
+            txn.update("a", 1, &[1u8; 8]).unwrap();
+            txn.commit().unwrap();
+            // Loser mid-flight at the crash.
+            let mut txn = inst.begin();
+            txn.update("a", 2, &[9u8; 8]).unwrap();
+            std::mem::forget(txn);
+            // Prepared 2PC branch, undecided at the crash.
+            let mut txn = inst.begin();
+            txn.update("a", 3, &[3u8; 8]).unwrap();
+            assert_eq!(txn.prepare(777).unwrap(), PrepareVote::Yes);
+            std::mem::forget(txn);
+            log_bytes = dev.read_all().unwrap();
+        }
+        // Second incarnation: the store is gone; rebuild exactly as at first
+        // boot (same table order, same unlogged load), then replay the log.
+        let inst =
+            StorageInstance::create(Arc::new(MemStore::new()), MemLogDevice::new(), small_opts());
+        let t = inst.create_table("a", 8).unwrap();
+        for k in 0..4u64 {
+            inst.load_row(&t, k, &[0u8; 8]).unwrap();
+        }
+        let in_doubt = inst.replay_log(&log_bytes).unwrap();
+        assert_eq!(in_doubt.len(), 1);
+        assert_eq!(in_doubt[0].gtid, 777);
+        assert_eq!(in_doubt[0].keys(), vec![(t.id, 3)]);
+        {
+            let mut txn = inst.begin();
+            assert_eq!(txn.read("a", 1).unwrap(), Some(vec![1u8; 8]), "redone");
+            assert_eq!(
+                txn.read("a", 2).unwrap(),
+                Some(vec![0u8; 8]),
+                "loser undone"
+            );
+            assert_eq!(txn.read("a", 3).unwrap(), Some(vec![0u8; 8]), "withheld");
+            txn.commit().unwrap();
+        }
+        inst.resolve_in_doubt(&in_doubt[0], true).unwrap();
+        let mut txn = inst.begin();
+        assert_eq!(txn.read("a", 3).unwrap(), Some(vec![3u8; 8]));
         txn.commit().unwrap();
     }
 

@@ -24,12 +24,20 @@ pub struct LogBuffer {
 
 impl LogBuffer {
     pub fn new(flush_threshold: usize) -> Self {
+        Self::new_at(flush_threshold, 0)
+    }
+
+    /// A buffer whose stream continues at `base_lsn` — reopening a log
+    /// device that already holds `base_lsn` durable bytes (restart over an
+    /// existing WAL file). Everything up to `base_lsn` is already on the
+    /// device, so it starts durable.
+    pub fn new_at(flush_threshold: usize, base_lsn: Lsn) -> Self {
         LogBuffer {
             buf: Vec::with_capacity(flush_threshold * 2),
-            base_lsn: 0,
-            durable_lsn: 0,
+            base_lsn,
+            durable_lsn: base_lsn,
             flush_threshold,
-            appended: 0,
+            appended: base_lsn,
             flushes: 0,
         }
     }

@@ -128,9 +128,14 @@ impl LogManager {
         flush_threshold: usize,
         group_window: Duration,
     ) -> Arc<Self> {
+        // Continue the LSN stream where the device left off: reopening a
+        // non-empty WAL file (restart) appends at its current length, so
+        // byte-offset LSNs stay aligned with record positions. A fresh
+        // device starts at 0 as before.
+        let base_lsn = device.len();
         let shared = Arc::new(Shared {
             buf: Mutex::new(LogState {
-                buffer: LogBuffer::new(flush_threshold),
+                buffer: LogBuffer::new_at(flush_threshold, base_lsn),
                 shutdown: false,
             }),
             flush_cv: Condvar::new(),
@@ -334,6 +339,38 @@ mod tests {
             // Dropped without commit_durable.
         }
         assert!(dev.len() > 0, "drop must flush buffered records");
+    }
+
+    #[test]
+    fn reopened_device_continues_lsns() {
+        let dir = std::env::temp_dir().join(format!("islands-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal-reopen.log");
+        let _ = std::fs::remove_file(&path);
+        let lsn1;
+        {
+            let dev = FileLogDevice::open(&path).unwrap();
+            let lm = LogManager::new(dev, 64, Duration::ZERO);
+            lsn1 = lm.append(TxnId(1), &LogPayload::Prepare { gtid: 5 });
+            lm.commit_durable(lsn1);
+        }
+        // A second manager over the same file must continue the byte-offset
+        // LSN stream, not restart at 0 (which would desync LSNs from record
+        // positions and break `mark_durable`'s monotonicity).
+        let dev = FileLogDevice::open(&path).unwrap();
+        let lm = LogManager::new(dev.clone(), 64, Duration::ZERO);
+        assert_eq!(lm.end_lsn(), lsn1);
+        assert_eq!(lm.durable_lsn(), lsn1);
+        let lsn2 = lm.append(TxnId(2), &LogPayload::Commit);
+        assert!(lsn2 > lsn1);
+        lm.commit_durable(lsn2);
+        let bytes = dev.read_all().unwrap();
+        assert_eq!(bytes.len() as u64, lsn2);
+        let (first, used) = crate::wal::record::decode(&bytes, 0).unwrap();
+        assert_eq!(first.payload, LogPayload::Prepare { gtid: 5 });
+        let (second, _) = crate::wal::record::decode(&bytes[used..], used as u64).unwrap();
+        assert_eq!(second.payload, LogPayload::Commit);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

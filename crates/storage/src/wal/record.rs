@@ -143,8 +143,22 @@ pub fn encode(txn: TxnId, payload: &LogPayload, out: &mut Vec<u8>) {
     }
 }
 
+/// Check that `b` still holds `n` payload bytes (a torn or corrupt record
+/// otherwise claims more bytes than its frame carries).
+fn need(b: &[u8], n: usize, lsn: Lsn) -> Result<()> {
+    if b.len() < n {
+        return Err(StorageError::CorruptLog(format!(
+            "truncated payload at lsn {lsn}"
+        )));
+    }
+    Ok(())
+}
+
 /// Decode one record starting at `lsn` from `buf`; returns the record and
-/// the number of bytes consumed.
+/// the number of bytes consumed. Total: every malformed input — truncated
+/// header, inner length fields pointing past the frame, unknown tag — is a
+/// [`StorageError::CorruptLog`], never a panic, so recovery can treat a torn
+/// log tail as end-of-log.
 pub fn decode(buf: &[u8], lsn: Lsn) -> Result<(LogRecord, usize)> {
     if buf.len() < 13 {
         return Err(StorageError::CorruptLog(format!(
@@ -160,22 +174,31 @@ pub fn decode(buf: &[u8], lsn: Lsn) -> Result<(LogRecord, usize)> {
     }
     let txn = TxnId(b.get_u64_le());
     let tag = b.get_u8();
+    // Parse the payload strictly inside this record's frame, so a corrupt
+    // inner length can neither panic nor read into the next record.
+    let mut b = &buf[13..total];
     let payload = match tag {
         TAG_BEGIN => LogPayload::Begin,
         TAG_INSERT => {
+            need(b, 16, lsn)?;
             let table = b.get_u32_le();
             let key = b.get_u64_le();
             let n = b.get_u32_le() as usize;
+            need(b, n, lsn)?;
             let data = b[..n].to_vec();
             LogPayload::Insert { table, key, data }
         }
         TAG_UPDATE => {
+            need(b, 16, lsn)?;
             let table = b.get_u32_le();
             let key = b.get_u64_le();
             let nb = b.get_u32_le() as usize;
+            need(b, nb, lsn)?;
             let before = b[..nb].to_vec();
             b.advance(nb);
+            need(b, 4, lsn)?;
             let na = b.get_u32_le() as usize;
+            need(b, na, lsn)?;
             let after = b[..na].to_vec();
             LogPayload::Update {
                 table,
@@ -186,18 +209,25 @@ pub fn decode(buf: &[u8], lsn: Lsn) -> Result<(LogRecord, usize)> {
         }
         TAG_COMMIT => LogPayload::Commit,
         TAG_ABORT => LogPayload::Abort,
-        TAG_PREPARE => LogPayload::Prepare {
-            gtid: b.get_u64_le(),
-        },
+        TAG_PREPARE => {
+            need(b, 8, lsn)?;
+            LogPayload::Prepare {
+                gtid: b.get_u64_le(),
+            }
+        }
         TAG_DECISION => {
+            need(b, 9, lsn)?;
             let gtid = b.get_u64_le();
             let commit = b.get_u8() != 0;
             LogPayload::Decision { gtid, commit }
         }
         TAG_END => LogPayload::End,
-        TAG_CHECKPOINT => LogPayload::Checkpoint {
-            snapshot_lsn: b.get_u64_le(),
-        },
+        TAG_CHECKPOINT => {
+            need(b, 8, lsn)?;
+            LogPayload::Checkpoint {
+                snapshot_lsn: b.get_u64_le(),
+            }
+        }
         t => {
             return Err(StorageError::CorruptLog(format!(
                 "unknown tag {t} at lsn {lsn}"
@@ -291,5 +321,51 @@ mod tests {
         encode(TxnId(1), &LogPayload::Commit, &mut buf2);
         buf2[0] = 200;
         assert!(matches!(decode(&buf2, 0), Err(StorageError::CorruptLog(_))));
+    }
+
+    #[test]
+    fn inner_length_past_frame_is_an_error_not_a_panic() {
+        // An Insert whose data-length field claims more bytes than the frame
+        // holds (a torn tail landing mid-payload).
+        let mut buf = Vec::new();
+        encode(
+            TxnId(1),
+            &LogPayload::Insert {
+                table: 1,
+                key: 7,
+                data: vec![7; 4],
+            },
+            &mut buf,
+        );
+        buf[13 + 12] = 0xFF; // data length low byte → 255 > 4 remaining
+        assert!(matches!(decode(&buf, 0), Err(StorageError::CorruptLog(_))));
+        // Same for an Update's before/after images.
+        let mut buf = Vec::new();
+        encode(
+            TxnId(1),
+            &LogPayload::Update {
+                table: 1,
+                key: 7,
+                before: vec![0; 4],
+                after: vec![9; 4],
+            },
+            &mut buf,
+        );
+        buf[13 + 12] = 0xFF;
+        assert!(matches!(decode(&buf, 0), Err(StorageError::CorruptLog(_))));
+        // Fixed-size payloads truncated by a lying total_len.
+        for p in [
+            LogPayload::Prepare { gtid: 1 },
+            LogPayload::Decision {
+                gtid: 1,
+                commit: true,
+            },
+            LogPayload::Checkpoint { snapshot_lsn: 1 },
+        ] {
+            let mut buf = Vec::new();
+            encode(TxnId(1), &p, &mut buf);
+            buf[0] = 13; // claim an empty payload
+            assert!(matches!(decode(&buf, 0), Err(StorageError::CorruptLog(_))));
+        }
     }
 }

@@ -74,11 +74,20 @@ pub struct LogAnalysis {
     pub in_doubt_undo: HashMap<TxnId, Vec<UndoOp>>,
     /// LSN of the last checkpoint record seen, if any.
     pub last_checkpoint: Option<Lsn>,
+    /// LSN where scanning stopped early because the log tail was torn or
+    /// corrupt (a crash mid-flush); everything before it was analyzed.
+    pub torn_tail: Option<Lsn>,
     pub records_scanned: u64,
 }
 
 /// Scan `log` starting at byte offset `from_lsn` (records must be aligned
 /// with record boundaries, e.g. a checkpoint's `snapshot_lsn`).
+///
+/// Total over arbitrary byte prefixes: a torn or corrupt tail — the normal
+/// residue of a crash mid-flush — ends the scan cleanly at the last whole
+/// record (recorded in [`LogAnalysis::torn_tail`]) instead of erroring. The
+/// write-ahead rule makes this safe: nothing past the torn record was ever
+/// acknowledged durable.
 pub fn analyze(log: &[u8], from_lsn: Lsn) -> Result<LogAnalysis> {
     let mut a = LogAnalysis::default();
     // ops per live txn until we know the outcome: (lsn, redo, undo).
@@ -87,7 +96,13 @@ pub fn analyze(log: &[u8], from_lsn: Lsn) -> Result<LogAnalysis> {
     let mut prepared: HashMap<TxnId, u64> = HashMap::new();
     let mut lsn = from_lsn;
     while (lsn as usize) < log.len() {
-        let (rec, used) = decode(&log[lsn as usize..], lsn)?;
+        let (rec, used) = match decode(&log[lsn as usize..], lsn) {
+            Ok(ok) => ok,
+            Err(_) => {
+                a.torn_tail = Some(lsn);
+                break;
+            }
+        };
         a.records_scanned += 1;
         match rec.payload {
             LogPayload::Begin => {
@@ -165,12 +180,15 @@ pub fn analyze(log: &[u8], from_lsn: Lsn) -> Result<LogAnalysis> {
 }
 
 /// Find the byte offset to start analysis from: the `snapshot_lsn` of the
-/// last checkpoint record in `log`, or 0.
+/// last checkpoint record in `log`, or 0. Like [`analyze`], a torn tail
+/// ends the scan at the last whole record instead of erroring.
 pub fn find_redo_start(log: &[u8]) -> Result<Lsn> {
     let mut lsn = 0u64;
     let mut start = 0u64;
     while (lsn as usize) < log.len() {
-        let (rec, used) = decode(&log[lsn as usize..], lsn)?;
+        let Ok((rec, used)) = decode(&log[lsn as usize..], lsn) else {
+            break;
+        };
         if let LogPayload::Checkpoint { snapshot_lsn } = rec.payload {
             start = snapshot_lsn;
         }
@@ -324,6 +342,100 @@ mod tests {
         let a = analyze(&log, 0).unwrap();
         assert_eq!(a.decisions.get(&42), Some(&true));
         assert_eq!(a.decisions.get(&43), Some(&false));
+    }
+
+    #[test]
+    fn torn_tail_stops_cleanly_after_last_whole_record() {
+        let mut log = build(&[
+            (1, LogPayload::Begin),
+            (1, ins(10)),
+            (1, LogPayload::Commit),
+            (2, LogPayload::Begin),
+            (2, ins(20)),
+        ]);
+        let whole = log.len();
+        // Tear mid-record: append half of a commit frame.
+        let tail = build(&[(2, LogPayload::Commit)]);
+        log.extend_from_slice(&tail[..tail.len() / 2]);
+        let a = analyze(&log, 0).unwrap();
+        assert_eq!(a.torn_tail, Some(whole as u64));
+        assert!(a.committed.contains(&TxnId(1)));
+        // Txn 2's commit never became durable: it is a loser, undone.
+        assert!(!a.committed.contains(&TxnId(2)));
+        assert!(a
+            .undo
+            .iter()
+            .any(|(_, t, u)| *t == TxnId(2) && matches!(u, UndoOp::Remove { key: 20, .. })));
+        assert_eq!(find_redo_start(&log).unwrap(), 0);
+    }
+
+    /// Apply an analysis to a key→row model the way recovery applies it to
+    /// the store: redo in LSN order, undo in reverse.
+    fn apply_model(model: &mut std::collections::HashMap<(u32, u64), Vec<u8>>, a: &LogAnalysis) {
+        for (_, _, op) in &a.redo {
+            match op {
+                RedoOp::Insert { table, key, data } => {
+                    model.entry((*table, *key)).or_insert_with(|| data.clone());
+                }
+                RedoOp::Update { table, key, after } => {
+                    model.insert((*table, *key), after.clone());
+                }
+            }
+        }
+        for (_, _, op) in a.undo.iter().rev() {
+            match op {
+                UndoOp::Revert { table, key, before } => {
+                    if model.contains_key(&(*table, *key)) {
+                        model.insert((*table, *key), before.clone());
+                    }
+                }
+                UndoOp::Remove { table, key } => {
+                    model.remove(&(*table, *key));
+                }
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// Analysis over any byte-truncated prefix of a well-formed log is
+        /// total (no panic, no error) and replay is idempotent: applying the
+        /// analysis twice leaves the model exactly as applying it once.
+        #[test]
+        fn truncated_prefix_analysis_is_total_and_idempotent(
+            txns in proptest::collection::vec((1u64..6, 0u64..8, 0u8..4), 1..24),
+            cut in 0usize..2048,
+            flip in (0usize..2048, 0u8..=255),
+        ) {
+            let mut log = Vec::new();
+            for (txn, key, kind) in txns {
+                let payload = match kind {
+                    0 => ins(key),
+                    1 => upd(key, (key as u8).wrapping_add(1)),
+                    2 => LogPayload::Commit,
+                    _ => LogPayload::Prepare { gtid: key },
+                };
+                encode(TxnId(txn), &payload, &mut log);
+            }
+            log.truncate(cut.min(log.len()));
+            // A flipped byte anywhere must still leave analysis total
+            // (xor == 0 covers the unmutated case).
+            let (at, xor) = flip;
+            if !log.is_empty() {
+                let at = at % log.len();
+                log[at] ^= xor;
+            }
+            let a = analyze(&log, 0).unwrap();
+            let mut once = std::collections::HashMap::new();
+            apply_model(&mut once, &a);
+            let mut twice = once.clone();
+            // Replaying the same analysis again must be a no-op: redo is
+            // insert-if-missing / set-after, undo reverts or removes.
+            let a2 = analyze(&log, 0).unwrap();
+            proptest::prop_assert_eq!(a.records_scanned, a2.records_scanned);
+            proptest::prop_assert_eq!(a.torn_tail, a2.torn_tail);
+            apply_model(&mut twice, &a2);
+            proptest::prop_assert_eq!(once, twice);
+        }
     }
 
     #[test]
